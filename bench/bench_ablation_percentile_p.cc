@@ -1,0 +1,87 @@
+// Ablation: sensitivity of PERCENTILE-PARTITIONS to its percentile
+// parameter p. The paper fixes p = 0.75 "following the discussion in [8]";
+// this sweep shows what that choice trades: small p (many mentors) spreads
+// strong skills widely, large p (few mentors) concentrates them — and how
+// close the best p gets to DyGroups.
+
+#include "baselines/percentile_partitions.h"
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+namespace tdg::bench {
+namespace {
+
+double PercentileGain(double p, InteractionMode mode, int runs) {
+  double total = 0.0;
+  for (int run = 0; run < runs; ++run) {
+    random::Rng rng(42 + run * 19);
+    SkillVector skills = random::GenerateSkills(
+        rng, random::SkillDistribution::kLogNormal, 2000);
+    baselines::PercentilePartitionsPolicy policy(p);
+    LinearGain gain(0.5);
+    ProcessConfig config;
+    config.num_groups = 5;
+    config.num_rounds = 5;
+    config.mode = mode;
+    config.record_history = false;
+    auto result = RunProcess(skills, config, gain, policy);
+    TDG_CHECK(result.ok()) << result.status();
+    total += result->total_gain;
+  }
+  return total / runs;
+}
+
+double DyGroupsGain(InteractionMode mode, int runs) {
+  double total = 0.0;
+  for (int run = 0; run < runs; ++run) {
+    random::Rng rng(42 + run * 19);
+    SkillVector skills = random::GenerateSkills(
+        rng, random::SkillDistribution::kLogNormal, 2000);
+    auto policy = MakeDyGroupsPolicy(mode);
+    LinearGain gain(0.5);
+    ProcessConfig config;
+    config.num_groups = 5;
+    config.num_rounds = 5;
+    config.mode = mode;
+    config.record_history = false;
+    auto result = RunProcess(skills, config, gain, *policy);
+    TDG_CHECK(result.ok()) << result.status();
+    total += result->total_gain;
+  }
+  return total / runs;
+}
+
+}  // namespace
+}  // namespace tdg::bench
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  tdg::bench::PrintHeader(
+      "Ablation: Percentile-Partitions percentile parameter p",
+      "The paper fixes p = 0.75 (per [8]); n=2000, k=5, alpha=5, r=0.5, "
+      "log-normal, 5 runs");
+
+  constexpr int kRuns = 5;
+  for (tdg::InteractionMode mode :
+       {tdg::InteractionMode::kStar, tdg::InteractionMode::kClique}) {
+    double dygroups = tdg::bench::DyGroupsGain(mode, kRuns);
+    tdg::util::TablePrinter table(
+        {std::string("p (") + std::string(tdg::InteractionModeName(mode)) +
+             ")",
+         "Percentile-Partitions gain", "fraction of DyGroups"});
+    for (double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+      double gain = tdg::bench::PercentileGain(p, mode, kRuns);
+      table.AddRow({tdg::util::FormatDouble(p, 2),
+                    tdg::util::FormatDouble(gain, 1),
+                    tdg::util::FormatDouble(gain / dygroups, 4)});
+    }
+    table.AddRow({"DyGroups (ref)", tdg::util::FormatDouble(dygroups, 1),
+                  "1.0"});
+    std::printf("%s\n", table.ToString().c_str());
+  }
+  std::printf("(expected: performance varies smoothly in p and stays below "
+              "the matching DyGroups policy; p = 0.75 is a reasonable but "
+              "not special choice)\n");
+  return 0;
+}

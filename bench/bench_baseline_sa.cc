@@ -1,0 +1,59 @@
+// Baseline study: simulated annealing (the OR-metaheuristic approach the
+// paper's related work cites) vs DyGroups-Local on one round.
+// Expected: SA converges to the same round gain DyGroups computes in closed
+// form, but needs thousands of O(n) objective evaluations to get there —
+// the scalability argument for the analytical grouping rules.
+
+#include "baselines/simulated_annealing.h"
+#include "bench_common.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  tdg::bench::PrintHeader(
+      "Simulated annealing vs DyGroups-Local (one round)",
+      "Related-work baseline ([12] and kin); star mode, log-normal skills");
+
+  tdg::util::TablePrinter table(
+      {"n", "SA iterations", "SA gain / optimal", "SA time (ms)",
+       "DyGroups time (ms)"});
+  for (int n : {100, 400, 1600}) {
+    tdg::random::Rng rng(42);
+    tdg::SkillVector skills = tdg::random::GenerateSkills(
+        rng, tdg::random::SkillDistribution::kLogNormal, n);
+    tdg::LinearGain gain(0.5);
+    constexpr int kGroups = 5;
+
+    tdg::util::Stopwatch dygroups_watch;
+    auto dygroups = tdg::DyGroupsStarLocal(skills, kGroups);
+    double dygroups_ms = dygroups_watch.ElapsedMillis();
+    TDG_CHECK(dygroups.ok());
+    double optimal = tdg::EvaluateRoundGain(tdg::InteractionMode::kStar,
+                                            dygroups.value(), gain, skills)
+                         .value();
+
+    for (int iterations : {200, 2000, 20000}) {
+      tdg::baselines::SimulatedAnnealingOptions options;
+      options.iterations = iterations;
+      tdg::baselines::SimulatedAnnealingPolicy sa(
+          tdg::InteractionMode::kStar, gain, 7, options);
+      tdg::util::Stopwatch sa_watch;
+      auto grouping = sa.FormGroups(skills, kGroups);
+      double sa_ms = sa_watch.ElapsedMillis();
+      TDG_CHECK(grouping.ok());
+      double sa_gain = tdg::EvaluateRoundGain(tdg::InteractionMode::kStar,
+                                              grouping.value(), gain, skills)
+                           .value();
+      table.AddRow({std::to_string(n), std::to_string(iterations),
+                    tdg::util::StrFormat("%.4f", sa_gain / optimal),
+                    tdg::util::FormatDouble(sa_ms, 2),
+                    tdg::util::FormatDouble(dygroups_ms, 4)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("(expected: the gain ratio approaches 1 only with large "
+              "iteration budgets, at 100-10000x the cost of the "
+              "closed-form DyGroups grouping)\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Shared helpers for the per-figure bench binaries. Each binary reproduces
+// one table/figure of the paper (see DESIGN.md §2) and prints its series as
+// an aligned table; pass --csv=<path> to also dump plottable CSV.
+#ifndef TDG_BENCH_BENCH_COMMON_H_
+#define TDG_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/registry.h"
+#include "core/dygroups.h"
+#include "core/process.h"
+#include "io/series_io.h"
+#include "random/distributions.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace tdg::bench {
+
+/// Paper §V-B2 default parameters: k=5, n=10000, r=0.5, α=5, star mode,
+/// log-normal initial skills, randomized runs averaged 10 times (we default
+/// to 5 for bench wall-time; the shape is insensitive to this).
+struct SweepConfig {
+  int n = 10000;
+  int k = 5;
+  int alpha = 5;
+  double r = 0.5;
+  InteractionMode mode = InteractionMode::kStar;
+  random::SkillDistribution distribution =
+      random::SkillDistribution::kLogNormal;
+  int runs = 5;
+  uint64_t seed = 42;
+};
+
+/// Mean aggregated learning gain of `policy_name` over `config.runs`
+/// freshly drawn populations. Aborts on configuration errors (benches are
+/// fixed-parameter binaries; a failure is a bug, not an input problem).
+inline double MeanTotalGain(const std::string& policy_name,
+                            const SweepConfig& config) {
+  double total = 0.0;
+  for (int run = 0; run < config.runs; ++run) {
+    random::Rng rng(config.seed + static_cast<uint64_t>(run) * 7919);
+    SkillVector skills =
+        random::GenerateSkills(rng, config.distribution, config.n);
+    for (double& s : skills) s += 1e-9;  // guard exact zeros (uniform)
+
+    auto policy = baselines::MakePolicy(
+        policy_name, config.seed + static_cast<uint64_t>(run));
+    TDG_CHECK(policy.ok()) << policy.status();
+    LinearGain gain(config.r);
+    ProcessConfig process;
+    process.num_groups = config.k;
+    process.num_rounds = config.alpha;
+    process.mode = config.mode;
+    process.record_history = false;
+    auto result = RunProcess(skills, process, gain, **policy);
+    TDG_CHECK(result.ok()) << result.status();
+    total += result->total_gain;
+  }
+  return total / static_cast<double>(config.runs);
+}
+
+/// Prints the standard bench banner.
+inline void PrintHeader(const std::string& title,
+                        const std::string& paper_ref) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("Reproduces: %s\n\n", paper_ref.c_str());
+}
+
+/// Builds an ExperimentSeries sweeping one policy set over `x_values`,
+/// where `evaluate(policy_name, x)` returns the y value.
+template <typename Evaluate>
+io::ExperimentSeries SweepSeries(const std::string& x_label,
+                                 const std::vector<double>& x_values,
+                                 const std::vector<std::string>& policies,
+                                 Evaluate&& evaluate) {
+  io::ExperimentSeries series;
+  series.x_label = x_label;
+  series.x_values = x_values;
+  series.series_names = policies;
+  series.values.resize(policies.size());
+  for (size_t p = 0; p < policies.size(); ++p) {
+    series.values[p].reserve(x_values.size());
+    for (double x : x_values) {
+      series.values[p].push_back(evaluate(policies[p], x));
+    }
+  }
+  return series;
+}
+
+/// Prints the series and optionally writes `--csv=<path>`.
+inline void EmitSeries(const io::ExperimentSeries& series, int argc,
+                       char** argv, int digits = 4) {
+  std::printf("%s\n", series.ToTable(digits).c_str());
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (util::StartsWith(arg, "--csv=")) {
+      std::string path = arg.substr(6);
+      auto status = series.WriteCsv(path);
+      if (status.ok()) {
+        std::printf("wrote %s\n", path.c_str());
+      } else {
+        std::printf("csv write failed: %s\n", status.ToString().c_str());
+      }
+    }
+  }
+}
+
+}  // namespace tdg::bench
+
+#endif  // TDG_BENCH_BENCH_COMMON_H_

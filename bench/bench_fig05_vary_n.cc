@@ -1,0 +1,51 @@
+// Figure 5: aggregate learning gain as a function of the population size n.
+// (a) Clique mode / log-normal skills; (b) Star mode / Zipf skills.
+// Expected shape: LG grows with n; DyGroups beats every baseline at each n.
+
+#include "bench_common.h"
+
+namespace tdg::bench {
+namespace {
+
+void RunPanel(const char* label, InteractionMode mode,
+              random::SkillDistribution distribution, int argc, char** argv) {
+  std::printf("--- Fig 5(%s): %s mode, %s skills ---\n", label,
+              std::string(InteractionModeName(mode)).c_str(),
+              std::string(random::SkillDistributionName(distribution))
+                  .c_str());
+  std::vector<double> n_values = {100, 1000, 10000, 100000};
+  auto series = SweepSeries(
+      "n", n_values, baselines::AllPolicyNames(),
+      [&](const std::string& policy, double n) {
+        SweepConfig config;
+        config.mode = mode;
+        config.distribution = distribution;
+        config.n = static_cast<int>(n);
+        config.runs = (n >= 100000) ? 3 : 5;
+        return MeanTotalGain(policy, config);
+      });
+  EmitSeries(series, argc, argv);
+}
+
+}  // namespace
+}  // namespace tdg::bench
+
+int main(int argc, char** argv) {
+  tdg::bench::PrintHeader("Aggregate learning gain, varying n",
+                          "ICDE'21 Figure 5 (a: clique/log-normal, "
+                          "b: star/Zipf); defaults k=5, r=0.5, alpha=5");
+  tdg::bench::RunPanel("a", tdg::InteractionMode::kClique,
+                       tdg::random::SkillDistribution::kLogNormal, argc,
+                       argv);
+  tdg::bench::RunPanel("b", tdg::InteractionMode::kStar,
+                       tdg::random::SkillDistribution::kZipf, argc, argv);
+  // Supplementary: with the bounded Zipf reading (support {1..10}), large
+  // groups almost surely contain a top-skilled member, collapsing star-mode
+  // differences (Theorem 1b makes all such groupings tie). The
+  // unbounded-zeta reading of the paper's Zipf parameters produces rare
+  // experts and restores the separation the paper plots.
+  tdg::bench::RunPanel("b', zeta reading", tdg::InteractionMode::kStar,
+                       tdg::random::SkillDistribution::kZipfUnbounded, argc,
+                       argv);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 9: aggregate learning gain as a function of the learning rate r,
+// log-normal initial skills. (a) Clique mode; (b) Star mode.
+
+#include "bench_common.h"
+
+namespace tdg::bench {
+namespace {
+
+void RunPanel(const char* label, InteractionMode mode, int argc,
+              char** argv) {
+  std::printf("--- Fig 9(%s): %s mode, log-normal skills ---\n", label,
+              std::string(InteractionModeName(mode)).c_str());
+  std::vector<double> r_values = {0.1, 0.2, 0.3, 0.4, 0.5,
+                                  0.6, 0.7, 0.8, 0.9};
+  auto series = SweepSeries(
+      "r", r_values, baselines::AllPolicyNames(),
+      [&](const std::string& policy, double r) {
+        SweepConfig config;
+        config.mode = mode;
+        config.distribution = random::SkillDistribution::kLogNormal;
+        config.r = r;
+        return MeanTotalGain(policy, config);
+      });
+  EmitSeries(series, argc, argv);
+}
+
+}  // namespace
+}  // namespace tdg::bench
+
+int main(int argc, char** argv) {
+  tdg::bench::PrintHeader(
+      "Aggregate learning gain, varying r (log-normal)",
+      "ICDE'21 Figure 9 (a: clique/log-normal, b: star/log-normal); "
+      "defaults n=10000, k=5, alpha=5");
+  tdg::bench::RunPanel("a", tdg::InteractionMode::kClique, argc, argv);
+  tdg::bench::RunPanel("b", tdg::InteractionMode::kStar, argc, argv);
+  return 0;
+}

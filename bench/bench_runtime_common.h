@@ -1,0 +1,77 @@
+// Shared google-benchmark registration for the running-time figures
+// (Fig 12: star mode, Fig 13: clique mode). Measures the full α-round
+// DYGROUPS-MODE loop (grouping + skill updates) for every policy, with the
+// population generated outside the timed region. Times are reported in
+// microseconds, matching the paper's axes.
+#ifndef TDG_BENCH_BENCH_RUNTIME_COMMON_H_
+#define TDG_BENCH_BENCH_RUNTIME_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "baselines/registry.h"
+#include "core/process.h"
+#include "random/distributions.h"
+#include "util/logging.h"
+
+namespace tdg::bench {
+
+inline void RunPolicyBenchmark(benchmark::State& state,
+                               const std::string& policy_name,
+                               InteractionMode mode, int n, int k) {
+  random::Rng rng(42);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kLogNormal, n);
+  LinearGain gain(0.5);
+  ProcessConfig config;
+  config.num_groups = k;
+  config.num_rounds = 5;
+  config.mode = mode;
+  config.record_history = false;
+
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    auto policy = baselines::MakePolicy(policy_name, seed++);
+    TDG_CHECK(policy.ok());
+    auto result = RunProcess(skills, config, gain, **policy);
+    TDG_CHECK(result.ok()) << result.status();
+    benchmark::DoNotOptimize(result->total_gain);
+  }
+  state.SetLabel(policy_name);
+}
+
+/// Registers the paper's two sweeps for `mode`:
+///   varying n in {10, 100, ..., 100000} at k = 5 (Fig 12/13 (a));
+///   varying k in {5, 50, 500, 5000} at n = 10000 (Fig 12/13 (b)).
+inline void RegisterRuntimeBenchmarks(InteractionMode mode) {
+  const std::string mode_name(InteractionModeName(mode));
+  for (const std::string& policy : baselines::AllPolicyNames()) {
+    for (int n : {10, 100, 1000, 10000, 100000}) {
+      std::string name =
+          "vary_n/" + mode_name + "/" + policy + "/n=" + std::to_string(n);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [policy, mode, n](benchmark::State& state) {
+            RunPolicyBenchmark(state, policy, mode, n, /*k=*/5);
+          })
+          ->Unit(benchmark::kMicrosecond)
+          ->MinTime(0.05);
+    }
+    for (int k : {5, 50, 500, 5000}) {
+      std::string name =
+          "vary_k/" + mode_name + "/" + policy + "/k=" + std::to_string(k);
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [policy, mode, k](benchmark::State& state) {
+            RunPolicyBenchmark(state, policy, mode, /*n=*/10000, k);
+          })
+          ->Unit(benchmark::kMicrosecond)
+          ->MinTime(0.05);
+    }
+  }
+}
+
+}  // namespace tdg::bench
+
+#endif  // TDG_BENCH_BENCH_RUNTIME_COMMON_H_

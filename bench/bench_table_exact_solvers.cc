@@ -1,0 +1,57 @@
+// Exact-solver study: brute force vs branch-and-bound on the TDG problem.
+// Reports optimal value agreement and the node counts, demonstrating how
+// the admissible deficit bound (branch_bound.h) shrinks the search tree —
+// this is what extends the §V-B3 exact validation to larger instances.
+
+#include "bench_common.h"
+#include "core/branch_bound.h"
+#include "core/brute_force.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  (void)argc;
+  (void)argv;
+  tdg::bench::PrintHeader(
+      "Exact solvers: brute force vs branch-and-bound",
+      "Infrastructure behind §V-B3 / Theorem 5 validation");
+
+  tdg::util::TablePrinter table({"n", "k", "alpha", "groupings",
+                                 "brute sequences", "B&B nodes",
+                                 "B&B pruned", "optima agree"});
+  struct Case {
+    int n, k, alpha;
+  };
+  for (const Case& c :
+       {Case{6, 2, 3}, Case{6, 3, 3}, Case{8, 2, 3}, Case{8, 4, 2},
+        Case{10, 2, 2}, Case{10, 5, 2}}) {
+    tdg::random::Rng rng(42 + c.n * 10 + c.k);
+    tdg::SkillVector skills = tdg::random::GenerateSkills(
+        rng, tdg::random::SkillDistribution::kUniform, c.n);
+    for (double& s : skills) s += 1e-9;
+    tdg::LinearGain gain(0.5);
+
+    auto brute = tdg::SolveTdgBruteForce(skills, c.k, c.alpha,
+                                         tdg::InteractionMode::kStar, gain,
+                                         {.max_sequences = 5e8});
+    auto bounded = tdg::SolveTdgBranchBound(
+        skills, c.k, c.alpha, tdg::InteractionMode::kStar, gain);
+    TDG_CHECK(brute.ok()) << brute.status();
+    TDG_CHECK(bounded.ok()) << bounded.status();
+    bool agree = std::abs(brute->best_total_gain -
+                          bounded->best_total_gain) < 1e-9;
+    auto groupings = tdg::CountEquiSizedGroupings(c.n, c.k);
+    table.AddRow({std::to_string(c.n), std::to_string(c.k),
+                  std::to_string(c.alpha),
+                  tdg::util::FormatDouble(groupings.value(), 0),
+                  tdg::util::FormatDouble(brute->sequences_explored, 0),
+                  std::to_string(bounded->nodes_explored),
+                  std::to_string(bounded->nodes_pruned),
+                  agree ? "yes" : "NO"});
+    TDG_CHECK(agree);
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("(expected: agreement on every instance; the deficit bound "
+              "prunes modestly — per-round optimal gain is not monotone "
+              "over rounds, which rules out the obvious tighter bounds)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Crowdsourcing scenario (the paper's §V-A study): teach a pool of paid
+// workers facts about a topic through dynamically re-formed peer groups,
+// with noisy quiz-based skill assessment and gain-driven retention —
+// a full simulated re-run of the paper's AMT Experiment-1/2 pipeline.
+//
+//   build/examples/example_amt_crowdsourcing [--experiment=1|2]
+//       [--seed=42] [--deployments=1]
+
+#include <cstdio>
+
+#include "sim/amt_experiment.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  tdg::util::FlagParser flags;
+  TDG_CHECK(flags.Parse(argc, argv).ok());
+  int experiment = static_cast<int>(flags.GetInt("experiment", 1));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  int deployments = static_cast<int>(flags.GetInt("deployments", 1));
+
+  tdg::sim::ExperimentConfig config =
+      (experiment == 2) ? tdg::sim::Experiment2Config(seed)
+                        : tdg::sim::Experiment1Config(seed);
+
+  std::printf("Simulated AMT Experiment-%d: %d workers, %zu populations, "
+              "%d rounds, group size %d\n\n",
+              experiment, config.total_workers, config.policy_names.size(),
+              config.amt.num_rounds, config.amt.group_size);
+
+  for (int d = 0; d < deployments; ++d) {
+    config.seed = seed + static_cast<uint64_t>(d);
+    auto result = tdg::sim::RunExperiment(config);
+    TDG_CHECK(result.ok()) << result.status();
+
+    std::printf("--- deployment %d ---\n", d + 1);
+    tdg::util::TablePrinter table({"population", "pre-test mean",
+                                   "total gain", "final retention"});
+    for (const auto& population : result->populations) {
+      double final_retention =
+          population.rounds.empty()
+              ? 1.0
+              : population.rounds.back().retention_fraction;
+      table.AddRow({population.policy_name,
+                    tdg::util::FormatDouble(
+                        population.pre_qualification_mean, 3),
+                    tdg::util::FormatDouble(population.total_observed_gain,
+                                            3),
+                    tdg::util::FormatDouble(final_retention, 3)});
+    }
+    std::printf("%s", table.ToString().c_str());
+
+    std::printf("Observation I check — pooled per-worker gain, %.0f%% CI: "
+                "[%.4f, %.4f] (positive lower bound = peer learning "
+                "works)\n",
+                result->pooled_gain_ci.confidence * 100,
+                result->pooled_gain_ci.lower, result->pooled_gain_ci.upper);
+    for (size_t p = 1; p < result->populations.size(); ++p) {
+      std::printf("Observation II check — DyGroups vs %s: mean gain diff "
+                  "%+0.4f (one-sided p = %.3f)\n",
+                  result->populations[p].policy_name.c_str(),
+                  result->first_vs_other[p].mean_difference,
+                  result->first_vs_other[p].p_value_one_sided_greater);
+    }
+    std::printf("\n");
+  }
+  std::printf("Increase --deployments to average out quiz noise; the bench "
+              "binaries bench_fig01..04 do this automatically.\n");
+  return 0;
+}

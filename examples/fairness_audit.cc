@@ -1,0 +1,88 @@
+// Fairness audit (the paper's §V-B5 experiment, generalized): track how the
+// inequality of the skill distribution evolves round by round under any
+// registered grouping policy, reporting the coefficient of variation and
+// the Gini index after each round.
+//
+//   build/examples/example_fairness_audit [--policy=DyGroups-Star]
+//       [--n=1000] [--k=5] [--alpha=16] [--r=0.1] [--mode=star]
+//       [--distribution=log-normal] [--seed=42]
+
+#include <cstdio>
+
+#include "baselines/registry.h"
+#include "core/process.h"
+#include "random/distributions.h"
+#include "stats/inequality.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+
+int main(int argc, char** argv) {
+  tdg::util::FlagParser flags;
+  TDG_CHECK(flags.Parse(argc, argv).ok());
+  std::string policy_name = flags.GetString("policy", "DyGroups-Star");
+  int n = static_cast<int>(flags.GetInt("n", 1000));
+  int k = static_cast<int>(flags.GetInt("k", 5));
+  int alpha = static_cast<int>(flags.GetInt("alpha", 16));
+  double r = flags.GetDouble("r", 0.1);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  auto mode = tdg::ParseInteractionMode(flags.GetString("mode", "star"));
+  if (!mode.ok()) {
+    std::fprintf(stderr, "%s\n", mode.status().ToString().c_str());
+    return 1;
+  }
+  auto distribution = tdg::random::ParseSkillDistribution(
+      flags.GetString("distribution", "log-normal"));
+  if (!distribution.ok()) {
+    std::fprintf(stderr, "%s\n", distribution.status().ToString().c_str());
+    return 1;
+  }
+  auto policy = tdg::baselines::MakePolicy(policy_name, seed);
+  if (!policy.ok()) {
+    std::fprintf(stderr, "%s\navailable policies:\n",
+                 policy.status().ToString().c_str());
+    for (const auto& name : tdg::baselines::AllPolicyNames()) {
+      std::fprintf(stderr, "  %s\n", name.c_str());
+    }
+    return 1;
+  }
+
+  tdg::random::Rng rng(seed);
+  tdg::SkillVector skills =
+      tdg::random::GenerateSkills(rng, distribution.value(), n);
+  for (double& s : skills) s += 1e-9;
+
+  tdg::LinearGain gain(r);
+  tdg::ProcessConfig config;
+  config.num_groups = k;
+  config.num_rounds = alpha;
+  config.mode = mode.value();
+  auto result = tdg::RunProcess(skills, config, gain, **policy);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("Fairness audit: %s, %s mode, n=%d, k=%d, r=%.2f\n\n",
+              policy_name.c_str(),
+              std::string(tdg::InteractionModeName(mode.value())).c_str(),
+              n, k, r);
+  tdg::util::TablePrinter table({"round", "LG(G_t)", "CV", "Gini"});
+  table.AddNumericRow({0.0, 0.0, tdg::stats::CoefficientOfVariation(skills),
+                       tdg::stats::GiniIndex(skills)},
+                      4);
+  for (size_t t = 0; t < result->history.size(); ++t) {
+    const auto& record = result->history[t];
+    table.AddNumericRow(
+        {static_cast<double>(t + 1), record.gain,
+         tdg::stats::CoefficientOfVariation(record.skills_after),
+         tdg::stats::GiniIndex(record.skills_after)},
+        4);
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nInequality falls as skills converge toward the invariant "
+              "maximum; compare\npolicies by re-running with "
+              "--policy=Random-Assignment (the paper's Fig 11).\n");
+  return 0;
+}

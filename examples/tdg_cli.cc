@@ -1,0 +1,245 @@
+// tdg command-line driver — the "downstream user" front end over the whole
+// library. Subcommands:
+//
+//   example_tdg_cli policies
+//       List the registered grouping policies.
+//
+//   example_tdg_cli run [--policy=DyGroups-Star] [--n=10000] [--k=5]
+//                       [--alpha=5] [--r=0.5] [--mode=star]
+//                       [--distribution=log-normal] [--seed=42]
+//       Run one α-round process and print per-round gains.
+//
+//   example_tdg_cli sweep --config=<file> [--csv=<out.csv>]
+//                         [--json=<out.json>]
+//       Run a declarative sweep (see config-template) and print the grid.
+//
+//   example_tdg_cli config-template
+//       Print a commented sweep config to adapt.
+//
+//   example_tdg_cli exact [--n=8] [--k=2] [--alpha=3] [--r=0.5]
+//                         [--mode=star] [--seed=1]
+//       Solve a small TDG instance exactly (branch & bound) and compare
+//       with DyGroups.
+//
+//   example_tdg_cli human-sim [--experiment=1|2] [--seed=42]
+//       Run a simulated AMT deployment (see amt_crowdsourcing example).
+
+#include <cstdio>
+#include <fstream>
+
+#include "baselines/registry.h"
+#include "core/branch_bound.h"
+#include "core/dygroups.h"
+#include "core/process.h"
+#include "exp/sweep.h"
+#include "random/distributions.h"
+#include "sim/amt_experiment.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+int Fail(const tdg::util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdPolicies() {
+  std::printf("registered grouping policies:\n");
+  for (const std::string& name : tdg::baselines::AllPolicyNames()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  return 0;
+}
+
+int CmdRun(const tdg::util::FlagParser& flags) {
+  std::string policy_name = flags.GetString("policy", "DyGroups-Star");
+  int n = static_cast<int>(flags.GetInt("n", 10000));
+  int k = static_cast<int>(flags.GetInt("k", 5));
+  int alpha = static_cast<int>(flags.GetInt("alpha", 5));
+  double r = flags.GetDouble("r", 0.5);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  auto mode = tdg::ParseInteractionMode(flags.GetString("mode", "star"));
+  if (!mode.ok()) return Fail(mode.status());
+  auto distribution = tdg::random::ParseSkillDistribution(
+      flags.GetString("distribution", "log-normal"));
+  if (!distribution.ok()) return Fail(distribution.status());
+  auto policy = tdg::baselines::MakePolicy(policy_name, seed);
+  if (!policy.ok()) return Fail(policy.status());
+  auto gain = tdg::LinearGain::Create(r);
+  if (!gain.ok()) return Fail(gain.status());
+
+  tdg::random::Rng rng(seed);
+  tdg::SkillVector skills =
+      tdg::random::GenerateSkills(rng, distribution.value(), n);
+  for (double& s : skills) s += 1e-9;
+
+  tdg::ProcessConfig config;
+  config.num_groups = k;
+  config.num_rounds = alpha;
+  config.mode = mode.value();
+  config.record_history = false;
+  tdg::util::Stopwatch stopwatch;
+  auto result = tdg::RunProcess(skills, config, gain.value(), **policy);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("%s on n=%d, k=%d, alpha=%d, r=%g, %s mode, %s skills\n",
+              policy_name.c_str(), n, k, alpha, r,
+              std::string(tdg::InteractionModeName(mode.value())).c_str(),
+              std::string(
+                  tdg::random::SkillDistributionName(distribution.value()))
+                  .c_str());
+  for (size_t t = 0; t < result->round_gains.size(); ++t) {
+    std::printf("  round %2zu gain: %.4f\n", t + 1, result->round_gains[t]);
+  }
+  std::printf("total gain: %.4f   (%.2f ms)\n", result->total_gain,
+              stopwatch.ElapsedMillis());
+  return 0;
+}
+
+int CmdSweep(const tdg::util::FlagParser& flags) {
+  std::string config_path = flags.GetString("config", "");
+  tdg::util::StatusOr<tdg::exp::SweepConfig> config =
+      config_path.empty()
+          ? tdg::util::StatusOr<tdg::exp::SweepConfig>(
+                tdg::exp::SweepConfig{})
+          : tdg::exp::SweepConfig::FromFile(config_path);
+  if (!config.ok()) return Fail(config.status());
+  if (config_path.empty()) {
+    std::printf("(no --config given; running the default paper grid)\n");
+  }
+
+  auto result = tdg::exp::RunSweep(config.value());
+  if (!result.ok()) return Fail(result.status());
+  std::printf("sweep '%s': %zu cells\n\n", result->name.c_str(),
+              result->cells.size());
+  std::printf("%s", result->ToTable().c_str());
+
+  std::string csv_path = flags.GetString("csv", "");
+  if (!csv_path.empty()) {
+    auto status = result->ToCsv().WriteToFile(csv_path);
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      return Fail(tdg::util::Status::IOError("cannot open " + json_path));
+    }
+    out << result->ToJson().SerializePretty() << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
+int CmdConfigTemplate() {
+  tdg::exp::SweepConfig config;
+  config.name = "my-sweep";
+  std::printf("# tdg sweep configuration (pass via: sweep --config=FILE)\n");
+  std::printf("# lists are comma-separated; every (n, k) must divide\n");
+  std::printf("%s", config.ToText().c_str());
+  return 0;
+}
+
+int CmdExact(const tdg::util::FlagParser& flags) {
+  int n = static_cast<int>(flags.GetInt("n", 8));
+  int k = static_cast<int>(flags.GetInt("k", 2));
+  int alpha = static_cast<int>(flags.GetInt("alpha", 3));
+  double r = flags.GetDouble("r", 0.5);
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  auto mode = tdg::ParseInteractionMode(flags.GetString("mode", "star"));
+  if (!mode.ok()) return Fail(mode.status());
+
+  tdg::random::Rng rng(seed);
+  tdg::SkillVector skills = tdg::random::GenerateSkills(
+      rng, tdg::random::SkillDistribution::kUniform, n);
+  for (double& s : skills) s += 1e-9;
+  auto gain = tdg::LinearGain::Create(r);
+  if (!gain.ok()) return Fail(gain.status());
+
+  auto exact = tdg::SolveTdgBranchBound(skills, k, alpha, mode.value(),
+                                        gain.value());
+  if (!exact.ok()) return Fail(exact.status());
+
+  auto policy = tdg::MakeDyGroupsPolicy(mode.value());
+  tdg::ProcessConfig config;
+  config.num_groups = k;
+  config.num_rounds = alpha;
+  config.mode = mode.value();
+  auto greedy = tdg::RunProcess(skills, config, gain.value(), *policy);
+  if (!greedy.ok()) return Fail(greedy.status());
+
+  std::printf("exact optimum : %.6f (%lld nodes, %lld pruned)\n",
+              exact->best_total_gain, exact->nodes_explored,
+              exact->nodes_pruned);
+  std::printf("DyGroups      : %.6f (%s)\n", greedy->total_gain,
+              greedy->total_gain >= exact->best_total_gain - 1e-9
+                  ? "optimal"
+                  : "suboptimal");
+  std::printf("optimal round-1 grouping: %s\n",
+              exact->best_sequence.empty()
+                  ? "(none)"
+                  : exact->best_sequence.front().ToString().c_str());
+  return 0;
+}
+
+int CmdHumanSim(const tdg::util::FlagParser& flags) {
+  int experiment = static_cast<int>(flags.GetInt("experiment", 1));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  tdg::sim::ExperimentConfig config =
+      (experiment == 2) ? tdg::sim::Experiment2Config(seed)
+                        : tdg::sim::Experiment1Config(seed);
+  auto result = tdg::sim::RunExperiment(config);
+  if (!result.ok()) return Fail(result.status());
+
+  tdg::util::TablePrinter table(
+      {"population", "pre-test mean", "total gain", "final retention"});
+  for (const auto& population : result->populations) {
+    double retention = population.rounds.empty()
+                           ? 1.0
+                           : population.rounds.back().retention_fraction;
+    table.AddRow({population.policy_name,
+                  tdg::util::FormatDouble(population.pre_qualification_mean,
+                                          3),
+                  tdg::util::FormatDouble(population.total_observed_gain, 3),
+                  tdg::util::FormatDouble(retention, 3)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
+void PrintUsage() {
+  std::printf(
+      "usage: example_tdg_cli <command> [flags]\n"
+      "commands: policies | run | sweep | config-template | exact | "
+      "human-sim\n"
+      "see the header comment of examples/tdg_cli.cc for per-command "
+      "flags\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tdg::util::FlagParser flags;
+  auto parse_status = flags.Parse(argc, argv);
+  if (!parse_status.ok()) return Fail(parse_status);
+  if (flags.positional().empty()) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string& command = flags.positional().front();
+  if (command == "policies") return CmdPolicies();
+  if (command == "run") return CmdRun(flags);
+  if (command == "sweep") return CmdSweep(flags);
+  if (command == "config-template") return CmdConfigTemplate();
+  if (command == "exact") return CmdExact(flags);
+  if (command == "human-sim") return CmdHumanSim(flags);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  PrintUsage();
+  return 1;
+}

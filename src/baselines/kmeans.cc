@@ -1,0 +1,74 @@
+#include "baselines/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tdg::baselines {
+
+std::vector<double> KMeansPolicy::AssignToCenters(
+    const SkillVector& skills, const std::vector<double>& centers,
+    int group_size, Grouping& grouping) {
+  int num_groups = static_cast<int>(centers.size());
+  grouping.groups.assign(num_groups, {});
+  for (auto& group : grouping.groups) group.reserve(group_size);
+
+  // Assign members in descending-skill order (deterministic) to the nearest
+  // non-full center.
+  std::vector<int> order = SortedByskillDescending(skills);
+  for (int id : order) {
+    int best_group = -1;
+    double best_distance = 0.0;
+    for (int g = 0; g < num_groups; ++g) {
+      if (static_cast<int>(grouping.groups[g].size()) >= group_size) continue;
+      double distance = std::abs(skills[id] - centers[g]);
+      if (best_group < 0 || distance < best_distance) {
+        best_group = g;
+        best_distance = distance;
+      }
+    }
+    grouping.groups[best_group].push_back(id);
+  }
+
+  std::vector<double> means(num_groups, 0.0);
+  for (int g = 0; g < num_groups; ++g) {
+    for (int id : grouping.groups[g]) means[g] += skills[id];
+    means[g] /= static_cast<double>(grouping.groups[g].size());
+  }
+  return means;
+}
+
+util::StatusOr<Grouping> KMeansPolicy::FormGroups(const SkillVector& skills,
+                                                  int num_groups) {
+  TDG_RETURN_IF_ERROR(ValidatePolicyArguments(skills, num_groups));
+  int n = static_cast<int>(skills.size());
+  int group_size = n / num_groups;
+
+  // k distinct random participants seed the centers.
+  std::vector<int> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  for (int i = 0; i < num_groups; ++i) {
+    int j = i + static_cast<int>(
+                    rng_.NextBounded(static_cast<uint64_t>(n - i)));
+    std::swap(ids[i], ids[j]);
+  }
+  std::vector<double> centers(num_groups);
+  for (int g = 0; g < num_groups; ++g) centers[g] = skills[ids[g]];
+
+  Grouping grouping;
+  std::vector<double> means =
+      AssignToCenters(skills, centers, group_size, grouping);
+
+  for (int iteration = 0; iteration < max_refinements_; ++iteration) {
+    double max_shift = 0.0;
+    for (int g = 0; g < num_groups; ++g) {
+      max_shift = std::max(max_shift, std::abs(means[g] - centers[g]));
+    }
+    if (max_shift <= epsilon_) break;
+    centers = means;
+    means = AssignToCenters(skills, centers, group_size, grouping);
+  }
+  return grouping;
+}
+
+}  // namespace tdg::baselines

@@ -1,0 +1,40 @@
+#include "baselines/lpa.h"
+
+namespace tdg::baselines {
+
+util::StatusOr<Grouping> LpaPolicy::FormGroups(const SkillVector& skills,
+                                               int num_groups) {
+  TDG_RETURN_IF_ERROR(ValidatePolicyArguments(skills, num_groups));
+  int n = static_cast<int>(skills.size());
+  int group_size = n / num_groups;
+  std::vector<int> sorted = SortedByskillDescending(skills);
+
+  Grouping grouping;
+  grouping.groups.resize(num_groups);
+  std::vector<double> teacher_skill(num_groups);
+  for (int g = 0; g < num_groups; ++g) {
+    grouping.groups[g].reserve(group_size);
+    grouping.groups[g].push_back(sorted[g]);
+    teacher_skill[g] = skills[sorted[g]];
+  }
+
+  // Learners pick in ascending skill order; each takes the open group with
+  // the highest-skilled teacher (max learning potential).
+  for (int i = n - 1; i >= num_groups; --i) {
+    int member = sorted[i];
+    int best_group = -1;
+    double best_potential = 0.0;
+    for (int g = 0; g < num_groups; ++g) {
+      if (static_cast<int>(grouping.groups[g].size()) >= group_size) continue;
+      double potential = teacher_skill[g] - skills[member];
+      if (best_group < 0 || potential > best_potential) {
+        best_group = g;
+        best_potential = potential;
+      }
+    }
+    grouping.groups[best_group].push_back(member);
+  }
+  return grouping;
+}
+
+}  // namespace tdg::baselines

@@ -1,0 +1,31 @@
+#ifndef TDG_BASELINES_LPA_H_
+#define TDG_BASELINES_LPA_H_
+
+#include "core/policy.h"
+
+namespace tdg::baselines {
+
+/// LPA — our affinity-free reading of the one-shot grouping of Esfandiari
+/// et al. ("Optimizing peer learning in online groups with affinities",
+/// KDD 2019), re-applied every round per the paper's §V-B1. See DESIGN.md
+/// §1 (substitution 2).
+///
+/// The k strongest members seed the groups as teachers; every remaining
+/// member, processed in *ascending* skill order (the neediest learners pick
+/// first), is assigned to the non-full group whose teacher offers the
+/// largest learning potential (teacher_skill - member_skill). Like
+/// DyGroups-Star-Local this is round-optimal for the star mode (Theorem 1b),
+/// but it produces the *minimum-variance* round-optimal grouping — exactly
+/// the kind of locally optimal solution the Theorem 2 tie-break exists to
+/// avoid — so it trails DyGroups over multiple rounds, matching the paper's
+/// plots. O(n·k) per round.
+class LpaPolicy final : public GroupingPolicy {
+ public:
+  util::StatusOr<Grouping> FormGroups(const SkillVector& skills,
+                                      int num_groups) override;
+  std::string_view name() const override { return "LPA"; }
+};
+
+}  // namespace tdg::baselines
+
+#endif  // TDG_BASELINES_LPA_H_

@@ -1,0 +1,55 @@
+#include "baselines/percentile_partitions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tdg::baselines {
+
+PercentilePartitionsPolicy::PercentilePartitionsPolicy(double p) : p_(p) {
+  TDG_CHECK(p > 0.0 && p < 1.0) << "percentile must be in (0, 1), got " << p;
+}
+
+util::StatusOr<Grouping> PercentilePartitionsPolicy::FormGroups(
+    const SkillVector& skills, int num_groups) {
+  TDG_RETURN_IF_ERROR(ValidatePolicyArguments(skills, num_groups));
+  int n = static_cast<int>(skills.size());
+  int group_size = n / num_groups;
+  std::vector<int> sorted = SortedByskillDescending(skills);
+
+  // Mentors: top (1-p) fraction, at least one per group when possible but
+  // never more than fit round-robin (each group holds <= group_size).
+  int num_mentors = static_cast<int>(
+      std::llround((1.0 - p_) * static_cast<double>(n)));
+  num_mentors = std::clamp(num_mentors, std::min(num_groups, n), n);
+
+  Grouping grouping;
+  grouping.groups.resize(num_groups);
+  for (auto& group : grouping.groups) group.reserve(group_size);
+
+  // Deal mentors round-robin, respecting capacity.
+  int g = 0;
+  for (int i = 0; i < num_mentors; ++i) {
+    while (static_cast<int>(grouping.groups[g].size()) >= group_size) {
+      g = (g + 1) % num_groups;
+    }
+    grouping.groups[g].push_back(sorted[i]);
+    g = (g + 1) % num_groups;
+  }
+  // Fill remaining capacity with contiguous learner blocks in *reverse*
+  // group order: the strongest mentors (group 1) receive the weakest
+  // learner band. This balanced mentor/learner pairing keeps the policy
+  // distinct from DyGroups-Star-Local (whose variance-maximizing fill is
+  // the exact opposite) for every mentor count, and makes p a live
+  // parameter (it moves the mentor/learner boundary).
+  int next = num_mentors;
+  for (int group = num_groups - 1; group >= 0; --group) {
+    while (static_cast<int>(grouping.groups[group].size()) < group_size) {
+      grouping.groups[group].push_back(sorted[next++]);
+    }
+  }
+  return grouping;
+}
+
+}  // namespace tdg::baselines

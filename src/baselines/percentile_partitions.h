@@ -1,0 +1,32 @@
+#ifndef TDG_BASELINES_PERCENTILE_PARTITIONS_H_
+#define TDG_BASELINES_PERCENTILE_PARTITIONS_H_
+
+#include "core/policy.h"
+
+namespace tdg::baselines {
+
+/// PERCENTILE-PARTITIONS — the one-shot grouping of Agrawal et al.
+/// ("Grouping students for maximizing learning from peers", EDM 2017),
+/// re-applied every round as in the paper's §V-B1. With percentile
+/// parameter p, the strongest (1-p)-fraction of the population ("mentors")
+/// is dealt round-robin across the k groups, and the remaining p-fraction
+/// fills the groups in contiguous descending-skill blocks assigned in
+/// reverse group order (strongest mentors receive the weakest learner
+/// band — a balanced mentor/learner pairing). The paper fixes p = 0.75.
+class PercentilePartitionsPolicy final : public GroupingPolicy {
+ public:
+  explicit PercentilePartitionsPolicy(double p = 0.75);
+
+  util::StatusOr<Grouping> FormGroups(const SkillVector& skills,
+                                      int num_groups) override;
+  std::string_view name() const override { return "Percentile-Partitions"; }
+
+  double percentile() const { return p_; }
+
+ private:
+  double p_;
+};
+
+}  // namespace tdg::baselines
+
+#endif  // TDG_BASELINES_PERCENTILE_PARTITIONS_H_

@@ -1,0 +1,32 @@
+#include "baselines/random_assignment.h"
+
+#include <numeric>
+
+namespace tdg::baselines {
+
+util::StatusOr<Grouping> RandomAssignmentPolicy::FormGroups(
+    const SkillVector& skills, int num_groups) {
+  TDG_RETURN_IF_ERROR(ValidatePolicyArguments(skills, num_groups));
+  int n = static_cast<int>(skills.size());
+  int group_size = n / num_groups;
+
+  std::vector<int> ids(n);
+  std::iota(ids.begin(), ids.end(), 0);
+  // Fisher–Yates with our own RNG for cross-platform reproducibility.
+  for (int i = n - 1; i > 0; --i) {
+    int j = static_cast<int>(rng_.NextBounded(static_cast<uint64_t>(i + 1)));
+    std::swap(ids[i], ids[j]);
+  }
+
+  Grouping grouping;
+  grouping.groups.resize(num_groups);
+  int next = 0;
+  for (int g = 0; g < num_groups; ++g) {
+    grouping.groups[g].assign(ids.begin() + next,
+                              ids.begin() + next + group_size);
+    next += group_size;
+  }
+  return grouping;
+}
+
+}  // namespace tdg::baselines

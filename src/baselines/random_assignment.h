@@ -1,0 +1,26 @@
+#ifndef TDG_BASELINES_RANDOM_ASSIGNMENT_H_
+#define TDG_BASELINES_RANDOM_ASSIGNMENT_H_
+
+#include "core/policy.h"
+#include "random/rng.h"
+
+namespace tdg::baselines {
+
+/// RANDOM-ASSIGNMENT (paper §V-B1): a uniformly random partition into k
+/// equi-sized groups each round. The canonical no-intelligence control used
+/// by Figures 10 and 11.
+class RandomAssignmentPolicy final : public GroupingPolicy {
+ public:
+  explicit RandomAssignmentPolicy(uint64_t seed) : rng_(seed) {}
+
+  util::StatusOr<Grouping> FormGroups(const SkillVector& skills,
+                                      int num_groups) override;
+  std::string_view name() const override { return "Random-Assignment"; }
+
+ private:
+  random::Rng rng_;
+};
+
+}  // namespace tdg::baselines
+
+#endif  // TDG_BASELINES_RANDOM_ASSIGNMENT_H_

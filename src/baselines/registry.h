@@ -1,0 +1,27 @@
+#ifndef TDG_BASELINES_REGISTRY_H_
+#define TDG_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/policy.h"
+#include "util/statusor.h"
+
+namespace tdg::baselines {
+
+/// Names accepted by MakePolicy, in the paper's reporting order.
+/// {"DyGroups-Star", "DyGroups-Clique", "Random-Assignment",
+///  "Percentile-Partitions", "LPA", "k-means"}.
+const std::vector<std::string>& AllPolicyNames();
+
+/// Instantiates a policy by display name. `seed` feeds the randomized
+/// policies (Random-Assignment, k-means) and is ignored by deterministic
+/// ones. Returns NotFound for unknown names.
+util::StatusOr<std::unique_ptr<GroupingPolicy>> MakePolicy(
+    std::string_view name, uint64_t seed);
+
+}  // namespace tdg::baselines
+
+#endif  // TDG_BASELINES_REGISTRY_H_

@@ -1,0 +1,56 @@
+#ifndef TDG_BASELINES_SIMULATED_ANNEALING_H_
+#define TDG_BASELINES_SIMULATED_ANNEALING_H_
+
+#include "core/interaction.h"
+#include "core/learning_gain.h"
+#include "core/policy.h"
+#include "random/rng.h"
+
+namespace tdg::baselines {
+
+/// Simulated-annealing round-local grouping — the operations-research
+/// approach to group formation the paper's related work cites (Baykasoglu
+/// et al. [12] and kin formalize group formation as an integer program and
+/// attack it with metaheuristics). Starts from a random equi-sized
+/// partition and hill-climbs with Metropolis acceptance over
+/// two-member swaps, maximizing the round learning gain for the configured
+/// interaction mode.
+///
+/// Serves two roles in this repo: a quality yardstick (with enough
+/// iterations it converges to the round-optimal gain, i.e. the same value
+/// DyGroups-Local computes in closed form) and a cost yardstick (it needs
+/// thousands of O(n) objective evaluations to get there — the scalability
+/// argument for DyGroups).
+struct SimulatedAnnealingOptions {
+  int iterations = 2000;
+  double initial_temperature = 1.0;   // scaled by the initial gain
+  double cooling = 0.995;             // geometric schedule
+};
+
+class SimulatedAnnealingPolicy final : public GroupingPolicy {
+ public:
+  /// `mode` and `gain` define the objective the annealer optimizes; they
+  /// should match the process it is plugged into. The policy keeps a
+  /// reference to `gain` — the caller must keep it alive.
+  SimulatedAnnealingPolicy(InteractionMode mode,
+                           const LearningGainFunction& gain, uint64_t seed,
+                           const SimulatedAnnealingOptions& options = {});
+
+  util::StatusOr<Grouping> FormGroups(const SkillVector& skills,
+                                      int num_groups) override;
+  std::string_view name() const override { return "Simulated-Annealing"; }
+
+  /// Objective evaluations spent in the last FormGroups call.
+  long long last_evaluations() const { return last_evaluations_; }
+
+ private:
+  InteractionMode mode_;
+  const LearningGainFunction& gain_;
+  random::Rng rng_;
+  SimulatedAnnealingOptions options_;
+  long long last_evaluations_ = 0;
+};
+
+}  // namespace tdg::baselines
+
+#endif  // TDG_BASELINES_SIMULATED_ANNEALING_H_

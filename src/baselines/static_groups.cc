@@ -1,0 +1,33 @@
+#include "baselines/static_groups.h"
+
+#include "util/string_util.h"
+
+namespace tdg::baselines {
+
+StaticGroupsPolicy::StaticGroupsPolicy(
+    std::unique_ptr<GroupingPolicy> initial_policy)
+    : initial_policy_(std::move(initial_policy)) {
+  name_ = "Static(" + std::string(initial_policy_->name()) + ")";
+}
+
+util::StatusOr<Grouping> StaticGroupsPolicy::FormGroups(
+    const SkillVector& skills, int num_groups) {
+  if (cached_.has_value()) {
+    if (static_cast<int>(skills.size()) != cached_n_ ||
+        num_groups != cached_num_groups_) {
+      return util::Status::FailedPrecondition(util::StrFormat(
+          "static grouping was formed for n=%d, k=%d; got n=%zu, k=%d "
+          "(call Reset() for a new population)",
+          cached_n_, cached_num_groups_, skills.size(), num_groups));
+    }
+    return *cached_;
+  }
+  TDG_ASSIGN_OR_RETURN(Grouping grouping,
+                       initial_policy_->FormGroups(skills, num_groups));
+  cached_ = grouping;
+  cached_n_ = static_cast<int>(skills.size());
+  cached_num_groups_ = num_groups;
+  return grouping;
+}
+
+}  // namespace tdg::baselines

@@ -1,0 +1,41 @@
+#ifndef TDG_BASELINES_STATIC_GROUPS_H_
+#define TDG_BASELINES_STATIC_GROUPS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/policy.h"
+
+namespace tdg::baselines {
+
+/// STATIC-GROUPS: forms groups once (using any inner one-shot policy) and
+/// keeps the same membership for every subsequent round. This is the
+/// "static groups" regime of prior work ([1], [2]) that the paper's dynamic
+/// formulation generalizes; the ablation bench uses it to quantify the value
+/// of re-grouping.
+class StaticGroupsPolicy final : public GroupingPolicy {
+ public:
+  /// Takes ownership of the policy used for the one initial grouping.
+  explicit StaticGroupsPolicy(std::unique_ptr<GroupingPolicy> initial_policy);
+
+  /// First call delegates to the inner policy; later calls return the cached
+  /// grouping. Changing n or num_groups between calls is an error; call
+  /// Reset() to reuse the policy on a new population.
+  util::StatusOr<Grouping> FormGroups(const SkillVector& skills,
+                                      int num_groups) override;
+  std::string_view name() const override { return name_; }
+
+  void Reset() { cached_.reset(); }
+
+ private:
+  std::unique_ptr<GroupingPolicy> initial_policy_;
+  std::string name_;
+  std::optional<Grouping> cached_;
+  int cached_num_groups_ = 0;
+  int cached_n_ = 0;
+};
+
+}  // namespace tdg::baselines
+
+#endif  // TDG_BASELINES_STATIC_GROUPS_H_

@@ -1,0 +1,147 @@
+#include "core/affinity.h"
+
+#include <algorithm>
+
+#include "core/dygroups.h"
+#include "util/logging.h"
+
+namespace tdg {
+
+AffinityMatrix::AffinityMatrix(int n) : n_(n) {
+  TDG_CHECK_GE(n, 0);
+  values_.assign(static_cast<size_t>(n) * n, 0.0);
+}
+
+AffinityMatrix AffinityMatrix::Random(int n, random::Rng& rng) {
+  AffinityMatrix affinity(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      affinity.set(i, j, rng.NextDouble());
+    }
+  }
+  return affinity;
+}
+
+double AffinityMatrix::at(int i, int j) const {
+  TDG_CHECK(i >= 0 && i < n_ && j >= 0 && j < n_);
+  return values_[static_cast<size_t>(i) * n_ + j];
+}
+
+void AffinityMatrix::set(int i, int j, double value) {
+  TDG_CHECK(i >= 0 && i < n_ && j >= 0 && j < n_);
+  if (i == j) return;
+  value = std::clamp(value, 0.0, 1.0);
+  values_[static_cast<size_t>(i) * n_ + j] = value;
+  values_[static_cast<size_t>(j) * n_ + i] = value;
+}
+
+double AffinityMatrix::MeanAffinity() const {
+  if (n_ < 2) return 0.0;
+  double total = 0.0;
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) {
+      total += at(i, j);
+    }
+  }
+  return total / (static_cast<double>(n_) * (n_ - 1) / 2.0);
+}
+
+double GroupingAffinity(const Grouping& grouping,
+                        const AffinityMatrix& affinity) {
+  double total = 0.0;
+  for (const auto& group : grouping.groups) {
+    for (size_t a = 0; a < group.size(); ++a) {
+      for (size_t b = a + 1; b < group.size(); ++b) {
+        total += affinity.at(group[a], group[b]);
+      }
+    }
+  }
+  return total;
+}
+
+void EvolveAffinity(const Grouping& grouping, double strengthen,
+                    double decay, AffinityMatrix& affinity) {
+  int n = affinity.size();
+  std::vector<int> group_of(n, -1);
+  for (size_t g = 0; g < grouping.groups.size(); ++g) {
+    for (int id : grouping.groups[g]) {
+      if (id >= 0 && id < n) group_of[id] = static_cast<int>(g);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double w = affinity.at(i, j);
+      if (group_of[i] >= 0 && group_of[i] == group_of[j]) {
+        affinity.set(i, j, w + strengthen * (1.0 - w));
+      } else {
+        affinity.set(i, j, w * (1.0 - decay));
+      }
+    }
+  }
+}
+
+AffinityDyGroupsPolicy::AffinityDyGroupsPolicy(
+    InteractionMode mode, const LearningGainFunction& gain,
+    AffinityMatrix affinity, uint64_t seed, const BiCriteriaOptions& options,
+    double evolve_strengthen, double evolve_decay)
+    : mode_(mode),
+      gain_(gain),
+      affinity_(std::move(affinity)),
+      rng_(seed),
+      options_(options),
+      evolve_strengthen_(evolve_strengthen),
+      evolve_decay_(evolve_decay) {}
+
+util::StatusOr<Grouping> AffinityDyGroupsPolicy::FormGroups(
+    const SkillVector& skills, int num_groups) {
+  TDG_RETURN_IF_ERROR(ValidatePolicyArguments(skills, num_groups));
+  if (static_cast<int>(skills.size()) != affinity_.size()) {
+    return util::Status::FailedPrecondition(
+        "affinity matrix size does not match the population");
+  }
+  // Seed with the gain-optimal DyGroups grouping.
+  auto seed_grouping = (mode_ == InteractionMode::kStar)
+                           ? DyGroupsStarLocal(skills, num_groups)
+                           : DyGroupsCliqueLocal(skills, num_groups);
+  if (!seed_grouping.ok()) return seed_grouping.status();
+  Grouping current = std::move(seed_grouping).value();
+
+  auto objective = [&](const Grouping& grouping, double* gain_out,
+                       double* affinity_out) {
+    auto lg = EvaluateRoundGain(mode_, grouping, gain_, skills);
+    TDG_CHECK(lg.ok()) << lg.status();
+    double af = GroupingAffinity(grouping, affinity_);
+    if (gain_out != nullptr) *gain_out = lg.value();
+    if (affinity_out != nullptr) *affinity_out = af;
+    return lg.value() + options_.lambda * af;
+  };
+
+  double current_value = objective(current, &last_gain_, &last_affinity_);
+  int group_size = static_cast<int>(skills.size()) / num_groups;
+  for (int iteration = 0; iteration < options_.refinement_iterations;
+       ++iteration) {
+    if (num_groups < 2 || group_size < 1) break;
+    int ga = static_cast<int>(rng_.NextBounded(num_groups));
+    int gb = static_cast<int>(rng_.NextBounded(num_groups - 1));
+    if (gb >= ga) ++gb;
+    int ia = static_cast<int>(rng_.NextBounded(group_size));
+    int ib = static_cast<int>(rng_.NextBounded(group_size));
+    std::swap(current.groups[ga][ia], current.groups[gb][ib]);
+    double gain_component = 0;
+    double affinity_component = 0;
+    double proposed =
+        objective(current, &gain_component, &affinity_component);
+    if (proposed > current_value) {
+      current_value = proposed;
+      last_gain_ = gain_component;
+      last_affinity_ = affinity_component;
+    } else {
+      std::swap(current.groups[ga][ia], current.groups[gb][ib]);
+    }
+  }
+
+  EvolveAffinity(current, evolve_strengthen_, evolve_decay_, affinity_);
+  return current;
+}
+
+}  // namespace tdg

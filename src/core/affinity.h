@@ -1,0 +1,100 @@
+#ifndef TDG_CORE_AFFINITY_H_
+#define TDG_CORE_AFFINITY_H_
+
+#include <vector>
+
+#include "core/interaction.h"
+#include "core/policy.h"
+#include "random/rng.h"
+
+namespace tdg {
+
+/// §VII extension: bi-criteria grouping over learning gain and affinity,
+/// after Esfandiari et al. [2]'s affinity dimension and the paper's
+/// proposed "bi-criteria optimization problem, with the goal of forming
+/// dynamic groups where both affinity and skill evolves across rounds".
+
+/// Symmetric pairwise affinity in [0, 1] with zero diagonal.
+class AffinityMatrix {
+ public:
+  /// All-zero affinities among `n` participants.
+  explicit AffinityMatrix(int n);
+
+  /// Uniform random affinities in [0, 1).
+  static AffinityMatrix Random(int n, random::Rng& rng);
+
+  int size() const { return n_; }
+
+  double at(int i, int j) const;
+  /// Sets w(i,j) = w(j,i) = value (clamped to [0, 1]); setting i == j is
+  /// ignored.
+  void set(int i, int j, double value);
+
+  /// Mean affinity over all unordered pairs (0 if n < 2).
+  double MeanAffinity() const;
+
+ private:
+  int n_;
+  std::vector<double> values_;  // row-major n x n
+};
+
+/// Total within-group affinity: sum over groups of the sum of pairwise
+/// affinities inside each group.
+double GroupingAffinity(const Grouping& grouping,
+                        const AffinityMatrix& affinity);
+
+/// After a round together, group-mates bond and strangers drift apart:
+///   w(i,j) += strengthen * (1 - w(i,j))  if i, j shared a group
+///   w(i,j) *= (1 - decay)                otherwise
+/// (the paper's "time-evolving affinity").
+void EvolveAffinity(const Grouping& grouping, double strengthen,
+                    double decay, AffinityMatrix& affinity);
+
+struct BiCriteriaOptions {
+  /// Combined round objective: LG(G) + lambda * AF(G).
+  double lambda = 0.5;
+  /// Hill-climbing swap proposals per round after the DyGroups seed.
+  int refinement_iterations = 500;
+};
+
+/// Bi-criteria DyGroups: seeds each round with the DyGroups-Local grouping
+/// for `mode` (maximizing gain), then hill-climbs cross-group member swaps
+/// that improve LG + lambda * AF. lambda = 0 reduces to plain DyGroups;
+/// large lambda trades learning gain for cohesion. The policy evolves its
+/// affinity matrix after every formed round via EvolveAffinity.
+class AffinityDyGroupsPolicy final : public GroupingPolicy {
+ public:
+  /// Keeps references to `gain`; the caller must keep it alive. The policy
+  /// owns (a copy of) the affinity state so it can evolve it across rounds.
+  AffinityDyGroupsPolicy(InteractionMode mode,
+                         const LearningGainFunction& gain,
+                         AffinityMatrix affinity, uint64_t seed,
+                         const BiCriteriaOptions& options = {},
+                         double evolve_strengthen = 0.2,
+                         double evolve_decay = 0.02);
+
+  util::StatusOr<Grouping> FormGroups(const SkillVector& skills,
+                                      int num_groups) override;
+  std::string_view name() const override { return "Affinity-DyGroups"; }
+
+  const AffinityMatrix& affinity() const { return affinity_; }
+
+  /// Combined objective of the last formed grouping, and its components.
+  double last_gain() const { return last_gain_; }
+  double last_affinity() const { return last_affinity_; }
+
+ private:
+  InteractionMode mode_;
+  const LearningGainFunction& gain_;
+  AffinityMatrix affinity_;
+  random::Rng rng_;
+  BiCriteriaOptions options_;
+  double evolve_strengthen_;
+  double evolve_decay_;
+  double last_gain_ = 0;
+  double last_affinity_ = 0;
+};
+
+}  // namespace tdg
+
+#endif  // TDG_CORE_AFFINITY_H_

@@ -1,0 +1,46 @@
+#ifndef TDG_CORE_BRANCH_BOUND_H_
+#define TDG_CORE_BRANCH_BOUND_H_
+
+#include <vector>
+
+#include "core/brute_force.h"
+
+namespace tdg {
+
+struct BranchBoundOptions {
+  /// Node budget (a node = one partial sequence extension). The solver
+  /// refuses instances whose worst case exceeds the budget only when it
+  /// actually hits it, since pruning usually cuts the tree by orders of
+  /// magnitude.
+  long long max_nodes = 200'000'000;
+};
+
+struct BranchBoundResult {
+  double best_total_gain = 0;
+  std::vector<Grouping> best_sequence;
+  long long nodes_explored = 0;
+  long long nodes_pruned = 0;
+};
+
+/// Exact TDG solver via depth-first branch-and-bound. Explores grouping
+/// sequences best-round-gain-first and prunes with the admissible bound
+///
+///   remaining gain <= D * (1 - (1-r)^m)        (linear gain, rate r)
+///   remaining gain <= D                        (any gain with f(Δ) <= Δ)
+///
+/// where D is the current skill-deficit sum and m the rounds left: no
+/// member can ever gain more than r * (its distance to the top) per round,
+/// and the distance contracts by at least (1-r) per round in the best case.
+///
+/// Finds the same optimum as SolveTdgBruteForce while typically exploring a
+/// small fraction of the tree, extending exact validation to larger
+/// instances (e.g. n = 10). Returns ResourceExhausted-style failure as
+/// InvalidArgument when the node budget is hit.
+util::StatusOr<BranchBoundResult> SolveTdgBranchBound(
+    const SkillVector& skills, int num_groups, int num_rounds,
+    InteractionMode mode, const LearningGainFunction& gain,
+    const BranchBoundOptions& options = {});
+
+}  // namespace tdg
+
+#endif  // TDG_CORE_BRANCH_BOUND_H_

@@ -1,0 +1,149 @@
+#include "core/brute_force.h"
+
+#include <cmath>
+
+#include "core/policy.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace tdg {
+namespace {
+
+// Recursive symmetry-broken enumeration. `current` holds the partially
+// built groups; the lowest unplaced id is forced into the first group that
+// is not yet full among groups it may start/join:
+//   - it may join any already-open non-full group, or
+//   - it opens the next (first empty) group.
+void EnumerateRecursive(int n, int group_size,
+                        std::vector<std::vector<int>>& current, int next_id,
+                        std::vector<Grouping>& out) {
+  if (next_id == n) {
+    out.emplace_back(current);
+    return;
+  }
+  bool opened_new_group = false;
+  for (auto& group : current) {
+    if (group.empty()) {
+      // Opening the second empty group would duplicate a partition already
+      // produced via the first; only the first empty group is used.
+      if (opened_new_group) break;
+      opened_new_group = true;
+      group.push_back(next_id);
+      EnumerateRecursive(n, group_size, current, next_id + 1, out);
+      group.pop_back();
+      break;  // all later groups are also empty
+    }
+    if (static_cast<int>(group.size()) < group_size) {
+      group.push_back(next_id);
+      EnumerateRecursive(n, group_size, current, next_id + 1, out);
+      group.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+util::StatusOr<double> CountEquiSizedGroupings(int n, int k) {
+  if (k < 1 || n < k || n % k != 0) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "cannot partition %d members into %d equi-sized groups", n, k));
+  }
+  int t = n / k;
+  double log_count = std::lgamma(n + 1.0) - k * std::lgamma(t + 1.0) -
+                     std::lgamma(k + 1.0);
+  return std::exp(log_count);
+}
+
+util::StatusOr<std::vector<Grouping>> EnumerateEquiSizedGroupings(int n,
+                                                                  int k) {
+  TDG_ASSIGN_OR_RETURN(double count, CountEquiSizedGroupings(n, k));
+  if (count > 5e6) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%g groupings of %d members into %d groups is too many to enumerate",
+        count, n, k));
+  }
+  std::vector<Grouping> out;
+  out.reserve(static_cast<size_t>(count));
+  std::vector<std::vector<int>> current(k);
+  EnumerateRecursive(n, n / k, current, 0, out);
+  return out;
+}
+
+namespace {
+
+struct SearchState {
+  const std::vector<Grouping>* groupings = nullptr;
+  InteractionMode mode = InteractionMode::kStar;
+  const LearningGainFunction* gain = nullptr;
+  int num_rounds = 0;
+  double best_total_gain = -1.0;
+  std::vector<int> best_choice;      // grouping index per round
+  std::vector<int> current_choice;
+  double sequences_explored = 0;
+};
+
+// Depth-first search over grouping sequences. `skills` is the pre-round
+// state at depth `round`; `gain_so_far` the accumulated LG.
+void Search(SearchState& state, int round, SkillVector& skills,
+            double gain_so_far) {
+  if (round == state.num_rounds) {
+    state.sequences_explored += 1;
+    if (gain_so_far > state.best_total_gain) {
+      state.best_total_gain = gain_so_far;
+      state.best_choice = state.current_choice;
+    }
+    return;
+  }
+  for (size_t i = 0; i < state.groupings->size(); ++i) {
+    SkillVector next = skills;
+    auto round_gain =
+        ApplyRound(state.mode, (*state.groupings)[i], *state.gain, next);
+    TDG_CHECK(round_gain.ok()) << round_gain.status();
+    state.current_choice[round] = static_cast<int>(i);
+    Search(state, round + 1, next, gain_so_far + round_gain.value());
+  }
+}
+
+}  // namespace
+
+util::StatusOr<BruteForceResult> SolveTdgBruteForce(
+    const SkillVector& skills, int num_groups, int num_rounds,
+    InteractionMode mode, const LearningGainFunction& gain,
+    const BruteForceOptions& options) {
+  TDG_RETURN_IF_ERROR(ValidatePolicyArguments(skills, num_groups));
+  if (num_rounds < 0) {
+    return util::Status::InvalidArgument("num_rounds must be >= 0");
+  }
+  int n = static_cast<int>(skills.size());
+  TDG_ASSIGN_OR_RETURN(double count, CountEquiSizedGroupings(n, num_groups));
+  double sequences = std::pow(count, static_cast<double>(num_rounds));
+  if (sequences > options.max_sequences) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "brute force would explore %g sequences, budget is %g", sequences,
+        options.max_sequences));
+  }
+  TDG_ASSIGN_OR_RETURN(std::vector<Grouping> groupings,
+                       EnumerateEquiSizedGroupings(n, num_groups));
+
+  SearchState state;
+  state.groupings = &groupings;
+  state.mode = mode;
+  state.gain = &gain;
+  state.num_rounds = num_rounds;
+  state.current_choice.assign(num_rounds, 0);
+
+  SkillVector working = skills;
+  Search(state, 0, working, 0.0);
+
+  BruteForceResult result;
+  result.best_total_gain = state.best_total_gain < 0 ? 0.0
+                                                     : state.best_total_gain;
+  result.sequences_explored = state.sequences_explored;
+  result.best_sequence.reserve(num_rounds);
+  for (int idx : state.best_choice) {
+    result.best_sequence.push_back(groupings[idx]);
+  }
+  return result;
+}
+
+}  // namespace tdg

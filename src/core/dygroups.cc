@@ -1,0 +1,62 @@
+#include "core/dygroups.h"
+
+#include <memory>
+
+namespace tdg {
+
+util::StatusOr<Grouping> DyGroupsStarLocal(const SkillVector& skills,
+                                           int num_groups) {
+  TDG_RETURN_IF_ERROR(ValidatePolicyArguments(skills, num_groups));
+  int n = static_cast<int>(skills.size());
+  int group_size = n / num_groups;
+  std::vector<int> sorted = SortedByskillDescending(skills);
+
+  Grouping grouping;
+  grouping.groups.resize(num_groups);
+  // Teachers: ranks 1..k, one per group.
+  for (int g = 0; g < num_groups; ++g) {
+    grouping.groups[g].reserve(group_size);
+    grouping.groups[g].push_back(sorted[g]);
+  }
+  // Provisional blocks: next-strongest block of size n/k - 1 joins the
+  // strongest teacher, and so on down.
+  int next = num_groups;
+  for (int g = 0; g < num_groups; ++g) {
+    for (int j = 0; j < group_size - 1; ++j) {
+      grouping.groups[g].push_back(sorted[next++]);
+    }
+  }
+  return grouping;
+}
+
+util::StatusOr<Grouping> DyGroupsCliqueLocal(const SkillVector& skills,
+                                             int num_groups) {
+  TDG_RETURN_IF_ERROR(ValidatePolicyArguments(skills, num_groups));
+  int n = static_cast<int>(skills.size());
+  int group_size = n / num_groups;
+  std::vector<int> sorted = SortedByskillDescending(skills);
+
+  Grouping grouping;
+  grouping.groups.resize(num_groups);
+  for (auto& group : grouping.groups) group.reserve(group_size);
+  // Round-robin deal: pass j hands rank j*k + i to group i.
+  int next = 0;
+  for (int j = 0; j < group_size; ++j) {
+    for (int g = 0; g < num_groups; ++g) {
+      grouping.groups[g].push_back(sorted[next++]);
+    }
+  }
+  return grouping;
+}
+
+std::unique_ptr<GroupingPolicy> MakeDyGroupsPolicy(InteractionMode mode) {
+  switch (mode) {
+    case InteractionMode::kStar:
+      return std::make_unique<DyGroupsStarPolicy>();
+    case InteractionMode::kClique:
+      return std::make_unique<DyGroupsCliquePolicy>();
+  }
+  return nullptr;
+}
+
+}  // namespace tdg

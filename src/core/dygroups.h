@@ -1,0 +1,54 @@
+#ifndef TDG_CORE_DYGROUPS_H_
+#define TDG_CORE_DYGROUPS_H_
+
+#include <memory>
+
+#include "core/interaction.h"
+#include "core/policy.h"
+
+namespace tdg {
+
+/// DYGROUPS-STAR-LOCAL (paper Algorithm 2). Sorts skills descending; the k
+/// strongest become the teachers of groups 1..k (Theorem 1), and the
+/// remaining n-k members are split into contiguous sorted blocks of size
+/// n/k - 1, block i joining teacher i. Among all round-optimal groupings
+/// this one maximizes the post-round skill variance (Theorem 2) — the
+/// tie-break that drives the k=2 global optimality (Theorem 5).
+/// O(n log n), independent of k.
+util::StatusOr<Grouping> DyGroupsStarLocal(const SkillVector& skills,
+                                           int num_groups);
+
+/// DYGROUPS-CLIQUE-LOCAL (paper Algorithm 3). Sorts skills descending and
+/// deals members round-robin: group i receives ranks i, k+i, 2k+i, ...
+/// The resulting grouping has the dominance property (the j-th strongest of
+/// group i is at least the j-th strongest of group i+1) and maximizes the
+/// round gain for the clique mode (Theorem 4). O(n log n).
+util::StatusOr<Grouping> DyGroupsCliqueLocal(const SkillVector& skills,
+                                             int num_groups);
+
+/// GroupingPolicy adapters over the two local routines, pluggable into the
+/// α-round driver (process.h) to obtain DYGROUPS-STAR / DYGROUPS-CLIQUE.
+class DyGroupsStarPolicy final : public GroupingPolicy {
+ public:
+  util::StatusOr<Grouping> FormGroups(const SkillVector& skills,
+                                      int num_groups) override {
+    return DyGroupsStarLocal(skills, num_groups);
+  }
+  std::string_view name() const override { return "DyGroups-Star"; }
+};
+
+class DyGroupsCliquePolicy final : public GroupingPolicy {
+ public:
+  util::StatusOr<Grouping> FormGroups(const SkillVector& skills,
+                                      int num_groups) override {
+    return DyGroupsCliqueLocal(skills, num_groups);
+  }
+  std::string_view name() const override { return "DyGroups-Clique"; }
+};
+
+/// Returns the DyGroups policy matching `mode`.
+std::unique_ptr<GroupingPolicy> MakeDyGroupsPolicy(InteractionMode mode);
+
+}  // namespace tdg
+
+#endif  // TDG_CORE_DYGROUPS_H_

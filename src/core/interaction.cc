@@ -1,0 +1,145 @@
+#include "core/interaction.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace tdg {
+
+std::string_view InteractionModeName(InteractionMode mode) {
+  switch (mode) {
+    case InteractionMode::kStar:
+      return "star";
+    case InteractionMode::kClique:
+      return "clique";
+  }
+  return "unknown";
+}
+
+util::StatusOr<InteractionMode> ParseInteractionMode(std::string_view name) {
+  if (name == "star") return InteractionMode::kStar;
+  if (name == "clique") return InteractionMode::kClique;
+  return util::Status::InvalidArgument("unknown interaction mode: '" +
+                                       std::string(name) + "'");
+}
+
+namespace {
+
+// (skill, id) of group members, sorted by descending skill with id
+// tie-break. Rank 1 = strongest.
+std::vector<std::pair<double, int>> SortedGroup(
+    const std::vector<int>& members, const SkillVector& skills) {
+  std::vector<std::pair<double, int>> sorted;
+  sorted.reserve(members.size());
+  for (int id : members) sorted.emplace_back(skills[id], id);
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  return sorted;
+}
+
+// Star-mode group update: everyone learns from the top-ranked member.
+// Works from the pre-round snapshot held in `sorted`.
+double UpdateGroupStar(const std::vector<std::pair<double, int>>& sorted,
+                       const LearningGainFunction& gain,
+                       SkillVector& skills) {
+  double group_gain = 0.0;
+  double teacher_skill = sorted.front().first;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    double g = gain.Gain(teacher_skill - sorted[i].first);
+    skills[sorted[i].second] += g;
+    group_gain += g;
+  }
+  return group_gain;
+}
+
+// Clique-mode group update, O(t) prefix-sum path (Theorem 3). Only valid for
+// linear gains: gain of rank-i member = r * (c_{i-1} - (i-1) s_i) / (i-1),
+// where c_{i-1} sums the i-1 higher pre-round skills.
+double UpdateGroupCliqueLinear(
+    const std::vector<std::pair<double, int>>& sorted, double r,
+    SkillVector& skills) {
+  double group_gain = 0.0;
+  double prefix = sorted.front().first;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    double count = static_cast<double>(i);
+    double g = r * (prefix - count * sorted[i].first) / count;
+    skills[sorted[i].second] += g;
+    group_gain += g;
+    prefix += sorted[i].first;
+  }
+  return group_gain;
+}
+
+// Clique-mode group update, general O(t^2) path: rank-i member's gain is the
+// average of its pairwise gains from all higher-ranked members.
+double UpdateGroupCliqueNaive(
+    const std::vector<std::pair<double, int>>& sorted,
+    const LearningGainFunction& gain, SkillVector& skills) {
+  double group_gain = 0.0;
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    double total = 0.0;
+    for (size_t j = 0; j < i; ++j) {
+      total += gain.Gain(sorted[j].first - sorted[i].first);
+    }
+    double g = total / static_cast<double>(i);
+    skills[sorted[i].second] += g;
+    group_gain += g;
+  }
+  return group_gain;
+}
+
+util::StatusOr<double> ApplyRoundImpl(InteractionMode mode,
+                                      const Grouping& grouping,
+                                      const LearningGainFunction& gain,
+                                      SkillVector& skills,
+                                      bool allow_fast_path) {
+  TDG_RETURN_IF_ERROR(
+      grouping.ValidatePartition(static_cast<int>(skills.size())));
+  double round_gain = 0.0;
+  for (const auto& members : grouping.groups) {
+    if (members.size() == 1) continue;  // nothing to learn from
+    std::vector<std::pair<double, int>> sorted = SortedGroup(members, skills);
+    switch (mode) {
+      case InteractionMode::kStar:
+        round_gain += UpdateGroupStar(sorted, gain, skills);
+        break;
+      case InteractionMode::kClique:
+        if (allow_fast_path && gain.is_linear()) {
+          round_gain += UpdateGroupCliqueLinear(sorted, gain.rate(), skills);
+        } else {
+          round_gain += UpdateGroupCliqueNaive(sorted, gain, skills);
+        }
+        break;
+    }
+  }
+  return round_gain;
+}
+
+}  // namespace
+
+util::StatusOr<double> ApplyRound(InteractionMode mode,
+                                  const Grouping& grouping,
+                                  const LearningGainFunction& gain,
+                                  SkillVector& skills) {
+  return ApplyRoundImpl(mode, grouping, gain, skills,
+                        /*allow_fast_path=*/true);
+}
+
+util::StatusOr<double> ApplyRoundNaive(InteractionMode mode,
+                                       const Grouping& grouping,
+                                       const LearningGainFunction& gain,
+                                       SkillVector& skills) {
+  return ApplyRoundImpl(mode, grouping, gain, skills,
+                        /*allow_fast_path=*/false);
+}
+
+util::StatusOr<double> EvaluateRoundGain(InteractionMode mode,
+                                         const Grouping& grouping,
+                                         const LearningGainFunction& gain,
+                                         const SkillVector& skills) {
+  SkillVector scratch = skills;
+  return ApplyRound(mode, grouping, gain, scratch);
+}
+
+}  // namespace tdg

@@ -1,0 +1,56 @@
+#ifndef TDG_CORE_INTERACTION_H_
+#define TDG_CORE_INTERACTION_H_
+
+#include <string_view>
+
+#include "core/grouping.h"
+#include "core/learning_gain.h"
+#include "core/skills.h"
+#include "util/statusor.h"
+
+namespace tdg {
+
+/// Within-group interaction structure (paper §II):
+///  - Star: every member learns only from the group's highest-skilled member.
+///  - Clique: every member learns from all higher-skilled members of the
+///    group; the total gain of the rank-i member is the *average* of its
+///    (i-1) positive pairwise gains, which preserves the within-group skill
+///    order after the round.
+enum class InteractionMode { kStar, kClique };
+
+std::string_view InteractionModeName(InteractionMode mode);
+util::StatusOr<InteractionMode> ParseInteractionMode(std::string_view name);
+
+/// Applies one learning round: updates `skills` in place under `grouping` and
+/// returns the round's aggregated learning gain LG(G_t) = Σ_x g(x) (Eq. 3).
+///
+/// All pairwise interactions use the *pre-round* skills (simultaneous round
+/// semantics, matching the paper's worked examples). Ties in within-group
+/// rank are broken by participant id, making the clique averaging
+/// deterministic.
+///
+/// For the linear gain family in clique mode this runs the O(n) prefix-sum
+/// update of Theorem 3; otherwise the general O(Σ t_x²) update. Groups of
+/// unequal sizes are accepted (the §VII extension); `grouping` must be a
+/// partition of {0..n-1}.
+util::StatusOr<double> ApplyRound(InteractionMode mode,
+                                  const Grouping& grouping,
+                                  const LearningGainFunction& gain,
+                                  SkillVector& skills);
+
+/// Reference implementation that always evaluates every pairwise interaction
+/// (O(Σ t_x²) even for linear gains). Used to validate Theorem 3.
+util::StatusOr<double> ApplyRoundNaive(InteractionMode mode,
+                                       const Grouping& grouping,
+                                       const LearningGainFunction& gain,
+                                       SkillVector& skills);
+
+/// Round gain of `grouping` on `skills` without mutating them.
+util::StatusOr<double> EvaluateRoundGain(InteractionMode mode,
+                                         const Grouping& grouping,
+                                         const LearningGainFunction& gain,
+                                         const SkillVector& skills);
+
+}  // namespace tdg
+
+#endif  // TDG_CORE_INTERACTION_H_

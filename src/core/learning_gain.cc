@@ -1,0 +1,68 @@
+#include "core/learning_gain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace tdg {
+
+LinearGain::LinearGain(double r) : r_(r) {
+  TDG_CHECK(r > 0.0 && r < 1.0) << "learning rate must be in (0, 1), got "
+                                << r;
+}
+
+util::StatusOr<LinearGain> LinearGain::Create(double r) {
+  if (!(r > 0.0 && r < 1.0)) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "learning rate must be in (0, 1), got %f", r));
+  }
+  return LinearGain(r);
+}
+
+std::string LinearGain::name() const {
+  return util::StrFormat("linear(r=%g)", r_);
+}
+
+PowerGain::PowerGain(double r, double exponent) : r_(r), exponent_(exponent) {
+  TDG_CHECK(r > 0.0 && r <= 1.0);
+  TDG_CHECK(exponent > 0.0 && exponent <= 1.0);
+}
+
+double PowerGain::Gain(double delta) const {
+  if (delta <= 0.0) return 0.0;
+  return std::min(delta, r_ * std::pow(delta, exponent_));
+}
+
+std::string PowerGain::name() const {
+  return util::StrFormat("power(r=%g,p=%g)", r_, exponent_);
+}
+
+LogGain::LogGain(double r) : r_(r) { TDG_CHECK(r > 0.0 && r <= 1.0); }
+
+double LogGain::Gain(double delta) const {
+  if (delta <= 0.0) return 0.0;
+  return std::min(delta, r_ * std::log1p(delta));
+}
+
+std::string LogGain::name() const {
+  return util::StrFormat("log(r=%g)", r_);
+}
+
+SaturatingExpGain::SaturatingExpGain(double r, double scale)
+    : r_(r), scale_(scale) {
+  TDG_CHECK(r > 0.0 && r <= 1.0);
+  TDG_CHECK_GT(scale, 0.0);
+}
+
+double SaturatingExpGain::Gain(double delta) const {
+  if (delta <= 0.0) return 0.0;
+  return std::min(delta, r_ * scale_ * (1.0 - std::exp(-delta / scale_)));
+}
+
+std::string SaturatingExpGain::name() const {
+  return util::StrFormat("satexp(r=%g,c=%g)", r_, scale_);
+}
+
+}  // namespace tdg

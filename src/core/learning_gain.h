@@ -1,0 +1,107 @@
+#ifndef TDG_CORE_LEARNING_GAIN_H_
+#define TDG_CORE_LEARNING_GAIN_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/statusor.h"
+
+namespace tdg {
+
+/// Learning-gain function f(Δ) for a 2-person interaction (paper §II): when
+/// participant j with skill s_j interacts with a higher-skilled participant i,
+/// j's skill becomes s_j + f(s_i - s_j). The lower-skilled side gains, the
+/// higher-skilled side is unaltered.
+///
+/// The paper works with the linear family f(Δ) = rΔ, r ∈ (0, 1); §VII
+/// discusses concave generalizations, which we also provide. Every valid
+/// gain function must satisfy 0 <= f(Δ) <= Δ for Δ >= 0 (a learner never
+/// overtakes the teacher) and f(0) = 0.
+class LearningGainFunction {
+ public:
+  virtual ~LearningGainFunction() = default;
+
+  /// Gain for skill difference `delta` >= 0.
+  virtual double Gain(double delta) const = 0;
+
+  /// True for the linear family f(Δ) = rΔ. Enables the O(n) clique update
+  /// (Theorem 3) and the DyGroups optimality results.
+  virtual bool is_linear() const { return false; }
+
+  /// Learning rate r. For non-linear functions this is the leading rate
+  /// parameter.
+  virtual double rate() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// f(Δ) = rΔ with r ∈ (0, 1). The paper's model.
+class LinearGain final : public LearningGainFunction {
+ public:
+  /// Aborts (via TDG_CHECK) unless r ∈ (0, 1); use Create for a checked
+  /// construction path. The boundary r = 1 is excluded by the paper
+  /// (footnote 5).
+  explicit LinearGain(double r);
+
+  static util::StatusOr<LinearGain> Create(double r);
+
+  double Gain(double delta) const override { return r_ * delta; }
+  bool is_linear() const override { return true; }
+  double rate() const override { return r_; }
+  std::string name() const override;
+
+ private:
+  double r_;
+};
+
+/// Concave power gain f(Δ) = r * Δ^p with p ∈ (0, 1]; p = 1 is linear.
+/// Note that f(Δ) <= Δ requires Δ^(p-1) * r <= 1, which holds for Δ >= r^(1/(1-p));
+/// to keep the "never overtake the teacher" invariant for all Δ we clamp
+/// f(Δ) to Δ.
+class PowerGain final : public LearningGainFunction {
+ public:
+  PowerGain(double r, double exponent);
+
+  double Gain(double delta) const override;
+  double rate() const override { return r_; }
+  double exponent() const { return exponent_; }
+  std::string name() const override;
+
+ private:
+  double r_;
+  double exponent_;
+};
+
+/// Concave logarithmic gain f(Δ) = min(Δ, r * ln(1 + Δ)).
+class LogGain final : public LearningGainFunction {
+ public:
+  explicit LogGain(double r);
+
+  double Gain(double delta) const override;
+  double rate() const override { return r_; }
+  std::string name() const override;
+
+ private:
+  double r_;
+};
+
+/// Saturating exponential gain f(Δ) = min(Δ, r * c * (1 - exp(-Δ / c))).
+/// `scale` c controls how quickly the learnable amount saturates.
+class SaturatingExpGain final : public LearningGainFunction {
+ public:
+  SaturatingExpGain(double r, double scale);
+
+  double Gain(double delta) const override;
+  double rate() const override { return r_; }
+  double scale() const { return scale_; }
+  std::string name() const override;
+
+ private:
+  double r_;
+  double scale_;
+};
+
+}  // namespace tdg
+
+#endif  // TDG_CORE_LEARNING_GAIN_H_

@@ -1,0 +1,63 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace tdg {
+
+util::StatusOr<RoundMetrics> ComputeRoundMetrics(const Grouping& grouping,
+                                                 const SkillVector& before,
+                                                 const SkillVector& after) {
+  if (before.size() != after.size()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "before/after sizes differ (%zu vs %zu)", before.size(),
+        after.size()));
+  }
+  int n = static_cast<int>(before.size());
+  TDG_RETURN_IF_ERROR(grouping.ValidatePartition(n));
+
+  RoundMetrics metrics;
+  metrics.groups.reserve(grouping.groups.size());
+  for (const auto& group : grouping.groups) {
+    GroupStats stats;
+    double min_skill = before[group.front()];
+    double max_skill = before[group.front()];
+    stats.teacher = group.front();
+    for (int id : group) {
+      if (before[id] > before[stats.teacher] ||
+          (before[id] == before[stats.teacher] && id < stats.teacher)) {
+        stats.teacher = id;
+      }
+      min_skill = std::min(min_skill, before[id]);
+      max_skill = std::max(max_skill, before[id]);
+      stats.mean_skill += before[id];
+      stats.group_gain += after[id] - before[id];
+    }
+    stats.teacher_skill = before[stats.teacher];
+    stats.mean_skill /= static_cast<double>(group.size());
+    stats.skill_spread = max_skill - min_skill;
+    metrics.round_gain += stats.group_gain;
+    metrics.mean_within_group_spread += stats.skill_spread;
+    metrics.groups.push_back(stats);
+  }
+  metrics.mean_within_group_spread /=
+      static_cast<double>(grouping.groups.size());
+
+  // Teacher coverage: how many of the global top-k act as teachers.
+  int k = grouping.num_groups();
+  std::vector<int> sorted = SortedByskillDescending(before);
+  std::vector<char> is_teacher(n, 0);
+  for (const GroupStats& stats : metrics.groups) {
+    is_teacher[stats.teacher] = 1;
+  }
+  int covered = 0;
+  for (int rank = 0; rank < k; ++rank) {
+    if (is_teacher[sorted[rank]]) ++covered;
+  }
+  metrics.teacher_coverage =
+      static_cast<double>(covered) / static_cast<double>(k);
+  return metrics;
+}
+
+}  // namespace tdg

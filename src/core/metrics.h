@@ -1,0 +1,42 @@
+#ifndef TDG_CORE_METRICS_H_
+#define TDG_CORE_METRICS_H_
+
+#include <vector>
+
+#include "core/grouping.h"
+#include "core/skills.h"
+#include "util/statusor.h"
+
+namespace tdg {
+
+/// Per-group diagnostics for one executed round.
+struct GroupStats {
+  int teacher = -1;          // pre-round strongest member (ties: lowest id)
+  double teacher_skill = 0;  // pre-round
+  double mean_skill = 0;     // pre-round
+  double skill_spread = 0;   // pre-round max - min within the group
+  double group_gain = 0;     // sum of member gains this round
+};
+
+/// Round-level diagnostics, the instrumentation behind the fairness and
+/// ablation analyses.
+struct RoundMetrics {
+  std::vector<GroupStats> groups;
+  /// Fraction of the global top-k (k = #groups) serving as teachers —
+  /// 1.0 for every round-optimal star grouping (Theorem 1), typically < 1
+  /// for Random-Assignment and k-means.
+  double teacher_coverage = 0;
+  double mean_within_group_spread = 0;
+  double round_gain = 0;
+};
+
+/// Computes diagnostics for a round that transformed `before` into `after`
+/// under `grouping`. `before` and `after` must have equal size and
+/// `grouping` must partition them.
+util::StatusOr<RoundMetrics> ComputeRoundMetrics(const Grouping& grouping,
+                                                 const SkillVector& before,
+                                                 const SkillVector& after);
+
+}  // namespace tdg
+
+#endif  // TDG_CORE_METRICS_H_

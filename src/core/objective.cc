@@ -1,0 +1,77 @@
+#include "core/objective.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/skills.h"
+#include "util/string_util.h"
+
+namespace tdg {
+
+double TotalGainFromDeficits(const std::vector<double>& initial_deficits,
+                             const std::vector<double>& final_deficits) {
+  double initial = 0.0;
+  double final_sum = 0.0;
+  for (double b : initial_deficits) initial += b;
+  for (double b : final_deficits) final_sum += b;
+  return initial - final_sum;
+}
+
+util::StatusOr<std::vector<double>> SecondTeacherDeficits(
+    const ProcessResult& result) {
+  if (result.history.empty() && !result.round_gains.empty()) {
+    return util::Status::FailedPrecondition(
+        "process was run without record_history");
+  }
+  double top = result.initial_skills.empty()
+                   ? 0.0
+                   : *std::max_element(result.initial_skills.begin(),
+                                       result.initial_skills.end());
+  std::vector<double> deficits;
+  deficits.reserve(result.history.size());
+  const std::vector<double>* pre_round_skills = &result.initial_skills;
+  for (size_t t = 0; t < result.history.size(); ++t) {
+    const Grouping& grouping = result.history[t].grouping;
+    if (grouping.num_groups() != 2) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "round %zu has %d groups; second-teacher analysis requires k=2", t,
+          grouping.num_groups()));
+    }
+    // Teacher of each group = its pre-round maximum; the second teacher is
+    // the smaller of the two group maxima (the overall top participant is
+    // always the other group's teacher).
+    double second_teacher = 0.0;
+    double first_teacher = -1.0;
+    for (const auto& members : grouping.groups) {
+      double group_max = 0.0;
+      for (int id : members) {
+        group_max = std::max(group_max, (*pre_round_skills)[id]);
+      }
+      if (group_max > first_teacher) {
+        second_teacher = first_teacher;
+        first_teacher = group_max;
+      } else {
+        second_teacher = std::max(second_teacher, group_max);
+      }
+    }
+    deficits.push_back(top - second_teacher);
+    pre_round_skills = &result.history[t].skills_after;
+  }
+  return deficits;
+}
+
+double StarK2DeficitObjective(
+    double initial_deficit_sum, int n, double r,
+    const std::vector<double>& second_teacher_deficits) {
+  int alpha = static_cast<int>(second_teacher_deficits.size());
+  double value =
+      initial_deficit_sum * std::pow(1.0 - r, static_cast<double>(alpha));
+  for (int t = 1; t <= alpha; ++t) {
+    value += (static_cast<double>(n) / 2.0) * r *
+             second_teacher_deficits[t - 1] *
+             std::pow(1.0 - r, static_cast<double>(alpha - t));
+  }
+  return value;
+}
+
+}  // namespace tdg

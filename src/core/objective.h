@@ -1,0 +1,41 @@
+#ifndef TDG_CORE_OBJECTIVE_H_
+#define TDG_CORE_OBJECTIVE_H_
+
+#include <vector>
+
+#include "core/process.h"
+#include "util/statusor.h"
+
+namespace tdg {
+
+/// Helpers for the paper's §IV-C alternative objective for the Star mode
+/// with k = 2 groups: writing b_i = s_max - s_i (the "skill deficit"), the
+/// TDG objective "maximize Σ_t LG(G_t)" is equivalent to "minimize Σ_i b^α_i"
+/// (Eq. 4), which expands to the closed form (Eq. 5)
+///
+///   Σ_i b^α_i = D (1-r)^α + (n/2) r Σ_{t=1..α} b^t_x (1-r)^{α-t}
+///
+/// where D = Σ_i b^0_i and b^t_x is the pre-round-t deficit of the *second*
+/// teacher (the maximum of whichever group does not contain the overall
+/// top-skilled participant).
+
+/// Σ_t LG_t == TotalGainFromDeficits: D - Σ_i b^α_i.
+double TotalGainFromDeficits(const std::vector<double>& initial_deficits,
+                             const std::vector<double>& final_deficits);
+
+/// Pre-round deficits of the second teacher for every round of a recorded
+/// star-mode, k=2 process. Requires result.history to be populated and every
+/// grouping to have exactly 2 groups.
+util::StatusOr<std::vector<double>> SecondTeacherDeficits(
+    const ProcessResult& result);
+
+/// Evaluates the Eq. 5 closed form. `n` is the population size, `r` the
+/// linear learning rate, and `second_teacher_deficits[t]` the pre-round
+/// deficit b^{t+1}_x. Returns the predicted Σ_i b^α_i.
+double StarK2DeficitObjective(
+    double initial_deficit_sum, int n, double r,
+    const std::vector<double>& second_teacher_deficits);
+
+}  // namespace tdg
+
+#endif  // TDG_CORE_OBJECTIVE_H_

@@ -1,0 +1,27 @@
+#include "core/policy.h"
+
+#include "util/string_util.h"
+
+namespace tdg {
+
+util::Status ValidatePolicyArguments(const SkillVector& skills,
+                                     int num_groups) {
+  TDG_RETURN_IF_ERROR(ValidateSkills(skills));
+  int n = static_cast<int>(skills.size());
+  if (num_groups < 1) {
+    return util::Status::InvalidArgument(
+        util::StrFormat("num_groups must be >= 1, got %d", num_groups));
+  }
+  if (num_groups > n) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "num_groups (%d) exceeds population size (%d)", num_groups, n));
+  }
+  if (n % num_groups != 0) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "population size %d is not divisible into %d equi-sized groups", n,
+        num_groups));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace tdg

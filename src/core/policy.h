@@ -1,0 +1,41 @@
+#ifndef TDG_CORE_POLICY_H_
+#define TDG_CORE_POLICY_H_
+
+#include <string_view>
+
+#include "core/grouping.h"
+#include "core/skills.h"
+#include "util/statusor.h"
+
+namespace tdg {
+
+/// A round-local grouping scheme: given the current skills, form
+/// `num_groups` equi-sized groups. The α-round driver (process.h) invokes
+/// the policy once per round with the updated skills — this is exactly the
+/// DYGROUPS-MODE-LOCAL slot of the paper's Algorithm 1, and the baselines
+/// plug into the same slot.
+///
+/// Policies must not mutate the skills; randomized policies own their RNG so
+/// repeated FormGroups calls advance their stream deterministically from the
+/// seed.
+class GroupingPolicy {
+ public:
+  virtual ~GroupingPolicy() = default;
+
+  /// Forms the round's grouping. Requires skills.size() % num_groups == 0;
+  /// implementations return InvalidArgument otherwise.
+  virtual util::StatusOr<Grouping> FormGroups(const SkillVector& skills,
+                                              int num_groups) = 0;
+
+  /// Stable display name used in benchmark tables (e.g. "DyGroups-Star").
+  virtual std::string_view name() const = 0;
+};
+
+/// Shared argument validation for equi-sized policies: non-empty positive
+/// skills, 1 <= num_groups <= n, n divisible by num_groups.
+util::Status ValidatePolicyArguments(const SkillVector& skills,
+                                     int num_groups);
+
+}  // namespace tdg
+
+#endif  // TDG_CORE_POLICY_H_

@@ -1,0 +1,48 @@
+#include "core/process.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace tdg {
+
+util::StatusOr<ProcessResult> RunProcess(const SkillVector& initial_skills,
+                                         const ProcessConfig& config,
+                                         const LearningGainFunction& gain,
+                                         GroupingPolicy& policy) {
+  TDG_RETURN_IF_ERROR(ValidatePolicyArguments(initial_skills,
+                                              config.num_groups));
+  if (config.num_rounds < 0) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "num_rounds must be >= 0, got %d", config.num_rounds));
+  }
+
+  ProcessResult result;
+  result.initial_skills = initial_skills;
+  SkillVector skills = initial_skills;
+  result.round_gains.reserve(config.num_rounds);
+
+  for (int t = 0; t < config.num_rounds; ++t) {
+    TDG_ASSIGN_OR_RETURN(Grouping grouping,
+                         policy.FormGroups(skills, config.num_groups));
+    TDG_RETURN_IF_ERROR(
+        grouping.ValidateEquiSized(static_cast<int>(skills.size())));
+    auto gain_or = ApplyRound(config.mode, grouping, gain, skills);
+    if (!gain_or.ok()) return gain_or.status();
+    double round_gain = gain_or.value();
+
+    result.round_gains.push_back(round_gain);
+    result.total_gain += round_gain;
+    if (config.record_history) {
+      RoundRecord record;
+      record.grouping = std::move(grouping);
+      record.gain = round_gain;
+      record.skills_after = skills;
+      result.history.push_back(std::move(record));
+    }
+  }
+  result.final_skills = std::move(skills);
+  return result;
+}
+
+}  // namespace tdg

@@ -1,0 +1,58 @@
+#include "core/skills.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace tdg {
+
+util::Status ValidateSkills(std::span<const double> skills) {
+  if (skills.empty()) {
+    return util::Status::InvalidArgument("skill vector is empty");
+  }
+  for (size_t i = 0; i < skills.size(); ++i) {
+    if (!(skills[i] > 0.0)) {  // also rejects NaN
+      return util::Status::InvalidArgument(util::StrFormat(
+          "skill of participant %zu is %f; skills must be positive", i,
+          skills[i]));
+    }
+  }
+  return util::Status::OK();
+}
+
+std::vector<int> SortedByskillDescending(std::span<const double> skills) {
+  std::vector<int> ids(skills.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::stable_sort(ids.begin(), ids.end(), [&skills](int a, int b) {
+    return skills[a] > skills[b];
+  });
+  return ids;
+}
+
+double TotalSkill(std::span<const double> skills) {
+  return std::accumulate(skills.begin(), skills.end(), 0.0);
+}
+
+double AggregateGain(std::span<const double> before,
+                     std::span<const double> after) {
+  TDG_CHECK_EQ(before.size(), after.size());
+  double gain = 0.0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    gain += after[i] - before[i];
+  }
+  return gain;
+}
+
+std::vector<double> SkillDeficits(std::span<const double> skills) {
+  std::vector<double> deficits(skills.size(), 0.0);
+  if (skills.empty()) return deficits;
+  double top = *std::max_element(skills.begin(), skills.end());
+  for (size_t i = 0; i < skills.size(); ++i) {
+    deficits[i] = top - skills[i];
+  }
+  return deficits;
+}
+
+}  // namespace tdg

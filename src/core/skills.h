@@ -1,0 +1,37 @@
+#ifndef TDG_CORE_SKILLS_H_
+#define TDG_CORE_SKILLS_H_
+
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tdg {
+
+/// A population's skill levels, indexed by participant id (0-based).
+/// The model (paper §II) requires every skill to be a positive real.
+using SkillVector = std::vector<double>;
+
+/// Validates that `skills` is non-empty and strictly positive.
+util::Status ValidateSkills(std::span<const double> skills);
+
+/// Returns participant ids sorted by descending skill (ties broken by id so
+/// results are deterministic).
+std::vector<int> SortedByskillDescending(std::span<const double> skills);
+
+/// Total skill mass of the population.
+double TotalSkill(std::span<const double> skills);
+
+/// Aggregated learning gain between two snapshots of the same population:
+/// sum_i (after_i - before_i). This equals the sum of per-round LG values
+/// over any rounds between the snapshots (paper §IV-C, "equivalent
+/// objective").
+double AggregateGain(std::span<const double> before,
+                     std::span<const double> after);
+
+/// Skill deficits b_i = max_j(s_j) - s_i (paper Eq. 4's b-space).
+std::vector<double> SkillDeficits(std::span<const double> skills);
+
+}  // namespace tdg
+
+#endif  // TDG_CORE_SKILLS_H_

@@ -1,0 +1,48 @@
+#ifndef TDG_CORE_THEORY_H_
+#define TDG_CORE_THEORY_H_
+
+#include "core/interaction.h"
+#include "core/learning_gain.h"
+#include "core/skills.h"
+#include "util/statusor.h"
+
+namespace tdg {
+
+/// Analytic companions to the paper's theory — closed-form predictions that
+/// the test suite checks against full simulation.
+
+/// The r = 1 special case (paper §V-B2): in star mode with learning rate 1,
+/// every learner jumps straight to their teacher's skill, so under DyGroups
+/// the population at the top skill multiplies by the group size t = n/k
+/// each round; everyone reaches the top after ceil(log_t(n)) rounds.
+/// Returns that predicted round count. Requires n >= 2, t >= 2.
+util::StatusOr<int> PredictedRateOneSaturationRounds(int n, int k);
+
+/// Simulates DyGroups-Star with r = 1 exactly (LinearGain excludes r = 1,
+/// so this runs the jump dynamics directly) and returns the number of
+/// rounds until every member holds the maximum skill. `max_rounds` guards
+/// against pathological inputs.
+util::StatusOr<int> SimulateRateOneStarSaturation(const SkillVector& skills,
+                                                  int num_groups,
+                                                  int max_rounds = 1000);
+
+/// Geometric deficit envelope: under any k-grouping star process with
+/// linear rate r, the total deficit after α rounds is at least
+/// D0 * (1-r)^α (nobody can learn faster than r times their full deficit
+/// per round). Returns that lower bound.
+double DeficitLowerBound(double initial_deficit_sum, double r, int alpha);
+
+/// Rounds of DyGroups needed until the remaining total deficit falls below
+/// `fraction` of the initial total deficit (runs the actual algorithm;
+/// an empirical convergence-rate probe, used to study how close DyGroups
+/// tracks the geometric envelope). Returns the round count, or `max_rounds`
+/// if not reached.
+util::StatusOr<int> RoundsToDeficitFraction(const SkillVector& skills,
+                                            int num_groups,
+                                            InteractionMode mode, double r,
+                                            double fraction,
+                                            int max_rounds = 10000);
+
+}  // namespace tdg
+
+#endif  // TDG_CORE_THEORY_H_

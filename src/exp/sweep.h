@@ -1,0 +1,61 @@
+#ifndef TDG_EXP_SWEEP_H_
+#define TDG_EXP_SWEEP_H_
+
+#include <string>
+#include <vector>
+
+#include "exp/sweep_config.h"
+#include "util/csv.h"
+#include "util/json.h"
+
+namespace tdg::exp {
+
+/// One grid point of a sweep.
+struct SweepPoint {
+  int n = 0;
+  int k = 0;
+  int alpha = 0;
+  double r = 0;
+  InteractionMode mode = InteractionMode::kStar;
+  random::SkillDistribution distribution =
+      random::SkillDistribution::kLogNormal;
+};
+
+/// Aggregated outcome of one (point, policy) cell.
+struct SweepCell {
+  SweepPoint point;
+  std::string policy;
+  int runs = 0;
+  double mean_gain = 0;
+  double stderr_gain = 0;   // standard error over the runs
+  double mean_micros = 0;   // mean wall time of the α-round process
+};
+
+struct SweepResult {
+  std::string name;
+  std::vector<SweepCell> cells;
+
+  /// Pretty table: one row per point, one gain column per policy.
+  std::string ToTable(int digits = 2) const;
+
+  /// Flat CSV: point columns + policy + gain statistics.
+  util::CsvDocument ToCsv() const;
+
+  /// Structured JSON: {"name": ..., "cells": [{...}, ...]}.
+  util::JsonValue ToJson() const;
+};
+
+/// Expands the configuration grid (deterministic order: distributions
+/// outermost, then modes, n, k, alpha, r innermost).
+std::vector<SweepPoint> GridPoints(const SweepConfig& config);
+
+/// Runs the full sweep: every (point, policy) cell averaged over
+/// `config.runs` seeded populations, parallelized over `config.threads`
+/// worker threads. Deterministic for a fixed config regardless of thread
+/// count — each cell derives its RNG streams from the config seed and the
+/// cell's grid position, never from scheduling order.
+util::StatusOr<SweepResult> RunSweep(const SweepConfig& config);
+
+}  // namespace tdg::exp
+
+#endif  // TDG_EXP_SWEEP_H_

@@ -1,0 +1,205 @@
+#include "exp/sweep_config.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "baselines/registry.h"
+#include "util/string_util.h"
+
+namespace tdg::exp {
+namespace {
+
+util::StatusOr<std::vector<std::string>> ParseStringList(
+    std::string_view value) {
+  std::vector<std::string> out;
+  for (const std::string& part : util::Split(value, ',')) {
+    std::string trimmed(util::Trim(part));
+    if (trimmed.empty()) {
+      return util::Status::InvalidArgument("empty list element");
+    }
+    out.push_back(std::move(trimmed));
+  }
+  return out;
+}
+
+util::StatusOr<std::vector<int>> ParseIntList(std::string_view value) {
+  TDG_ASSIGN_OR_RETURN(std::vector<std::string> parts,
+                       ParseStringList(value));
+  std::vector<int> out;
+  for (const std::string& part : parts) {
+    TDG_ASSIGN_OR_RETURN(long long v, util::ParseInt(part));
+    out.push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+util::StatusOr<std::vector<double>> ParseDoubleList(std::string_view value) {
+  TDG_ASSIGN_OR_RETURN(std::vector<std::string> parts,
+                       ParseStringList(value));
+  std::vector<double> out;
+  for (const std::string& part : parts) {
+    TDG_ASSIGN_OR_RETURN(double v, util::ParseDouble(part));
+    out.push_back(v);
+  }
+  return out;
+}
+
+template <typename T>
+std::string JoinValues(const std::vector<T>& values) {
+  std::vector<std::string> parts;
+  for (const T& v : values) {
+    if constexpr (std::is_same_v<T, double>) {
+      parts.push_back(util::FormatDouble(v, 6));
+    } else {
+      parts.push_back(std::to_string(v));
+    }
+  }
+  return util::Join(parts, ", ");
+}
+
+}  // namespace
+
+util::Status SweepConfig::Validate() const {
+  if (runs < 1) {
+    return util::Status::InvalidArgument("runs must be >= 1");
+  }
+  if (threads < 1) {
+    return util::Status::InvalidArgument("threads must be >= 1");
+  }
+  if (n_values.empty() || k_values.empty() || alpha_values.empty() ||
+      r_values.empty() || modes.empty() || distributions.empty()) {
+    return util::Status::InvalidArgument(
+        "every sweep dimension needs at least one value");
+  }
+  for (int n : n_values) {
+    if (n < 1) return util::Status::InvalidArgument("n must be >= 1");
+    for (int k : k_values) {
+      if (k < 1 || k > n || n % k != 0) {
+        return util::Status::InvalidArgument(util::StrFormat(
+            "invalid (n=%d, k=%d): need 1 <= k <= n and k | n", n, k));
+      }
+    }
+  }
+  for (int alpha : alpha_values) {
+    if (alpha < 0) {
+      return util::Status::InvalidArgument("alpha must be >= 0");
+    }
+  }
+  for (double r : r_values) {
+    if (!(r > 0.0 && r < 1.0)) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("r must be in (0, 1), got %f", r));
+    }
+  }
+  for (const std::string& policy : policies) {
+    TDG_ASSIGN_OR_RETURN(auto instance, baselines::MakePolicy(policy, 0));
+    (void)instance;
+  }
+  return util::Status::OK();
+}
+
+long long SweepConfig::NumPoints() const {
+  return static_cast<long long>(n_values.size()) * k_values.size() *
+         alpha_values.size() * r_values.size() * modes.size() *
+         distributions.size();
+}
+
+util::StatusOr<SweepConfig> SweepConfig::FromText(std::string_view text) {
+  SweepConfig config;
+  size_t line_number = 0;
+  for (const std::string& raw_line : util::Split(text, '\n')) {
+    ++line_number;
+    std::string_view line = util::Trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "line %zu: expected 'key = value'", line_number));
+    }
+    std::string key(util::Trim(line.substr(0, eq)));
+    std::string value(util::Trim(line.substr(eq + 1)));
+    if (key == "name") {
+      config.name = value;
+    } else if (key == "policies") {
+      TDG_ASSIGN_OR_RETURN(config.policies, ParseStringList(value));
+    } else if (key == "n") {
+      TDG_ASSIGN_OR_RETURN(config.n_values, ParseIntList(value));
+    } else if (key == "k") {
+      TDG_ASSIGN_OR_RETURN(config.k_values, ParseIntList(value));
+    } else if (key == "alpha") {
+      TDG_ASSIGN_OR_RETURN(config.alpha_values, ParseIntList(value));
+    } else if (key == "r") {
+      TDG_ASSIGN_OR_RETURN(config.r_values, ParseDoubleList(value));
+    } else if (key == "mode") {
+      TDG_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                           ParseStringList(value));
+      config.modes.clear();
+      for (const std::string& name : names) {
+        TDG_ASSIGN_OR_RETURN(InteractionMode mode,
+                             ParseInteractionMode(name));
+        config.modes.push_back(mode);
+      }
+    } else if (key == "distribution") {
+      TDG_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                           ParseStringList(value));
+      config.distributions.clear();
+      for (const std::string& name : names) {
+        TDG_ASSIGN_OR_RETURN(random::SkillDistribution distribution,
+                             random::ParseSkillDistribution(name));
+        config.distributions.push_back(distribution);
+      }
+    } else if (key == "runs") {
+      TDG_ASSIGN_OR_RETURN(long long v, util::ParseInt(value));
+      config.runs = static_cast<int>(v);
+    } else if (key == "seed") {
+      TDG_ASSIGN_OR_RETURN(long long v, util::ParseInt(value));
+      config.seed = static_cast<uint64_t>(v);
+    } else if (key == "threads") {
+      TDG_ASSIGN_OR_RETURN(long long v, util::ParseInt(value));
+      config.threads = static_cast<int>(v);
+    } else {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "line %zu: unknown key '%s'", line_number, key.c_str()));
+    }
+  }
+  TDG_RETURN_IF_ERROR(config.Validate());
+  return config;
+}
+
+util::StatusOr<SweepConfig> SweepConfig::FromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::IOError("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return FromText(buffer.str());
+}
+
+std::string SweepConfig::ToText() const {
+  std::ostringstream out;
+  out << "name = " << name << "\n";
+  std::vector<std::string> policy_names =
+      policies.empty() ? baselines::AllPolicyNames() : policies;
+  out << "policies = " << util::Join(policy_names, ", ") << "\n";
+  out << "n = " << JoinValues(n_values) << "\n";
+  out << "k = " << JoinValues(k_values) << "\n";
+  out << "alpha = " << JoinValues(alpha_values) << "\n";
+  out << "r = " << JoinValues(r_values) << "\n";
+  std::vector<std::string> mode_names;
+  for (InteractionMode mode : modes) {
+    mode_names.emplace_back(InteractionModeName(mode));
+  }
+  out << "mode = " << util::Join(mode_names, ", ") << "\n";
+  std::vector<std::string> distribution_names;
+  for (random::SkillDistribution d : distributions) {
+    distribution_names.emplace_back(random::SkillDistributionName(d));
+  }
+  out << "distribution = " << util::Join(distribution_names, ", ") << "\n";
+  out << "runs = " << runs << "\n";
+  out << "seed = " << seed << "\n";
+  out << "threads = " << threads << "\n";
+  return out.str();
+}
+
+}  // namespace tdg::exp

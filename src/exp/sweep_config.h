@@ -1,0 +1,64 @@
+#ifndef TDG_EXP_SWEEP_CONFIG_H_
+#define TDG_EXP_SWEEP_CONFIG_H_
+
+#include <string>
+#include <vector>
+
+#include "core/interaction.h"
+#include "random/distributions.h"
+#include "util/statusor.h"
+
+namespace tdg::exp {
+
+/// Declarative description of a synthetic-experiment sweep: the cartesian
+/// grid of (n, k, alpha, r, mode, distribution) crossed with a set of
+/// grouping policies, each cell averaged over `runs` seeded populations.
+/// This is the machinery behind the paper's Figures 5-9 style experiments,
+/// exposed so downstream users can script their own.
+///
+/// Text format (one `key = value` per line, lists comma-separated, '#'
+/// starts a comment):
+///
+///   name     = my-sweep
+///   policies = DyGroups-Star, Random-Assignment
+///   n        = 1000, 10000
+///   k        = 5
+///   alpha    = 5
+///   r        = 0.1, 0.5
+///   mode     = star, clique
+///   distribution = log-normal
+///   runs     = 5
+///   seed     = 42
+///   threads  = 4
+struct SweepConfig {
+  std::string name = "sweep";
+  std::vector<std::string> policies;  // empty = all registered policies
+  std::vector<int> n_values = {10000};
+  std::vector<int> k_values = {5};
+  std::vector<int> alpha_values = {5};
+  std::vector<double> r_values = {0.5};
+  std::vector<InteractionMode> modes = {InteractionMode::kStar};
+  std::vector<random::SkillDistribution> distributions = {
+      random::SkillDistribution::kLogNormal};
+  int runs = 5;
+  uint64_t seed = 42;
+  int threads = 1;
+
+  /// Checks ranges and that every (n, k) pair is divisible.
+  util::Status Validate() const;
+
+  /// Number of grid points (excluding the policy dimension).
+  long long NumPoints() const;
+
+  /// Parses the text format above. Unknown keys are errors (typos should
+  /// not silently change an experiment).
+  static util::StatusOr<SweepConfig> FromText(std::string_view text);
+  static util::StatusOr<SweepConfig> FromFile(const std::string& path);
+
+  /// Round-trips back to the text format.
+  std::string ToText() const;
+};
+
+}  // namespace tdg::exp
+
+#endif  // TDG_EXP_SWEEP_CONFIG_H_

@@ -1,0 +1,47 @@
+#include "io/population_io.h"
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace tdg::io {
+
+util::Status WriteSkills(const std::string& path, const SkillVector& skills) {
+  TDG_RETURN_IF_ERROR(ValidateSkills(skills));
+  util::CsvDocument doc({"participant", "skill"});
+  for (size_t i = 0; i < skills.size(); ++i) {
+    TDG_RETURN_IF_ERROR(doc.AddRow(
+        {std::to_string(i), util::StrFormat("%.17g", skills[i])}));
+  }
+  return doc.WriteToFile(path);
+}
+
+util::StatusOr<SkillVector> ReadSkills(const std::string& path) {
+  TDG_ASSIGN_OR_RETURN(util::CsvDocument doc,
+                       util::CsvDocument::ReadFromFile(path));
+  TDG_ASSIGN_OR_RETURN(size_t id_col, doc.ColumnIndex("participant"));
+  TDG_ASSIGN_OR_RETURN(size_t skill_col, doc.ColumnIndex("skill"));
+
+  SkillVector skills(doc.num_rows(), 0.0);
+  std::vector<char> seen(doc.num_rows(), 0);
+  for (size_t row = 0; row < doc.num_rows(); ++row) {
+    TDG_ASSIGN_OR_RETURN(std::string id_text, doc.Field(row, id_col));
+    TDG_ASSIGN_OR_RETURN(std::string skill_text, doc.Field(row, skill_col));
+    TDG_ASSIGN_OR_RETURN(long long id, util::ParseInt(id_text));
+    TDG_ASSIGN_OR_RETURN(double skill, util::ParseDouble(skill_text));
+    if (id < 0 || id >= static_cast<long long>(doc.num_rows())) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "participant id %lld out of range for %zu rows", id,
+          doc.num_rows()));
+    }
+    if (seen[id]) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("duplicate participant id %lld", id));
+    }
+    seen[id] = 1;
+    skills[id] = skill;
+  }
+  TDG_RETURN_IF_ERROR(ValidateSkills(skills));
+  return skills;
+}
+
+}  // namespace tdg::io

@@ -1,0 +1,21 @@
+#ifndef TDG_IO_POPULATION_IO_H_
+#define TDG_IO_POPULATION_IO_H_
+
+#include <string>
+
+#include "core/skills.h"
+#include "util/statusor.h"
+
+namespace tdg::io {
+
+/// Writes a population's skills to CSV with header "participant,skill".
+util::Status WriteSkills(const std::string& path, const SkillVector& skills);
+
+/// Reads a population written by WriteSkills. Participants are returned in
+/// id order regardless of file row order; missing or duplicate ids are an
+/// error, as are non-positive skills.
+util::StatusOr<SkillVector> ReadSkills(const std::string& path);
+
+}  // namespace tdg::io
+
+#endif  // TDG_IO_POPULATION_IO_H_

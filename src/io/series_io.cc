@@ -1,0 +1,58 @@
+#include "io/series_io.h"
+
+#include "util/csv.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace tdg::io {
+namespace {
+
+util::Status ValidateShape(const ExperimentSeries& series) {
+  if (series.series_names.size() != series.values.size()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "%zu series names but %zu value columns", series.series_names.size(),
+        series.values.size()));
+  }
+  for (size_t s = 0; s < series.values.size(); ++s) {
+    if (series.values[s].size() != series.x_values.size()) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "series '%s' has %zu values for %zu x points",
+          series.series_names[s].c_str(), series.values[s].size(),
+          series.x_values.size()));
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Status ExperimentSeries::WriteCsv(const std::string& path) const {
+  TDG_RETURN_IF_ERROR(ValidateShape(*this));
+  std::vector<std::string> header = {x_label};
+  header.insert(header.end(), series_names.begin(), series_names.end());
+  util::CsvDocument doc(header);
+  for (size_t i = 0; i < x_values.size(); ++i) {
+    std::vector<std::string> row = {util::StrFormat("%.17g", x_values[i])};
+    for (const auto& column : values) {
+      row.push_back(util::StrFormat("%.17g", column[i]));
+    }
+    TDG_RETURN_IF_ERROR(doc.AddRow(std::move(row)));
+  }
+  return doc.WriteToFile(path);
+}
+
+std::string ExperimentSeries::ToTable(int digits) const {
+  std::vector<std::string> header = {x_label};
+  header.insert(header.end(), series_names.begin(), series_names.end());
+  util::TablePrinter printer(std::move(header));
+  for (size_t i = 0; i < x_values.size(); ++i) {
+    std::vector<double> row = {x_values[i]};
+    for (const auto& column : values) {
+      row.push_back(i < column.size() ? column[i] : 0.0);
+    }
+    printer.AddNumericRow(row, digits);
+  }
+  return printer.ToString();
+}
+
+}  // namespace tdg::io

@@ -1,0 +1,32 @@
+#ifndef TDG_IO_SERIES_IO_H_
+#define TDG_IO_SERIES_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tdg::io {
+
+/// A plottable experiment series: one x column and one y column per named
+/// series — the shape of every figure in the paper. Benches build one of
+/// these per figure and can both pretty-print it and dump it to CSV for
+/// external plotting.
+struct ExperimentSeries {
+  std::string x_label;
+  std::vector<std::string> series_names;
+  std::vector<double> x_values;
+  /// values[s][i] = series s at x_values[i]. All series must have
+  /// |x_values| entries when written.
+  std::vector<std::vector<double>> values;
+
+  /// Validates shape and writes CSV with header "x_label,<series...>".
+  util::Status WriteCsv(const std::string& path) const;
+
+  /// Renders an aligned text table (via TablePrinter).
+  std::string ToTable(int digits = 4) const;
+};
+
+}  // namespace tdg::io
+
+#endif  // TDG_IO_SERIES_IO_H_

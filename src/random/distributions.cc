@@ -1,0 +1,133 @@
+#include "random/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tdg::random {
+
+double UniformReal(Rng& rng, double lo, double hi) {
+  return lo + (hi - lo) * rng.NextDouble();
+}
+
+double StandardNormal(Rng& rng) {
+  // Box–Muller; guard against log(0).
+  double u1 = rng.NextDouble();
+  while (u1 <= 0.0) u1 = rng.NextDouble();
+  double u2 = rng.NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+double LogNormal(Rng& rng, double mu, double sigma) {
+  return std::exp(mu + sigma * StandardNormal(rng));
+}
+
+BoundedZipf::BoundedZipf(double exponent, int num_values)
+    : exponent_(exponent), num_values_(num_values) {
+  TDG_CHECK_GT(exponent, 0.0);
+  TDG_CHECK_GE(num_values, 1);
+  cdf_.resize(num_values);
+  double total = 0.0;
+  for (int v = 1; v <= num_values; ++v) {
+    total += 1.0 / std::pow(static_cast<double>(v), exponent);
+    cdf_[v - 1] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+int BoundedZipf::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(it - cdf_.begin()) + 1;
+}
+
+ZetaDistribution::ZetaDistribution(double s) : s_(s) {
+  TDG_CHECK_GT(s, 1.0) << "zeta distribution requires s > 1";
+  b_ = std::pow(2.0, s - 1.0);
+}
+
+int ZetaDistribution::Sample(Rng& rng) const {
+  // Devroye's rejection from a Pareto envelope. Expected iterations < 2 for
+  // s around 2-3.
+  const double t = s_ - 1.0;
+  while (true) {
+    double u = rng.NextDouble();
+    while (u <= 0.0) u = rng.NextDouble();
+    double v = rng.NextDouble();
+    double x = std::floor(std::pow(u, -1.0 / t));
+    if (x < 1.0 || x > 1e18) continue;  // numerical guard on the tail
+    double ratio = std::pow(1.0 + 1.0 / x, t);
+    if (v * x * (ratio - 1.0) / (b_ - 1.0) <= ratio / b_) {
+      return static_cast<int>(x);
+    }
+  }
+}
+
+std::string_view SkillDistributionName(SkillDistribution distribution) {
+  switch (distribution) {
+    case SkillDistribution::kLogNormal:
+      return "log-normal";
+    case SkillDistribution::kZipf:
+      return "zipf";
+    case SkillDistribution::kZipfUnbounded:
+      return "zipf-unbounded";
+    case SkillDistribution::kUniform:
+      return "uniform";
+  }
+  return "unknown";
+}
+
+util::StatusOr<SkillDistribution> ParseSkillDistribution(
+    std::string_view name) {
+  if (name == "log-normal" || name == "lognormal") {
+    return SkillDistribution::kLogNormal;
+  }
+  if (name == "zipf") return SkillDistribution::kZipf;
+  if (name == "zipf-unbounded" || name == "zeta") {
+    return SkillDistribution::kZipfUnbounded;
+  }
+  if (name == "uniform") return SkillDistribution::kUniform;
+  return util::Status::InvalidArgument("unknown skill distribution: '" +
+                                       std::string(name) + "'");
+}
+
+std::vector<double> GenerateSkills(Rng& rng, SkillDistribution distribution,
+                                   int n) {
+  TDG_CHECK_GE(n, 0);
+  std::vector<double> skills;
+  skills.reserve(n);
+  switch (distribution) {
+    case SkillDistribution::kLogNormal: {
+      for (int i = 0; i < n; ++i) {
+        skills.push_back(LogNormal(rng, kLogNormalMu, kLogNormalSigma));
+      }
+      break;
+    }
+    case SkillDistribution::kZipf: {
+      BoundedZipf zipf(kZipfExponent, kZipfNumValues);
+      for (int i = 0; i < n; ++i) {
+        skills.push_back(static_cast<double>(zipf.Sample(rng)));
+      }
+      break;
+    }
+    case SkillDistribution::kZipfUnbounded: {
+      ZetaDistribution zeta(kZipfExponent);
+      for (int i = 0; i < n; ++i) {
+        skills.push_back(static_cast<double>(zeta.Sample(rng)));
+      }
+      break;
+    }
+    case SkillDistribution::kUniform: {
+      for (int i = 0; i < n; ++i) {
+        skills.push_back(rng.NextDouble());
+      }
+      break;
+    }
+  }
+  return skills;
+}
+
+}  // namespace tdg::random

@@ -1,0 +1,87 @@
+#ifndef TDG_RANDOM_DISTRIBUTIONS_H_
+#define TDG_RANDOM_DISTRIBUTIONS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "random/rng.h"
+#include "util/statusor.h"
+
+namespace tdg::random {
+
+/// Samples a uniform double in [lo, hi).
+double UniformReal(Rng& rng, double lo, double hi);
+
+/// Samples a standard normal via Box–Muller (no state; one pair per call,
+/// second value discarded — clarity over micro-efficiency here).
+double StandardNormal(Rng& rng);
+
+/// Samples log-normal with underlying normal parameters (mu, sigma).
+/// The paper sets mu = e, sigma = sqrt(e) (§V-B1).
+double LogNormal(Rng& rng, double mu, double sigma);
+
+/// Bounded Zipf sampler: P(v) ∝ 1/v^s over v ∈ {1, ..., num_values}.
+/// The paper sets the two shape values to (s = 2.3, num_values = 10).
+/// Uses inverse-CDF over the precomputed normalized mass.
+class BoundedZipf {
+ public:
+  /// `exponent` > 0, `num_values` >= 1.
+  BoundedZipf(double exponent, int num_values);
+
+  /// Samples one value in {1, ..., num_values}.
+  int Sample(Rng& rng) const;
+
+  double exponent() const { return exponent_; }
+  int num_values() const { return num_values_; }
+
+ private:
+  double exponent_;
+  int num_values_;
+  std::vector<double> cdf_;  // cdf_[v-1] = P(X <= v)
+};
+
+/// Unbounded zeta (Zipf) sampler: P(v) ∝ 1/v^s over v ∈ {1, 2, ...},
+/// s > 1. Devroye's rejection method (Non-Uniform Random Variate
+/// Generation, ch. X.6); O(1) expected time per sample. Provided because
+/// the paper's "shape parameters 2.3 and 10" admits an unbounded-support
+/// reading; the heavy tail produces rare expert teachers and therefore
+/// stronger separation between grouping policies.
+class ZetaDistribution {
+ public:
+  explicit ZetaDistribution(double s);
+
+  int Sample(Rng& rng) const;
+
+  double s() const { return s_; }
+
+ private:
+  double s_;
+  double b_;  // 2^(s-1), cached for the acceptance test
+};
+
+/// Initial-skill distributions used in the paper's synthetic experiments.
+enum class SkillDistribution {
+  kLogNormal,       // mu = e, sigma = sqrt(e)
+  kZipf,            // s = 2.3 over {1..10}
+  kZipfUnbounded,   // zeta with s = 2.3, unbounded support
+  kUniform,         // U[0, 1] — used in the brute-force validation (§V-B3)
+};
+
+std::string_view SkillDistributionName(SkillDistribution distribution);
+util::StatusOr<SkillDistribution> ParseSkillDistribution(
+    std::string_view name);
+
+/// Paper defaults for the distribution parameters.
+inline constexpr double kLogNormalMu = 2.718281828459045;      // e
+inline constexpr double kLogNormalSigma = 1.6487212707001282;  // sqrt(e)
+inline constexpr double kZipfExponent = 2.3;
+inline constexpr int kZipfNumValues = 10;
+
+/// Generates `n` positive initial skills from `distribution`.
+std::vector<double> GenerateSkills(Rng& rng, SkillDistribution distribution,
+                                   int n);
+
+}  // namespace tdg::random
+
+#endif  // TDG_RANDOM_DISTRIBUTIONS_H_

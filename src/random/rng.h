@@ -1,0 +1,90 @@
+#ifndef TDG_RANDOM_RNG_H_
+#define TDG_RANDOM_RNG_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace tdg::random {
+
+/// SplitMix64 — used to seed Xoshiro and as a cheap standalone generator.
+/// Reference: Steele, Lea & Flood, "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+class SplitMix64 {
+ public:
+  using result_type = uint64_t;
+
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  result_type operator()() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the library's default generator.
+/// Satisfies UniformRandomBitGenerator, so it plugs into <random>
+/// distributions as well as our own samplers. Deterministic given a seed;
+/// every randomized experiment in this repo takes an explicit seed so runs
+/// are reproducible.
+class Xoshiro256StarStar {
+ public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256StarStar(uint64_t seed = 0x1234abcd5678ef90ULL) {
+    SplitMix64 seeder(seed);
+    for (auto& word : state_) word = seeder();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<uint64_t>::max();
+  }
+
+  result_type operator()() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  double NextDouble() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive.
+  uint64_t NextBounded(uint64_t bound) {
+    // Lemire's nearly-divisionless method would be faster; modulo bias is
+    // negligible for bound << 2^64 and this is not on any hot path.
+    return (*this)() % bound;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+/// The generator type used across the library.
+using Rng = Xoshiro256StarStar;
+
+}  // namespace tdg::random
+
+#endif  // TDG_RANDOM_RNG_H_

@@ -1,0 +1,95 @@
+#ifndef TDG_SIM_AMT_EXPERIMENT_H_
+#define TDG_SIM_AMT_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/interaction.h"
+#include "core/policy.h"
+#include "random/rng.h"
+#include "sim/retention.h"
+#include "sim/worker.h"
+#include "stats/hypothesis.h"
+#include "util/statusor.h"
+
+namespace tdg::sim {
+
+/// Configuration of one simulated AMT peer-learning deployment (paper §V-A).
+struct AmtConfig {
+  int group_size = 4;      // the paper's calibrated "4-5 person" groups
+  int num_rounds = 3;      // α = 3 for Experiment-1, 2 for Experiment-2
+  int num_questions = 10;  // HIT quiz length
+  /// Per-interaction learning rates ~ Normal(mean, stddev), clamped to
+  /// [0, 1]. The paper's pre-deployments calibrated the mean to 0.5.
+  double learning_rate_mean = 0.5;
+  double learning_rate_stddev = 0.1;
+  InteractionMode mode = InteractionMode::kStar;
+  RetentionParams retention;
+};
+
+/// Per-round outcome of one population.
+struct AmtRound {
+  int round = 0;                     // 1-based
+  int participants = 0;              // workers grouped this round
+  int num_groups = 0;
+  double mean_observed_before = 0;   // mean assessed skill pre-round
+  double mean_observed_after = 0;    // mean assessed skill post-round
+  double aggregate_observed_gain = 0;
+  double aggregate_latent_gain = 0;  // ground truth, unavailable on real AMT
+  int active_after_retention = 0;
+  double retention_fraction = 0;     // active after round / initial size
+};
+
+/// Full trajectory of one population under one policy.
+struct AmtPopulationResult {
+  std::string policy_name;
+  int initial_size = 0;
+  double pre_qualification_mean = 0;  // mean observed skill before round 1
+  std::vector<AmtRound> rounds;
+  double total_observed_gain = 0;
+  /// Per-worker cumulative observed gain over the whole deployment, indexed
+  /// by worker id (0 for rounds a worker missed). Feeds the t-tests.
+  std::vector<double> per_worker_gain;
+};
+
+/// Runs one population through `config.num_rounds` rounds of the paper's
+/// GROUP-FORMATION / POST-ASSESSMENT loop using `policy`. When dropouts
+/// leave the active count indivisible by group_size, a random excess sits
+/// the round out (as on the real platform); the deployment ends early if
+/// fewer than one full group remains.
+util::StatusOr<AmtPopulationResult> RunAmtPopulation(
+    std::vector<SimulatedWorker> workers, GroupingPolicy& policy,
+    const AmtConfig& config, random::Rng& rng);
+
+/// A multi-population controlled experiment: one matched population per
+/// policy, all from a single recruited pool.
+struct ExperimentConfig {
+  int total_workers = 64;
+  std::vector<std::string> policy_names;  // registry names, one population each
+  AmtConfig amt;
+  PopulationParams population;
+  uint64_t seed = 42;
+};
+
+struct ExperimentResult {
+  std::vector<AmtPopulationResult> populations;  // parallel to policy_names
+  /// Welch t-tests of per-worker gains: populations[0] vs populations[i]
+  /// (empty entry 0). Backs the paper's Observation II.
+  std::vector<stats::TTestResult> first_vs_other;
+  /// Confidence interval (75%, per Observation I) on the pooled per-worker
+  /// gain across all populations: "peer learning is effective" iff lower > 0.
+  stats::ConfidenceInterval pooled_gain_ci;
+};
+
+util::StatusOr<ExperimentResult> RunExperiment(const ExperimentConfig& config);
+
+/// Paper Experiment-1: N = 64, DyGroups vs KMEANS, α = 3.
+ExperimentConfig Experiment1Config(uint64_t seed);
+
+/// Paper Experiment-2: N = 128, DyGroups vs KMEANS vs LPA vs
+/// PERCENTILE-PARTITIONS, α = 2.
+ExperimentConfig Experiment2Config(uint64_t seed);
+
+}  // namespace tdg::sim
+
+#endif  // TDG_SIM_AMT_EXPERIMENT_H_

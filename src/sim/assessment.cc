@@ -1,0 +1,29 @@
+#include "sim/assessment.h"
+
+#include "util/logging.h"
+
+namespace tdg::sim {
+
+double AssessWorker(const SimulatedWorker& worker, int num_questions,
+                    random::Rng& rng) {
+  TDG_CHECK_GT(num_questions, 0);
+  int correct = 0;
+  for (int q = 0; q < num_questions; ++q) {
+    if (rng.NextDouble() < worker.latent_skill) ++correct;
+  }
+  if (correct == 0) {
+    return 1.0 / (2.0 * static_cast<double>(num_questions));
+  }
+  return static_cast<double>(correct) / static_cast<double>(num_questions);
+}
+
+void AssessPopulation(std::vector<SimulatedWorker>& workers,
+                      int num_questions, random::Rng& rng) {
+  for (auto& worker : workers) {
+    if (worker.active) {
+      worker.observed_skill = AssessWorker(worker, num_questions, rng);
+    }
+  }
+}
+
+}  // namespace tdg::sim

@@ -1,0 +1,24 @@
+#ifndef TDG_SIM_ASSESSMENT_H_
+#define TDG_SIM_ASSESSMENT_H_
+
+#include "random/rng.h"
+#include "sim/worker.h"
+
+namespace tdg::sim {
+
+/// Quiz-based skill assessment (paper §V-A "Skill Assessment"): the worker
+/// answers `num_questions` independent questions, each correctly with
+/// probability latent_skill; the observed skill is the fraction correct.
+/// To keep observed skills valid model inputs (strictly positive), a zero
+/// score is reported as 1/(2 * num_questions).
+double AssessWorker(const SimulatedWorker& worker, int num_questions,
+                    random::Rng& rng);
+
+/// Assesses every *active* worker and stores the result in observed_skill.
+/// Inactive workers keep their previous observation.
+void AssessPopulation(std::vector<SimulatedWorker>& workers,
+                      int num_questions, random::Rng& rng);
+
+}  // namespace tdg::sim
+
+#endif  // TDG_SIM_ASSESSMENT_H_

@@ -1,0 +1,127 @@
+#include "sim/calibration.h"
+
+#include <algorithm>
+
+#include "random/distributions.h"
+#include "sim/assessment.h"
+#include "util/string_util.h"
+
+namespace tdg::sim {
+
+util::StatusOr<CalibrationResult> RunCalibration(
+    const CalibrationConfig& config) {
+  if (config.group_sizes.empty()) {
+    return util::Status::InvalidArgument("no group sizes to calibrate");
+  }
+  for (int size : config.group_sizes) {
+    if (size < 2) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "group size %d cannot support peer learning", size));
+    }
+  }
+  if (config.deployments < 1 || config.workers_per_deployment < 2) {
+    return util::Status::InvalidArgument(
+        "need at least 1 deployment and 2 workers");
+  }
+
+  random::Rng rng(config.seed);
+  RetentionModel retention(config.retention);
+  CalibrationResult result;
+
+  for (int size : config.group_sizes) {
+    CalibrationCell cell;
+    cell.group_size = size;
+    double rate_sum = 0.0;
+    long long rate_samples = 0;
+    double gain_sum = 0.0;
+    long long gain_samples = 0;
+    long long survivors = 0;
+    long long participants = 0;
+
+    // Dilution of 1-on-1 teacher time in crowded groups.
+    double crowd_factor =
+        1.0 / (1.0 + config.crowding *
+                         std::max(0, size - config.comfortable_size));
+
+    for (int deployment = 0; deployment < config.deployments; ++deployment) {
+      int usable = config.workers_per_deployment / size * size;
+      if (usable < size) continue;
+      PopulationParams population = config.population;
+      population.size = usable;
+      std::vector<SimulatedWorker> workers = MakePopulation(population, rng);
+      AssessPopulation(workers, config.num_questions, rng);
+
+      // Random groups of the probed size (the paper's pre-deployments used
+      // random composition).
+      std::vector<int> order(usable);
+      for (int i = 0; i < usable; ++i) order[i] = i;
+      for (int i = usable - 1; i > 0; --i) {
+        int j =
+            static_cast<int>(rng.NextBounded(static_cast<uint64_t>(i + 1)));
+        std::swap(order[i], order[j]);
+      }
+
+      for (int start = 0; start < usable; start += size) {
+        // Teacher = highest observed skill in the group.
+        int teacher = order[start];
+        for (int i = start; i < start + size; ++i) {
+          if (workers[order[i]].observed_skill >
+              workers[teacher].observed_skill) {
+            teacher = order[i];
+          }
+        }
+        double teacher_latent = workers[teacher].latent_skill;
+        for (int i = start; i < start + size; ++i) {
+          SimulatedWorker& worker = workers[order[i]];
+          ++participants;
+          double pre_observed = worker.observed_skill;
+          double gap = teacher_latent - worker.latent_skill;
+          double latent_gain = 0.0;
+          if (order[i] != teacher && gap > 0) {
+            double rate = config.true_rate_mean +
+                          config.true_rate_stddev *
+                              random::StandardNormal(rng);
+            rate = std::clamp(rate, 0.0, 1.0) * crowd_factor;
+            latent_gain = rate * gap;
+            worker.latent_skill =
+                std::min(1.0, worker.latent_skill + latent_gain);
+            // Implied-rate estimate from this interaction.
+            rate_sum += latent_gain / gap;
+            ++rate_samples;
+          }
+          double post_observed =
+              AssessWorker(worker, config.num_questions, rng);
+          worker.observed_skill = post_observed;
+          gain_sum += post_observed - pre_observed;
+          ++gain_samples;
+          if (retention.SurvivesRound(latent_gain, rng)) {
+            ++survivors;
+          }
+        }
+      }
+    }
+
+    cell.estimated_rate =
+        rate_samples > 0 ? rate_sum / static_cast<double>(rate_samples)
+                         : 0.0;
+    cell.mean_observed_gain =
+        gain_samples > 0 ? gain_sum / static_cast<double>(gain_samples)
+                         : 0.0;
+    cell.retention = participants > 0
+                         ? static_cast<double>(survivors) /
+                               static_cast<double>(participants)
+                         : 0.0;
+    cell.score = cell.mean_observed_gain * cell.retention;
+    result.cells.push_back(cell);
+  }
+
+  const CalibrationCell* best = &result.cells.front();
+  for (const CalibrationCell& cell : result.cells) {
+    if (cell.score > best->score) best = &cell;
+  }
+  result.recommended_group_size = best->group_size;
+  result.recommended_rate = best->estimated_rate;
+  return result;
+}
+
+}  // namespace tdg::sim

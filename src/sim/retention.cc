@@ -1,0 +1,17 @@
+#include "sim/retention.h"
+
+#include <algorithm>
+
+namespace tdg::sim {
+
+double RetentionModel::DropoutProbability(double personal_gain) const {
+  double p = params_.base_dropout - params_.gain_weight * personal_gain;
+  return std::clamp(p, params_.min_dropout, params_.max_dropout);
+}
+
+bool RetentionModel::SurvivesRound(double personal_gain,
+                                   random::Rng& rng) const {
+  return rng.NextDouble() >= DropoutProbability(personal_gain);
+}
+
+}  // namespace tdg::sim

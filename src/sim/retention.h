@@ -1,0 +1,42 @@
+#ifndef TDG_SIM_RETENTION_H_
+#define TDG_SIM_RETENTION_H_
+
+#include "random/rng.h"
+
+namespace tdg::sim {
+
+/// Gain-driven retention model (paper Observation III: "the rate of skill
+/// improvement may be an important factor towards retaining participants").
+/// After each round a worker drops out with probability
+///
+///   clamp(base_dropout - gain_weight * personal_gain, min_d, max_d)
+///
+/// where personal_gain is the worker's observed skill improvement that
+/// round. Workers who learn more stay longer; a policy that spreads gains
+/// widely therefore retains more of its population.
+struct RetentionParams {
+  double base_dropout = 0.22;
+  double gain_weight = 1.5;
+  double min_dropout = 0.02;
+  double max_dropout = 0.60;
+};
+
+class RetentionModel {
+ public:
+  explicit RetentionModel(const RetentionParams& params) : params_(params) {}
+
+  /// Probability that a worker with `personal_gain` drops out this round.
+  double DropoutProbability(double personal_gain) const;
+
+  /// Samples whether the worker stays for the next round.
+  bool SurvivesRound(double personal_gain, random::Rng& rng) const;
+
+  const RetentionParams& params() const { return params_; }
+
+ private:
+  RetentionParams params_;
+};
+
+}  // namespace tdg::sim
+
+#endif  // TDG_SIM_RETENTION_H_

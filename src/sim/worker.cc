@@ -1,0 +1,65 @@
+#include "sim/worker.h"
+
+#include <algorithm>
+
+#include "random/distributions.h"
+#include "util/logging.h"
+
+namespace tdg::sim {
+
+std::vector<SimulatedWorker> MakePopulation(const PopulationParams& params,
+                                            random::Rng& rng) {
+  TDG_CHECK_GT(params.size, 0);
+  TDG_CHECK_LT(params.skill_floor, params.skill_ceil);
+  std::vector<SimulatedWorker> workers(params.size);
+  for (int i = 0; i < params.size; ++i) {
+    workers[i].id = i;
+    double latent =
+        params.skill_mean + params.skill_stddev * random::StandardNormal(rng);
+    workers[i].latent_skill =
+        std::clamp(latent, params.skill_floor, params.skill_ceil);
+  }
+  return workers;
+}
+
+std::vector<std::vector<SimulatedWorker>> SplitMatchedPopulations(
+    const std::vector<SimulatedWorker>& workers, int num_populations,
+    random::Rng& rng) {
+  TDG_CHECK_GT(num_populations, 0);
+  TDG_CHECK_EQ(workers.size() % num_populations, 0u);
+
+  std::vector<SimulatedWorker> sorted = workers;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const SimulatedWorker& a, const SimulatedWorker& b) {
+              return a.latent_skill > b.latent_skill;
+            });
+
+  std::vector<std::vector<SimulatedWorker>> populations(num_populations);
+  for (auto& population : populations) {
+    population.reserve(workers.size() / num_populations);
+  }
+  // Deal each stratum of `num_populations` consecutive workers in a fresh
+  // random order so no population systematically gets the stratum's best.
+  std::vector<int> order(num_populations);
+  for (size_t start = 0; start < sorted.size();
+       start += num_populations) {
+    for (int i = 0; i < num_populations; ++i) order[i] = i;
+    for (int i = num_populations - 1; i > 0; --i) {
+      int j =
+          static_cast<int>(rng.NextBounded(static_cast<uint64_t>(i + 1)));
+      std::swap(order[i], order[j]);
+    }
+    for (int i = 0; i < num_populations; ++i) {
+      populations[order[i]].push_back(sorted[start + i]);
+    }
+  }
+  // Re-number ids within each population.
+  for (auto& population : populations) {
+    for (size_t i = 0; i < population.size(); ++i) {
+      population[i].id = static_cast<int>(i);
+    }
+  }
+  return populations;
+}
+
+}  // namespace tdg::sim

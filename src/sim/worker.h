@@ -1,0 +1,48 @@
+#ifndef TDG_SIM_WORKER_H_
+#define TDG_SIM_WORKER_H_
+
+#include <vector>
+
+#include "random/rng.h"
+
+namespace tdg::sim {
+
+/// A simulated crowd worker standing in for the paper's AMT participants
+/// (§V-A; see DESIGN.md substitution 1). The worker has a *latent* skill in
+/// [0, 1] — the true probability of answering a fact question correctly —
+/// which the experiment can only observe through noisy quiz assessments.
+struct SimulatedWorker {
+  int id = 0;
+  double latent_skill = 0.5;  // in [0, 1]
+  bool active = true;         // false once the worker drops out
+
+  /// Last observed (assessed) skill; maintained by the harness.
+  double observed_skill = 0.0;
+};
+
+/// Parameters of the simulated population.
+struct PopulationParams {
+  int size = 32;
+  /// Latent skills ~ Normal(mean, stddev) truncated to [floor, ceil].
+  double skill_mean = 0.5;
+  double skill_stddev = 0.15;
+  double skill_floor = 0.05;
+  double skill_ceil = 0.95;
+};
+
+/// Draws a population of workers with truncated-normal latent skills.
+std::vector<SimulatedWorker> MakePopulation(const PopulationParams& params,
+                                            random::Rng& rng);
+
+/// Splits `workers` into `num_populations` equal-size populations with
+/// closely matched skill distributions (the paper's "random split under the
+/// constraint that the populations have very similar skill distributions"):
+/// workers are sorted by latent skill and dealt round-robin, with each
+/// stratum's deal order randomized. Requires size % num_populations == 0.
+std::vector<std::vector<SimulatedWorker>> SplitMatchedPopulations(
+    const std::vector<SimulatedWorker>& workers, int num_populations,
+    random::Rng& rng);
+
+}  // namespace tdg::sim
+
+#endif  // TDG_SIM_WORKER_H_

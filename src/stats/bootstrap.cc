@@ -1,0 +1,80 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace tdg::stats {
+namespace {
+
+std::vector<double> Resample(std::span<const double> values,
+                             random::Rng& rng) {
+  std::vector<double> out(values.size());
+  for (double& v : out) {
+    v = values[rng.NextBounded(values.size())];
+  }
+  return out;
+}
+
+ConfidenceInterval FromSamples(std::vector<double> samples, double point,
+                               double confidence) {
+  std::sort(samples.begin(), samples.end());
+  double alpha = 1.0 - confidence;
+  ConfidenceInterval ci;
+  ci.mean = point;
+  ci.lower = Percentile(samples, alpha / 2.0);
+  ci.upper = Percentile(samples, 1.0 - alpha / 2.0);
+  ci.confidence = confidence;
+  return ci;
+}
+
+}  // namespace
+
+util::StatusOr<ConfidenceInterval> BootstrapConfidenceInterval(
+    std::span<const double> values,
+    const std::function<double(std::span<const double>)>& statistic,
+    double confidence, int num_resamples, random::Rng& rng) {
+  if (values.empty()) {
+    return util::Status::InvalidArgument("bootstrap requires data");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    return util::Status::InvalidArgument(
+        "confidence level must be in (0, 1)");
+  }
+  if (num_resamples < 1) {
+    return util::Status::InvalidArgument("need at least 1 resample");
+  }
+  std::vector<double> samples;
+  samples.reserve(num_resamples);
+  for (int i = 0; i < num_resamples; ++i) {
+    std::vector<double> resample = Resample(values, rng);
+    samples.push_back(statistic(resample));
+  }
+  return FromSamples(std::move(samples), statistic(values), confidence);
+}
+
+util::StatusOr<ConfidenceInterval> BootstrapMeanDifference(
+    std::span<const double> a, std::span<const double> b, double confidence,
+    int num_resamples, random::Rng& rng) {
+  if (a.empty() || b.empty()) {
+    return util::Status::InvalidArgument("bootstrap requires data");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    return util::Status::InvalidArgument(
+        "confidence level must be in (0, 1)");
+  }
+  if (num_resamples < 1) {
+    return util::Status::InvalidArgument("need at least 1 resample");
+  }
+  std::vector<double> samples;
+  samples.reserve(num_resamples);
+  for (int i = 0; i < num_resamples; ++i) {
+    std::vector<double> ra = Resample(a, rng);
+    std::vector<double> rb = Resample(b, rng);
+    samples.push_back(Mean(ra) - Mean(rb));
+  }
+  return FromSamples(std::move(samples), Mean(a) - Mean(b), confidence);
+}
+
+}  // namespace tdg::stats

@@ -1,0 +1,29 @@
+#ifndef TDG_STATS_BOOTSTRAP_H_
+#define TDG_STATS_BOOTSTRAP_H_
+
+#include <functional>
+#include <span>
+
+#include "random/rng.h"
+#include "stats/hypothesis.h"
+#include "util/statusor.h"
+
+namespace tdg::stats {
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic of a
+/// single sample. `statistic` is evaluated on `num_resamples` resamples drawn
+/// with replacement.
+util::StatusOr<ConfidenceInterval> BootstrapConfidenceInterval(
+    std::span<const double> values,
+    const std::function<double(std::span<const double>)>& statistic,
+    double confidence, int num_resamples, random::Rng& rng);
+
+/// Bootstrap CI for the difference of means mean(a) - mean(b); resamples both
+/// groups independently.
+util::StatusOr<ConfidenceInterval> BootstrapMeanDifference(
+    std::span<const double> a, std::span<const double> b, double confidence,
+    int num_resamples, random::Rng& rng);
+
+}  // namespace tdg::stats
+
+#endif  // TDG_STATS_BOOTSTRAP_H_

@@ -1,0 +1,96 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tdg::stats {
+
+double Sum(std::span<const double> values) {
+  // Kahan summation.
+  double sum = 0.0;
+  double compensation = 0.0;
+  for (double v : values) {
+    double y = v - compensation;
+    double t = sum + y;
+    compensation = (t - sum) - y;
+    sum = t;
+  }
+  return sum;
+}
+
+double Mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return Sum(values) / static_cast<double>(values.size());
+}
+
+namespace {
+
+double CenteredSumOfSquares(std::span<const double> values, double mean) {
+  double ss = 0.0;
+  for (double v : values) {
+    double d = v - mean;
+    ss += d * d;
+  }
+  return ss;
+}
+
+}  // namespace
+
+double PopulationVariance(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return CenteredSumOfSquares(values, Mean(values)) /
+         static_cast<double>(values.size());
+}
+
+double SampleVariance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  return CenteredSumOfSquares(values, Mean(values)) /
+         static_cast<double>(values.size() - 1);
+}
+
+double PopulationStdDev(std::span<const double> values) {
+  return std::sqrt(PopulationVariance(values));
+}
+
+double SampleStdDev(std::span<const double> values) {
+  return std::sqrt(SampleVariance(values));
+}
+
+double Min(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return *std::min_element(values.begin(), values.end());
+}
+
+double Max(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return *std::max_element(values.begin(), values.end());
+}
+
+double Median(std::span<const double> values) {
+  return Percentile(values, 0.5);
+}
+
+double Percentile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  double position = q * static_cast<double>(sorted.size() - 1);
+  size_t lower = static_cast<size_t>(position);
+  size_t upper = std::min(lower + 1, sorted.size() - 1);
+  double fraction = position - static_cast<double>(lower);
+  return sorted[lower] + fraction * (sorted[upper] - sorted[lower]);
+}
+
+Summary Summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  s.sum = Sum(values);
+  s.mean = Mean(values);
+  s.sample_std_dev = SampleStdDev(values);
+  s.min = Min(values);
+  s.max = Max(values);
+  return s;
+}
+
+}  // namespace tdg::stats

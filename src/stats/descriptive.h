@@ -1,0 +1,48 @@
+#ifndef TDG_STATS_DESCRIPTIVE_H_
+#define TDG_STATS_DESCRIPTIVE_H_
+
+#include <span>
+#include <vector>
+
+namespace tdg::stats {
+
+/// Sum of `values` (Kahan-compensated; experiment series can mix magnitudes).
+double Sum(std::span<const double> values);
+
+/// Arithmetic mean; 0 for an empty span.
+double Mean(std::span<const double> values);
+
+/// Population variance (divides by n); 0 for fewer than 1 element.
+double PopulationVariance(std::span<const double> values);
+
+/// Sample variance (divides by n-1); 0 for fewer than 2 elements.
+double SampleVariance(std::span<const double> values);
+
+double PopulationStdDev(std::span<const double> values);
+double SampleStdDev(std::span<const double> values);
+
+/// Min/max; 0 for an empty span.
+double Min(std::span<const double> values);
+double Max(std::span<const double> values);
+
+/// Median (average of the two central order statistics for even n).
+double Median(std::span<const double> values);
+
+/// Linear-interpolated percentile, `q` in [0, 1].
+double Percentile(std::span<const double> values, double q);
+
+/// One-pass summary of a series.
+struct Summary {
+  size_t count = 0;
+  double sum = 0;
+  double mean = 0;
+  double sample_std_dev = 0;
+  double min = 0;
+  double max = 0;
+};
+
+Summary Summarize(std::span<const double> values);
+
+}  // namespace tdg::stats
+
+#endif  // TDG_STATS_DESCRIPTIVE_H_

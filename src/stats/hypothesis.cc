@@ -1,0 +1,171 @@
+#include "stats/hypothesis.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "util/logging.h"
+
+namespace tdg::stats {
+namespace {
+
+// Continued fraction for the incomplete beta function (Numerical Recipes
+// style modified Lentz algorithm).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEpsilon = 1e-15;
+  constexpr double kTiny = 1e-300;
+
+  double qab = a + b;
+  double qap = a + 1.0;
+  double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    double delta = d * c;
+    h *= delta;
+    if (std::abs(delta - 1.0) < kEpsilon) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  TDG_CHECK_GT(a, 0.0);
+  TDG_CHECK_GT(b, 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  double log_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                     a * std::log(x) + b * std::log(1.0 - x);
+  double front = std::exp(log_front);
+  // Use the continued fraction directly when it converges fast, otherwise
+  // apply the symmetry I_x(a,b) = 1 - I_{1-x}(b,a).
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTCdf(double t, double df) {
+  TDG_CHECK_GT(df, 0.0);
+  if (std::isinf(t)) return t > 0 ? 1.0 : 0.0;
+  double x = df / (df + t * t);
+  double p = 0.5 * RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+  return t >= 0 ? 1.0 - p : p;
+}
+
+double StudentTQuantile(double p, double df) {
+  TDG_CHECK_GT(p, 0.0);
+  TDG_CHECK_LT(p, 1.0);
+  double lo = -1e6;
+  double hi = 1e6;
+  for (int i = 0; i < 200; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (StudentTCdf(mid, df) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+namespace {
+
+TTestResult MakeResult(double t, double df, double mean_diff) {
+  TTestResult result;
+  result.t_statistic = t;
+  result.degrees_of_freedom = df;
+  result.mean_difference = mean_diff;
+  double cdf = StudentTCdf(t, df);
+  result.p_value_one_sided_greater = 1.0 - cdf;
+  result.p_value_two_sided = 2.0 * std::min(cdf, 1.0 - cdf);
+  return result;
+}
+
+}  // namespace
+
+util::StatusOr<TTestResult> WelchTTest(std::span<const double> a,
+                                       std::span<const double> b) {
+  if (a.size() < 2 || b.size() < 2) {
+    return util::Status::InvalidArgument(
+        "Welch t-test requires at least 2 samples per group");
+  }
+  double va = SampleVariance(a) / static_cast<double>(a.size());
+  double vb = SampleVariance(b) / static_cast<double>(b.size());
+  if (va + vb == 0.0) {
+    return util::Status::InvalidArgument(
+        "Welch t-test requires positive variance in at least one group");
+  }
+  double mean_diff = Mean(a) - Mean(b);
+  double t = mean_diff / std::sqrt(va + vb);
+  double df =
+      (va + vb) * (va + vb) /
+      (va * va / static_cast<double>(a.size() - 1) +
+       vb * vb / static_cast<double>(b.size() - 1));
+  return MakeResult(t, df, mean_diff);
+}
+
+util::StatusOr<TTestResult> PairedTTest(std::span<const double> a,
+                                        std::span<const double> b) {
+  if (a.size() != b.size()) {
+    return util::Status::InvalidArgument(
+        "paired t-test requires equal-size samples");
+  }
+  if (a.size() < 2) {
+    return util::Status::InvalidArgument(
+        "paired t-test requires at least 2 pairs");
+  }
+  std::vector<double> diffs(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diffs[i] = a[i] - b[i];
+  double sd = SampleStdDev(diffs);
+  if (sd == 0.0) {
+    return util::Status::InvalidArgument(
+        "paired t-test requires non-constant differences");
+  }
+  double n = static_cast<double>(diffs.size());
+  double mean_diff = Mean(diffs);
+  double t = mean_diff / (sd / std::sqrt(n));
+  return MakeResult(t, n - 1.0, mean_diff);
+}
+
+util::StatusOr<ConfidenceInterval> MeanConfidenceInterval(
+    std::span<const double> values, double confidence) {
+  if (values.size() < 2) {
+    return util::Status::InvalidArgument(
+        "confidence interval requires at least 2 samples");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    return util::Status::InvalidArgument(
+        "confidence level must be in (0, 1)");
+  }
+  double n = static_cast<double>(values.size());
+  double mean = Mean(values);
+  double sem = SampleStdDev(values) / std::sqrt(n);
+  double quantile = StudentTQuantile(0.5 + confidence / 2.0, n - 1.0);
+  ConfidenceInterval ci;
+  ci.mean = mean;
+  ci.lower = mean - quantile * sem;
+  ci.upper = mean + quantile * sem;
+  ci.confidence = confidence;
+  return ci;
+}
+
+}  // namespace tdg::stats

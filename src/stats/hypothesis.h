@@ -1,0 +1,56 @@
+#ifndef TDG_STATS_HYPOTHESIS_H_
+#define TDG_STATS_HYPOTHESIS_H_
+
+#include <span>
+
+#include "util/statusor.h"
+
+namespace tdg::stats {
+
+/// Regularized incomplete beta function I_x(a, b), for a, b > 0 and
+/// x in [0, 1]. Continued-fraction evaluation (Lentz), ~1e-12 accuracy.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+double StudentTCdf(double t, double df);
+
+/// Two-sided result of a t-test.
+struct TTestResult {
+  double t_statistic = 0;
+  double degrees_of_freedom = 0;
+  double p_value_two_sided = 1;
+  double p_value_one_sided_greater = 1;  // H1: mean(a) > mean(b)
+  double mean_difference = 0;            // mean(a) - mean(b)
+
+  bool SignificantAt(double alpha) const {
+    return p_value_two_sided < alpha;
+  }
+};
+
+/// Welch's unequal-variance two-sample t-test. Requires >= 2 samples each
+/// and at least one group with positive variance.
+util::StatusOr<TTestResult> WelchTTest(std::span<const double> a,
+                                       std::span<const double> b);
+
+/// Paired t-test over matched samples (|a| == |b| >= 2).
+util::StatusOr<TTestResult> PairedTTest(std::span<const double> a,
+                                        std::span<const double> b);
+
+/// Confidence interval for a mean, Student-t based.
+struct ConfidenceInterval {
+  double mean = 0;
+  double lower = 0;
+  double upper = 0;
+  double confidence = 0;  // e.g. 0.75 for the paper's Observation I
+};
+
+/// Two-sided CI at `confidence` (in (0,1)); requires >= 2 samples.
+util::StatusOr<ConfidenceInterval> MeanConfidenceInterval(
+    std::span<const double> values, double confidence);
+
+/// Inverse CDF of Student's t (bisection on StudentTCdf); p in (0, 1).
+double StudentTQuantile(double p, double df);
+
+}  // namespace tdg::stats
+
+#endif  // TDG_STATS_HYPOTHESIS_H_

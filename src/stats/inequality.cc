@@ -1,0 +1,36 @@
+#include "stats/inequality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace tdg::stats {
+
+double CoefficientOfVariation(std::span<const double> values) {
+  double mean = Mean(values);
+  if (mean == 0.0) return 0.0;
+  return PopulationStdDev(values) / mean;
+}
+
+double GiniIndex(std::span<const double> values) {
+  size_t n = values.size();
+  if (n == 0) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  // For ascending x_1 <= ... <= x_n:
+  //   sum_{i>j} (x_i - x_j) = sum_i (2i - n - 1) x_i  with i 1-based.
+  double weighted = 0.0;
+  double total_abs = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    weighted += (2.0 * static_cast<double>(i + 1) - static_cast<double>(n) -
+                 1.0) *
+                sorted[i];
+    total_abs += std::abs(sorted[i]);
+  }
+  if (total_abs == 0.0) return 0.0;
+  return weighted / (static_cast<double>(n) * total_abs);
+}
+
+}  // namespace tdg::stats

@@ -1,0 +1,22 @@
+#ifndef TDG_STATS_INEQUALITY_H_
+#define TDG_STATS_INEQUALITY_H_
+
+#include <span>
+
+namespace tdg::stats {
+
+/// Coefficient of variation: std_dev / mean (population std-dev).
+/// Note: the paper's footnote 8 says "the ratio of the average by the
+/// standard deviation", i.e. the reciprocal; its Figure 11 trend (CV falls
+/// as skills equalize) matches the standard sd/mean definition used here.
+/// Returns 0 when the mean is 0.
+double CoefficientOfVariation(std::span<const double> values);
+
+/// Gini coefficient G = sum_{i>j} |s_i - s_j| / (n * sum_i |s_i|)
+/// (paper footnote 9). Computed in O(n log n) via the sorted identity.
+/// Returns 0 for empty input or all-zero values.
+double GiniIndex(std::span<const double> values);
+
+}  // namespace tdg::stats
+
+#endif  // TDG_STATS_INEQUALITY_H_

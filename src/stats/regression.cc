@@ -1,0 +1,51 @@
+#include "stats/regression.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "util/string_util.h"
+
+namespace tdg::stats {
+
+util::StatusOr<LinearFit> FitLinear(std::span<const double> x,
+                                    std::span<const double> y) {
+  if (x.size() != y.size()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "x and y have different sizes (%zu vs %zu)", x.size(), y.size()));
+  }
+  if (x.size() < 2) {
+    return util::Status::InvalidArgument(
+        "linear fit requires at least 2 points");
+  }
+  double mean_x = Mean(x);
+  double mean_y = Mean(y);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mean_x;
+    double dy = y[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) {
+    return util::Status::InvalidArgument(
+        "linear fit requires non-constant x values");
+  }
+  LinearFit fit;
+  fit.n = x.size();
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  double sse = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    double r = y[i] - fit.Predict(x[i]);
+    sse += r * r;
+  }
+  fit.r_squared = (syy == 0.0) ? 1.0 : 1.0 - sse / syy;
+  fit.residual_std_dev =
+      (fit.n > 2) ? std::sqrt(sse / static_cast<double>(fit.n - 2)) : 0.0;
+  return fit;
+}
+
+}  // namespace tdg::stats

@@ -1,0 +1,28 @@
+#ifndef TDG_STATS_REGRESSION_H_
+#define TDG_STATS_REGRESSION_H_
+
+#include <span>
+
+#include "util/statusor.h"
+
+namespace tdg::stats {
+
+/// Ordinary-least-squares fit of y = intercept + slope * x.
+struct LinearFit {
+  double slope = 0;
+  double intercept = 0;
+  double r_squared = 0;        // coefficient of determination
+  double residual_std_dev = 0; // sqrt(SSE / (n - 2)) for n > 2, else 0
+  size_t n = 0;
+
+  double Predict(double x) const { return intercept + slope * x; }
+};
+
+/// Fits y on x. Requires |x| == |y| >= 2 and non-constant x.
+/// Used for the paper's Figure 2 ("Linear fit to learning gain").
+util::StatusOr<LinearFit> FitLinear(std::span<const double> x,
+                                    std::span<const double> y);
+
+}  // namespace tdg::stats
+
+#endif  // TDG_STATS_REGRESSION_H_

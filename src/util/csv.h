@@ -1,0 +1,62 @@
+#ifndef TDG_UTIL_CSV_H_
+#define TDG_UTIL_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace tdg::util {
+
+/// An in-memory CSV document: a header row plus data rows. Fields containing
+/// commas, quotes or newlines are quoted per RFC 4180 on write and unquoted
+/// on read.
+class CsvDocument {
+ public:
+  CsvDocument() = default;
+  explicit CsvDocument(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return header_.size(); }
+
+  /// Appends a data row. Returns InvalidArgument if the arity does not match
+  /// the header (when a header is present).
+  Status AddRow(std::vector<std::string> row);
+
+  /// Returns the index of the named column, or NotFound.
+  StatusOr<size_t> ColumnIndex(std::string_view name) const;
+
+  /// Returns the field at (row, col); OutOfRange on bad indices.
+  StatusOr<std::string> Field(size_t row, size_t col) const;
+
+  /// Serializes the document (header first if non-empty).
+  std::string ToString() const;
+
+  /// Parses CSV text. The first row becomes the header.
+  static StatusOr<CsvDocument> Parse(std::string_view text);
+
+  /// Writes to / reads from a file.
+  Status WriteToFile(const std::string& path) const;
+  static StatusOr<CsvDocument> ReadFromFile(const std::string& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quotes one CSV field if needed (RFC 4180).
+std::string CsvEscape(std::string_view field);
+
+/// Splits one CSV line honoring quotes. Returns InvalidArgument on a
+/// malformed quoted field.
+StatusOr<std::vector<std::string>> CsvSplitLine(std::string_view line);
+
+}  // namespace tdg::util
+
+#endif  // TDG_UTIL_CSV_H_

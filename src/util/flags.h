@@ -1,0 +1,47 @@
+#ifndef TDG_UTIL_FLAGS_H_
+#define TDG_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace tdg::util {
+
+/// Minimal command-line flag parser for the example/bench binaries.
+/// Accepts `--name=value` and `--name value`; `--flag` alone sets "true".
+/// Positional arguments are collected in order.
+///
+/// Example:
+///   FlagParser flags;
+///   TDG_CHECK(flags.Parse(argc, argv).ok());
+///   int n = flags.GetInt("n", 10000);
+class FlagParser {
+ public:
+  FlagParser() = default;
+
+  /// Parses argv[1..argc). Returns InvalidArgument on `--` without a name.
+  Status Parse(int argc, const char* const* argv);
+
+  bool HasFlag(const std::string& name) const;
+
+  /// Typed getters with defaults; a present-but-malformed value is an error
+  /// only for the Or-less variants, the *Or variants return the default.
+  std::string GetString(const std::string& name,
+                        const std::string& default_value) const;
+  long long GetInt(const std::string& name, long long default_value) const;
+  double GetDouble(const std::string& name, double default_value) const;
+  bool GetBool(const std::string& name, bool default_value) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace tdg::util
+
+#endif  // TDG_UTIL_FLAGS_H_

@@ -1,0 +1,98 @@
+#ifndef TDG_UTIL_JSON_H_
+#define TDG_UTIL_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace tdg::util {
+
+/// A minimal JSON document model (null / bool / number / string / array /
+/// object) with a strict RFC 8259 parser and a serializer. Used for
+/// experiment-result export and config files; deliberately small — no
+/// comments, no NaN/Inf, numbers are doubles.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  /// std::map keeps key order deterministic (sorted), which makes golden
+  /// tests and diffs stable.
+  using Object = std::map<std::string, JsonValue>;
+
+  /// Constructs null.
+  JsonValue() = default;
+  JsonValue(bool value) : type_(Type::kBool), bool_(value) {}
+  JsonValue(double value) : type_(Type::kNumber), number_(value) {}
+  JsonValue(int value)
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(long long value)
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(const char* value) : type_(Type::kString), string_(value) {}
+  JsonValue(std::string value)
+      : type_(Type::kString), string_(std::move(value)) {}
+  JsonValue(Array value)
+      : type_(Type::kArray), array_(std::move(value)) {}
+  JsonValue(Object value)
+      : type_(Type::kObject), object_(std::move(value)) {}
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue MakeArray() { return JsonValue(Array{}); }
+  static JsonValue MakeObject() { return JsonValue(Object{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; abort via TDG_CHECK on type mismatch (use the
+  /// is_* predicates or Get* for fallible access).
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  Array& AsArray();
+  const Object& AsObject() const;
+  Object& AsObject();
+
+  /// Object field lookup; NotFound if absent or not an object.
+  util::StatusOr<JsonValue> GetField(std::string_view key) const;
+
+  /// Convenience appenders (valid on arrays/objects only).
+  void Append(JsonValue value);
+  void Set(const std::string& key, JsonValue value);
+
+  /// Compact serialization ({"a":1,...}).
+  std::string Serialize() const;
+  /// Indented serialization (2 spaces).
+  std::string SerializePretty() const;
+
+  /// Strict parse of a complete JSON document (trailing junk is an error).
+  static util::StatusOr<JsonValue> Parse(std::string_view text);
+
+  bool operator==(const JsonValue& other) const;
+
+ private:
+  void SerializeTo(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Escapes a string for embedding in JSON (adds surrounding quotes).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace tdg::util
+
+#endif  // TDG_UTIL_JSON_H_

@@ -1,0 +1,68 @@
+#ifndef TDG_UTIL_LOGGING_H_
+#define TDG_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tdg::util {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+/// Returns the minimum severity that is actually emitted. Default: kInfo.
+LogSeverity MinLogSeverity();
+
+/// Sets the minimum severity emitted by TDG_LOG.
+void SetMinLogSeverity(LogSeverity severity);
+
+/// Accumulates one log line and flushes it (with severity/location prefix)
+/// on destruction. kFatal aborts the process after flushing.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log stream when the severity is below the emission threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace tdg::util
+
+#define TDG_LOG(severity)                                                 \
+  ::tdg::util::LogMessage(::tdg::util::LogSeverity::k##severity,          \
+                          __FILE__, __LINE__)                             \
+      .stream()
+
+/// Aborts with a message when `condition` is false. Active in all builds —
+/// this library prefers loud failure over silent corruption.
+#define TDG_CHECK(condition)                                              \
+  if (!(condition))                                                       \
+  ::tdg::util::LogMessage(::tdg::util::LogSeverity::kFatal, __FILE__,     \
+                          __LINE__)                                       \
+          .stream()                                                       \
+      << "Check failed: " #condition " "
+
+#define TDG_CHECK_EQ(a, b) TDG_CHECK((a) == (b))
+#define TDG_CHECK_NE(a, b) TDG_CHECK((a) != (b))
+#define TDG_CHECK_LT(a, b) TDG_CHECK((a) < (b))
+#define TDG_CHECK_LE(a, b) TDG_CHECK((a) <= (b))
+#define TDG_CHECK_GT(a, b) TDG_CHECK((a) > (b))
+#define TDG_CHECK_GE(a, b) TDG_CHECK((a) >= (b))
+
+#endif  // TDG_UTIL_LOGGING_H_

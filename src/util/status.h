@@ -1,0 +1,97 @@
+#ifndef TDG_UTIL_STATUS_H_
+#define TDG_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tdg::util {
+
+/// Canonical error codes, modeled after the usual database-systems taxonomy.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kIOError,
+};
+
+/// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result, used instead of exceptions
+/// throughout the library. A default-constructed Status is OK.
+///
+/// Example:
+///   Status s = grouping.Validate(n);
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace tdg::util
+
+/// Propagates a non-OK Status from the current function.
+#define TDG_RETURN_IF_ERROR(expr)                          \
+  do {                                                     \
+    ::tdg::util::Status tdg_return_if_error_st = (expr);   \
+    if (!tdg_return_if_error_st.ok()) {                    \
+      return tdg_return_if_error_st;                       \
+    }                                                      \
+  } while (false)
+
+#endif  // TDG_UTIL_STATUS_H_

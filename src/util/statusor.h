@@ -1,0 +1,94 @@
+#ifndef TDG_UTIL_STATUSOR_H_
+#define TDG_UTIL_STATUSOR_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace tdg::util {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. The usual return type for fallible factory functions.
+///
+/// Example:
+///   StatusOr<Grouping> g = policy.FormGroups(skills, k);
+///   if (!g.ok()) return g.status();
+///   Use(g.value());
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit on purpose: `return some_value;`).
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  /// Constructs from a non-OK status (implicit on purpose:
+  /// `return Status::InvalidArgument(...);`). Passing an OK status is a
+  /// programming error and is converted to an Internal error.
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed with OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if `!ok()`.
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if present, `fallback` otherwise.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      std::cerr << "StatusOr::value() called on error: " << status_
+                << std::endl;
+      std::abort();
+    }
+  }
+
+  Status status_;           // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace tdg::util
+
+/// Evaluates `expr` (a StatusOr<T>), propagating an error status or
+/// move-assigning the value into `lhs`.
+#define TDG_ASSIGN_OR_RETURN(lhs, expr) \
+  TDG_ASSIGN_OR_RETURN_IMPL_(           \
+      TDG_STATUS_CONCAT_(tdg_statusor_tmp_, __LINE__), lhs, expr)
+
+#define TDG_STATUS_CONCAT_INNER_(a, b) a##b
+#define TDG_STATUS_CONCAT_(a, b) TDG_STATUS_CONCAT_INNER_(a, b)
+
+#define TDG_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.status();                           \
+  }                                                \
+  lhs = std::move(tmp).value()
+
+#endif  // TDG_UTIL_STATUSOR_H_

@@ -1,0 +1,39 @@
+#ifndef TDG_UTIL_STOPWATCH_H_
+#define TDG_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace tdg::util {
+
+/// Wall-clock stopwatch with microsecond resolution. Starts running on
+/// construction; `Restart()` resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Restart().
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1e3;
+  }
+
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tdg::util
+
+#endif  // TDG_UTIL_STOPWATCH_H_

@@ -1,0 +1,118 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tdg::util {
+
+std::vector<std::string> Split(std::string_view input, char delimiter) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t pos = input.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      fields.emplace_back(input.substr(start));
+      break;
+    }
+    fields.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return fields;
+}
+
+std::string_view Trim(std::string_view input) {
+  size_t begin = 0;
+  while (begin < input.size() &&
+         std::isspace(static_cast<unsigned char>(input[begin]))) {
+    ++begin;
+  }
+  size_t end = input.size();
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(input[end - 1]))) {
+    --end;
+  }
+  return input.substr(begin, end - begin);
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator) {
+  std::string result;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) result += separator;
+    result += parts[i];
+  }
+  return result;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+StatusOr<double> ParseDouble(std::string_view text) {
+  std::string buffer(Trim(text));
+  if (buffer.empty()) {
+    return Status::InvalidArgument("empty string is not a double");
+  }
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("double out of range: '" + buffer + "'");
+  }
+  if (end != buffer.c_str() + buffer.size()) {
+    return Status::InvalidArgument("not a double: '" + buffer + "'");
+  }
+  return value;
+}
+
+StatusOr<long long> ParseInt(std::string_view text) {
+  std::string buffer(Trim(text));
+  if (buffer.empty()) {
+    return Status::InvalidArgument("empty string is not an integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buffer.c_str(), &end, 10);
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range: '" + buffer + "'");
+  }
+  if (end != buffer.c_str() + buffer.size()) {
+    return Status::InvalidArgument("not an integer: '" + buffer + "'");
+  }
+  return value;
+}
+
+std::string StrFormat(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return std::string();
+  }
+  std::string result(static_cast<size_t>(needed), '\0');
+  std::vsnprintf(result.data(), result.size() + 1, format, args_copy);
+  va_end(args_copy);
+  return result;
+}
+
+std::string FormatDouble(double value, int digits) {
+  std::string text = StrFormat("%.*f", digits, value);
+  // Trim trailing zeros but keep at least one digit after the point.
+  size_t dot = text.find('.');
+  if (dot == std::string::npos) return text;
+  size_t last = text.find_last_not_of('0');
+  if (last == dot) last = dot + 1;  // keep "x.0"
+  text.erase(last + 1);
+  return text;
+}
+
+}  // namespace tdg::util

@@ -1,0 +1,40 @@
+#ifndef TDG_UTIL_STRING_UTIL_H_
+#define TDG_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/statusor.h"
+
+namespace tdg::util {
+
+/// Splits `input` on `delimiter`, keeping empty fields.
+/// Split("a,,b", ',') -> {"a", "", "b"}; Split("", ',') -> {""}.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// Returns true if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// Parses the entire string as a double / int64; errors on trailing junk.
+StatusOr<double> ParseDouble(std::string_view text);
+StatusOr<long long> ParseInt(std::string_view text);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats `value` with `digits` significant decimal digits, trimming
+/// trailing zeros ("0.5" not "0.500000"). Handy for table output.
+std::string FormatDouble(double value, int digits = 6);
+
+}  // namespace tdg::util
+
+#endif  // TDG_UTIL_STRING_UTIL_H_

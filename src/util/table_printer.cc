@@ -1,0 +1,58 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace tdg::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::AddNumericRow(const std::vector<double>& row, int digits) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(FormatDouble(v, digits));
+  AddRow(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+
+  std::vector<size_t> widths(columns, 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream out;
+  auto emit = [&out, &widths, columns](const std::vector<std::string>& row) {
+    for (size_t i = 0; i < columns; ++i) {
+      if (i > 0) out << " | ";
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      out << cell << std::string(widths[i] - cell.size(), ' ');
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (size_t i = 0; i < columns; ++i) {
+    if (i > 0) out << "-+-";
+    out << std::string(widths[i], '-');
+  }
+  out << '\n';
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+}  // namespace tdg::util

@@ -1,0 +1,44 @@
+#ifndef TDG_UTIL_TABLE_PRINTER_H_
+#define TDG_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tdg::util {
+
+/// Renders fixed-width ASCII tables for benchmark/report output, e.g.:
+///
+///   n       | DyGroups-Star | Random
+///   --------+---------------+--------
+///   1000    | 812.44        | 633.10
+///
+/// All cells are strings; use AddRow with pre-formatted numbers
+/// (see FormatDouble in string_util.h).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row. Short rows are padded with empty cells; long rows extend
+  /// the table width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `digits` significant decimals.
+  void AddNumericRow(const std::vector<double>& row, int digits = 4);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Renders the full table.
+  std::string ToString() const;
+
+  /// Prints to `os` (with trailing newline).
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tdg::util
+
+#endif  // TDG_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,135 @@
+#include "core/affinity.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dygroups.h"
+#include "random/distributions.h"
+
+namespace tdg {
+namespace {
+
+TEST(AffinityMatrixTest, SymmetricWithZeroDiagonal) {
+  AffinityMatrix affinity(4);
+  affinity.set(0, 2, 0.7);
+  EXPECT_DOUBLE_EQ(affinity.at(0, 2), 0.7);
+  EXPECT_DOUBLE_EQ(affinity.at(2, 0), 0.7);
+  EXPECT_DOUBLE_EQ(affinity.at(1, 1), 0.0);
+  affinity.set(1, 1, 0.9);  // ignored
+  EXPECT_DOUBLE_EQ(affinity.at(1, 1), 0.0);
+  affinity.set(0, 1, 1.7);  // clamped
+  EXPECT_DOUBLE_EQ(affinity.at(0, 1), 1.0);
+}
+
+TEST(AffinityMatrixTest, RandomMatrixStatistics) {
+  random::Rng rng(1);
+  AffinityMatrix affinity = AffinityMatrix::Random(200, rng);
+  EXPECT_NEAR(affinity.MeanAffinity(), 0.5, 0.02);
+  for (int i = 0; i < 200; i += 37) {
+    EXPECT_DOUBLE_EQ(affinity.at(i, i), 0.0);
+  }
+}
+
+TEST(GroupingAffinityTest, SumsWithinGroupPairs) {
+  AffinityMatrix affinity(4);
+  affinity.set(0, 1, 0.5);
+  affinity.set(2, 3, 0.25);
+  affinity.set(0, 2, 0.9);  // cross-group, must not count
+  Grouping grouping({{0, 1}, {2, 3}});
+  EXPECT_DOUBLE_EQ(GroupingAffinity(grouping, affinity), 0.75);
+}
+
+TEST(EvolveAffinityTest, StrengthensMatesDecaysStrangers) {
+  AffinityMatrix affinity(4);
+  affinity.set(0, 1, 0.5);
+  affinity.set(0, 2, 0.5);
+  Grouping grouping({{0, 1}, {2, 3}});
+  EvolveAffinity(grouping, /*strengthen=*/0.2, /*decay=*/0.1, affinity);
+  EXPECT_DOUBLE_EQ(affinity.at(0, 1), 0.5 + 0.2 * 0.5);  // mates
+  EXPECT_DOUBLE_EQ(affinity.at(0, 2), 0.45);             // strangers
+  // Repeated evolution stays within [0, 1].
+  for (int i = 0; i < 100; ++i) {
+    EvolveAffinity(grouping, 0.3, 0.2, affinity);
+  }
+  EXPECT_LE(affinity.at(0, 1), 1.0);
+  EXPECT_GE(affinity.at(0, 2), 0.0);
+}
+
+class AffinityPolicyTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    random::Rng rng(11);
+    skills_ = random::GenerateSkills(
+        rng, random::SkillDistribution::kLogNormal, 20);
+    affinity_rng_ = std::make_unique<random::Rng>(13);
+  }
+
+  SkillVector skills_;
+  std::unique_ptr<random::Rng> affinity_rng_;
+};
+
+TEST_F(AffinityPolicyTest, LambdaZeroMatchesDyGroupsGain) {
+  LinearGain gain(0.5);
+  BiCriteriaOptions options;
+  options.lambda = 0.0;
+  AffinityDyGroupsPolicy policy(InteractionMode::kStar, gain,
+                                AffinityMatrix::Random(20, *affinity_rng_),
+                                17, options);
+  auto grouping = policy.FormGroups(skills_, 4);
+  ASSERT_TRUE(grouping.ok());
+  auto dygroups = DyGroupsStarLocal(skills_, 4);
+  ASSERT_TRUE(dygroups.ok());
+  double policy_gain =
+      EvaluateRoundGain(InteractionMode::kStar, grouping.value(), gain,
+                        skills_)
+          .value();
+  double dygroups_gain =
+      EvaluateRoundGain(InteractionMode::kStar, dygroups.value(), gain,
+                        skills_)
+          .value();
+  // Hill climbing from the optimal seed with lambda = 0 cannot improve the
+  // gain (Theorem 1) and never accepts a worsening swap.
+  EXPECT_NEAR(policy_gain, dygroups_gain, 1e-9);
+}
+
+TEST_F(AffinityPolicyTest, LargerLambdaTradesGainForAffinity) {
+  LinearGain gain(0.5);
+  AffinityMatrix affinity = AffinityMatrix::Random(20, *affinity_rng_);
+
+  BiCriteriaOptions gain_only;
+  gain_only.lambda = 0.0;
+  AffinityDyGroupsPolicy policy_gain_only(InteractionMode::kStar, gain,
+                                          affinity, 19, gain_only);
+  ASSERT_TRUE(policy_gain_only.FormGroups(skills_, 4).ok());
+
+  BiCriteriaOptions affinity_heavy;
+  affinity_heavy.lambda = 100.0;
+  affinity_heavy.refinement_iterations = 3000;
+  AffinityDyGroupsPolicy policy_affinity(InteractionMode::kStar, gain,
+                                         affinity, 19, affinity_heavy);
+  ASSERT_TRUE(policy_affinity.FormGroups(skills_, 4).ok());
+
+  EXPECT_GE(policy_affinity.last_affinity(),
+            policy_gain_only.last_affinity());
+  EXPECT_LE(policy_affinity.last_gain(),
+            policy_gain_only.last_gain() + 1e-9);
+}
+
+TEST_F(AffinityPolicyTest, AffinityEvolvesAcrossRounds) {
+  LinearGain gain(0.5);
+  AffinityDyGroupsPolicy policy(InteractionMode::kStar, gain,
+                                AffinityMatrix(20), 23);
+  double before = policy.affinity().MeanAffinity();
+  ASSERT_TRUE(policy.FormGroups(skills_, 4).ok());
+  double after = policy.affinity().MeanAffinity();
+  EXPECT_GT(after, before);  // mates bonded, nothing to decay from zero
+}
+
+TEST_F(AffinityPolicyTest, RejectsMismatchedPopulation) {
+  LinearGain gain(0.5);
+  AffinityDyGroupsPolicy policy(InteractionMode::kStar, gain,
+                                AffinityMatrix(8), 29);
+  EXPECT_FALSE(policy.FormGroups(skills_, 4).ok());
+}
+
+}  // namespace
+}  // namespace tdg

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/kmeans.h"
+#include "baselines/lpa.h"
+#include "baselines/percentile_partitions.h"
+#include "baselines/random_assignment.h"
+#include "baselines/registry.h"
+#include "baselines/static_groups.h"
+#include "core/dygroups.h"
+#include "core/process.h"
+#include "random/distributions.h"
+
+namespace tdg::baselines {
+namespace {
+
+SkillVector RandomSkills(int n, uint64_t seed) {
+  random::Rng rng(seed);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kLogNormal, n);
+  return skills;
+}
+
+// Every registered policy must produce a valid equi-sized grouping.
+TEST(RegistryTest, AllPoliciesProduceValidGroupings) {
+  SkillVector skills = RandomSkills(20, 1);
+  for (const std::string& name : AllPolicyNames()) {
+    auto policy = MakePolicy(name, 7);
+    ASSERT_TRUE(policy.ok()) << name;
+    auto grouping = (*policy)->FormGroups(skills, 4);
+    ASSERT_TRUE(grouping.ok()) << name;
+    EXPECT_TRUE(grouping->ValidateEquiSized(20).ok()) << name;
+    EXPECT_EQ((*policy)->name(), name);
+  }
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  auto policy = MakePolicy("Simulated-Annealing", 1);
+  ASSERT_FALSE(policy.ok());
+  EXPECT_EQ(policy.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, PoliciesRejectBadArguments) {
+  SkillVector skills = RandomSkills(10, 2);
+  for (const std::string& name : AllPolicyNames()) {
+    auto policy = MakePolicy(name, 7);
+    ASSERT_TRUE(policy.ok());
+    EXPECT_FALSE((*policy)->FormGroups(skills, 3).ok()) << name;  // 10 % 3
+    EXPECT_FALSE((*policy)->FormGroups(skills, 0).ok()) << name;
+    EXPECT_FALSE((*policy)->FormGroups({}, 1).ok()) << name;
+  }
+}
+
+TEST(RandomAssignmentTest, SeedDeterminism) {
+  SkillVector skills = RandomSkills(12, 3);
+  RandomAssignmentPolicy a(5);
+  RandomAssignmentPolicy b(5);
+  RandomAssignmentPolicy c(6);
+  auto ga = a.FormGroups(skills, 3);
+  auto gb = b.FormGroups(skills, 3);
+  auto gc = c.FormGroups(skills, 3);
+  ASSERT_TRUE(ga.ok() && gb.ok() && gc.ok());
+  EXPECT_EQ(ga->CanonicalKey(), gb->CanonicalKey());
+  EXPECT_NE(ga->CanonicalKey(), gc->CanonicalKey());
+}
+
+TEST(RandomAssignmentTest, ProducesVaryingGroupingsAcrossRounds) {
+  SkillVector skills = RandomSkills(12, 4);
+  RandomAssignmentPolicy policy(9);
+  std::set<std::string> keys;
+  for (int round = 0; round < 5; ++round) {
+    auto g = policy.FormGroups(skills, 3);
+    ASSERT_TRUE(g.ok());
+    keys.insert(g->CanonicalKey());
+  }
+  EXPECT_GT(keys.size(), 1u);
+}
+
+TEST(KMeansTest, GroupsClusterSimilarSkills) {
+  // Two well-separated skill clusters; k-means with k=2 should not mix them
+  // (whichever participants seed the centers, nearest-assignment separates
+  // the clusters as long as both clusters seed at least one center — run a
+  // few seeds and require it to happen for most).
+  SkillVector skills = {1.0, 1.1, 1.05, 0.95, 10.0, 10.1, 10.05, 9.95};
+  int separated = 0;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    KMeansPolicy policy(seed);
+    auto grouping = policy.FormGroups(skills, 2);
+    ASSERT_TRUE(grouping.ok());
+    for (const auto& group : grouping->groups) {
+      bool has_low = false;
+      bool has_high = false;
+      for (int id : group) {
+        (skills[id] < 5.0 ? has_low : has_high) = true;
+      }
+      if (has_low != has_high) ++separated;  // pure group
+    }
+  }
+  EXPECT_GT(separated, 10);  // more than half of all groups pure
+}
+
+TEST(PercentilePartitionsTest, MentorsSpreadAcrossGroups) {
+  // n = 8, k = 2, p = 0.75: 2 mentors (top 25%), one per group.
+  SkillVector skills = {1, 2, 3, 4, 5, 6, 7, 8};
+  PercentilePartitionsPolicy policy(0.75);
+  auto grouping = policy.FormGroups(skills, 2);
+  ASSERT_TRUE(grouping.ok());
+  // Ids 7 (skill 8) and 6 (skill 7) are the mentors; they must be in
+  // different groups.
+  int group_of_7 = -1;
+  int group_of_6 = -1;
+  for (int g = 0; g < 2; ++g) {
+    for (int id : grouping->groups[g]) {
+      if (id == 7) group_of_7 = g;
+      if (id == 6) group_of_6 = g;
+    }
+  }
+  EXPECT_NE(group_of_7, group_of_6);
+}
+
+TEST(PercentilePartitionsTest, DeterministicAndCapacitySafe) {
+  SkillVector skills = RandomSkills(30, 5);
+  PercentilePartitionsPolicy policy;  // p = 0.75 default
+  auto a = policy.FormGroups(skills, 5);
+  auto b = policy.FormGroups(skills, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->CanonicalKey(), b->CanonicalKey());
+  // Extreme p still respects capacity: many mentors.
+  PercentilePartitionsPolicy low_p(0.1);
+  auto g = low_p.FormGroups(skills, 5);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->ValidateEquiSized(30).ok());
+}
+
+TEST(LpaTest, TopKAreTeachersAndWeakestJoinStrongestTeacher) {
+  SkillVector skills = {1, 2, 3, 4, 5, 6, 7, 8, 9};  // id = skill - 1
+  LpaPolicy policy;
+  auto grouping = policy.FormGroups(skills, 3);
+  ASSERT_TRUE(grouping.ok());
+  // Teachers: ids 8, 7, 6 in groups 0, 1, 2. Weakest (id 0, skill 1) picks
+  // first and joins the strongest teacher's group (group 0).
+  EXPECT_EQ(grouping->groups[0].front(), 8);
+  EXPECT_TRUE(std::find(grouping->groups[0].begin(),
+                        grouping->groups[0].end(),
+                        0) != grouping->groups[0].end());
+  // LPA is round-optimal for star mode (top-k teachers) but distinct from
+  // DyGroups-Star-Local's blocks.
+  auto dygroups = DyGroupsStarLocal(skills, 3);
+  ASSERT_TRUE(dygroups.ok());
+  EXPECT_NE(grouping->CanonicalKey(), dygroups->CanonicalKey());
+}
+
+TEST(LpaTest, RoundOptimalForStarMode) {
+  SkillVector skills = RandomSkills(8, 6);
+  LpaPolicy policy;
+  LinearGain gain(0.5);
+  auto lpa = policy.FormGroups(skills, 2);
+  auto dygroups = DyGroupsStarLocal(skills, 2);
+  ASSERT_TRUE(lpa.ok() && dygroups.ok());
+  EXPECT_NEAR(
+      EvaluateRoundGain(InteractionMode::kStar, lpa.value(), gain, skills)
+          .value(),
+      EvaluateRoundGain(InteractionMode::kStar, dygroups.value(), gain,
+                        skills)
+          .value(),
+      1e-12);
+}
+
+TEST(StaticGroupsTest, CachesFirstGrouping) {
+  SkillVector skills = RandomSkills(12, 7);
+  StaticGroupsPolicy policy(std::make_unique<DyGroupsStarPolicy>());
+  auto first = policy.FormGroups(skills, 3);
+  ASSERT_TRUE(first.ok());
+  // Different skills, same membership returned.
+  SkillVector other = RandomSkills(12, 8);
+  auto second = policy.FormGroups(other, 3);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->CanonicalKey(), second->CanonicalKey());
+  EXPECT_EQ(policy.name(), "Static(DyGroups-Star)");
+}
+
+TEST(StaticGroupsTest, RejectsShapeChangeUntilReset) {
+  SkillVector skills = RandomSkills(12, 9);
+  StaticGroupsPolicy policy(std::make_unique<DyGroupsStarPolicy>());
+  ASSERT_TRUE(policy.FormGroups(skills, 3).ok());
+  EXPECT_FALSE(policy.FormGroups(skills, 4).ok());
+  SkillVector bigger = RandomSkills(16, 9);
+  EXPECT_FALSE(policy.FormGroups(bigger, 4).ok());
+  policy.Reset();
+  EXPECT_TRUE(policy.FormGroups(bigger, 4).ok());
+}
+
+// The headline hypothesis: over multiple rounds, dynamic re-grouping beats
+// keeping the first (even optimally chosen) grouping frozen.
+TEST(StaticGroupsTest, DynamicBeatsStaticOverRounds) {
+  SkillVector skills = RandomSkills(40, 10);
+  LinearGain gain(0.5);
+  ProcessConfig config;
+  config.num_groups = 5;
+  config.num_rounds = 6;
+  config.mode = InteractionMode::kStar;
+
+  DyGroupsStarPolicy dynamic;
+  auto dynamic_result = RunProcess(skills, config, gain, dynamic);
+  ASSERT_TRUE(dynamic_result.ok());
+
+  StaticGroupsPolicy static_policy(std::make_unique<DyGroupsStarPolicy>());
+  auto static_result = RunProcess(skills, config, gain, static_policy);
+  ASSERT_TRUE(static_result.ok());
+
+  EXPECT_GT(dynamic_result->total_gain, static_result->total_gain);
+}
+
+}  // namespace
+}  // namespace tdg::baselines

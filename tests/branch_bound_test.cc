@@ -1,0 +1,112 @@
+#include "core/branch_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dygroups.h"
+#include "core/process.h"
+#include "random/distributions.h"
+
+namespace tdg {
+namespace {
+
+SkillVector RandomSkills(random::Rng& rng, int n) {
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kUniform, n);
+  for (double& s : skills) s += 1e-9;
+  return skills;
+}
+
+TEST(BranchBoundTest, MatchesBruteForceAcrossModesAndShapes) {
+  random::Rng rng(51);
+  for (int trial = 0; trial < 30; ++trial) {
+    int n = 4 + 2 * static_cast<int>(rng.NextBounded(2));  // 4 or 6
+    int k = (trial % 3 == 0 && n == 6) ? 3 : 2;
+    int alpha = 1 + static_cast<int>(rng.NextBounded(3));
+    double r = 0.1 + 0.8 * rng.NextDouble();
+    InteractionMode mode = (trial % 2 == 0) ? InteractionMode::kStar
+                                            : InteractionMode::kClique;
+    SkillVector skills = RandomSkills(rng, n);
+    LinearGain gain(r);
+
+    auto brute = SolveTdgBruteForce(skills, k, alpha, mode, gain);
+    auto bounded = SolveTdgBranchBound(skills, k, alpha, mode, gain);
+    ASSERT_TRUE(brute.ok());
+    ASSERT_TRUE(bounded.ok());
+    EXPECT_NEAR(bounded->best_total_gain, brute->best_total_gain, 1e-9)
+        << "n=" << n << " k=" << k << " alpha=" << alpha;
+  }
+}
+
+TEST(BranchBoundTest, PrunesSubstantially) {
+  random::Rng rng(53);
+  SkillVector skills = RandomSkills(rng, 8);
+  LinearGain gain(0.5);
+  auto brute = SolveTdgBruteForce(skills, 2, 3, InteractionMode::kStar,
+                                  gain);
+  auto bounded = SolveTdgBranchBound(skills, 2, 3, InteractionMode::kStar,
+                                     gain);
+  ASSERT_TRUE(brute.ok());
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_NEAR(bounded->best_total_gain, brute->best_total_gain, 1e-9);
+  // Brute force explores 35^3 = 42875 full sequences; branch-and-bound
+  // expands far fewer nodes than the full 35 + 35^2 + 35^3 tree.
+  EXPECT_GT(bounded->nodes_pruned, 0);
+  EXPECT_LT(bounded->nodes_explored, 44135);
+}
+
+TEST(BranchBoundTest, HandlesLargerInstancesThanBruteForceBudget) {
+  // n = 10, k = 2 has 126 groupings; alpha = 3 gives 2e6 sequences, which
+  // brute force could still do, but the bound should cut most of it.
+  random::Rng rng(55);
+  SkillVector skills = RandomSkills(rng, 10);
+  LinearGain gain(0.5);
+  auto bounded = SolveTdgBranchBound(skills, 2, 3, InteractionMode::kStar,
+                                     gain);
+  ASSERT_TRUE(bounded.ok());
+
+  DyGroupsStarPolicy policy;
+  ProcessConfig config;
+  config.num_groups = 2;
+  config.num_rounds = 3;
+  config.mode = InteractionMode::kStar;
+  auto dygroups = RunProcess(skills, config, gain, policy);
+  ASSERT_TRUE(dygroups.ok());
+  // Theorem 5: DyGroups-Star is optimal for k = 2.
+  EXPECT_NEAR(dygroups->total_gain, bounded->best_total_gain, 1e-9);
+}
+
+TEST(BranchBoundTest, RespectsNodeBudget) {
+  random::Rng rng(57);
+  SkillVector skills = RandomSkills(rng, 8);
+  LinearGain gain(0.5);
+  BranchBoundOptions options;
+  options.max_nodes = 10;
+  EXPECT_FALSE(SolveTdgBranchBound(skills, 2, 3, InteractionMode::kStar,
+                                   gain, options)
+                   .ok());
+}
+
+TEST(BranchBoundTest, ZeroRounds) {
+  SkillVector skills = {0.2, 0.4, 0.6, 0.8};
+  LinearGain gain(0.5);
+  auto result =
+      SolveTdgBranchBound(skills, 2, 0, InteractionMode::kStar, gain);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->best_total_gain, 0.0);
+}
+
+TEST(BranchBoundTest, ConcaveGainUsesLooseBoundButStaysExact) {
+  random::Rng rng(59);
+  SkillVector skills = RandomSkills(rng, 6);
+  LogGain gain(0.5);
+  auto brute =
+      SolveTdgBruteForce(skills, 2, 2, InteractionMode::kStar, gain);
+  auto bounded =
+      SolveTdgBranchBound(skills, 2, 2, InteractionMode::kStar, gain);
+  ASSERT_TRUE(brute.ok());
+  ASSERT_TRUE(bounded.ok());
+  EXPECT_NEAR(bounded->best_total_gain, brute->best_total_gain, 1e-9);
+}
+
+}  // namespace
+}  // namespace tdg

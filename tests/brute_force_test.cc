@@ -1,0 +1,158 @@
+#include "core/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/dygroups.h"
+#include "core/process.h"
+#include "random/distributions.h"
+
+namespace tdg {
+namespace {
+
+TEST(EnumerateGroupingsTest, KnownCounts) {
+  // n! / ((t!)^k k!)
+  struct Case {
+    int n;
+    int k;
+    size_t expected;
+  };
+  for (const Case& c : {Case{4, 2, 3}, Case{6, 2, 10}, Case{6, 3, 15},
+                        Case{8, 2, 35}, Case{9, 3, 280}, Case{4, 4, 1},
+                        Case{4, 1, 1}}) {
+    auto groupings = EnumerateEquiSizedGroupings(c.n, c.k);
+    ASSERT_TRUE(groupings.ok()) << c.n << "/" << c.k;
+    EXPECT_EQ(groupings->size(), c.expected) << c.n << "/" << c.k;
+    auto count = CountEquiSizedGroupings(c.n, c.k);
+    ASSERT_TRUE(count.ok());
+    EXPECT_NEAR(count.value(), static_cast<double>(c.expected), 1e-6);
+  }
+}
+
+TEST(EnumerateGroupingsTest, AllValidAndDistinct) {
+  auto groupings = EnumerateEquiSizedGroupings(8, 2);
+  ASSERT_TRUE(groupings.ok());
+  std::set<std::string> keys;
+  for (const Grouping& g : groupings.value()) {
+    EXPECT_TRUE(g.ValidateEquiSized(8).ok());
+    keys.insert(g.CanonicalKey());
+  }
+  EXPECT_EQ(keys.size(), groupings->size());
+}
+
+TEST(EnumerateGroupingsTest, RejectsIndivisibleAndHuge) {
+  EXPECT_FALSE(EnumerateEquiSizedGroupings(7, 2).ok());
+  EXPECT_FALSE(EnumerateEquiSizedGroupings(0, 1).ok());
+  EXPECT_FALSE(EnumerateEquiSizedGroupings(40, 20).ok());  // too many
+}
+
+TEST(BruteForceTest, ZeroRoundsGivesZeroGain) {
+  SkillVector skills = {0.1, 0.5, 0.7, 0.9};
+  LinearGain gain(0.5);
+  auto result = SolveTdgBruteForce(skills, 2, 0, InteractionMode::kStar,
+                                   gain);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->best_total_gain, 0.0);
+  EXPECT_TRUE(result->best_sequence.empty());
+}
+
+TEST(BruteForceTest, SingleRoundMatchesBestEnumeratedGrouping) {
+  random::Rng rng(3);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kUniform, 6);
+  for (double& s : skills) s += 0.01;
+  LinearGain gain(0.4);
+  for (InteractionMode mode :
+       {InteractionMode::kStar, InteractionMode::kClique}) {
+    auto solver = SolveTdgBruteForce(skills, 2, 1, mode, gain);
+    ASSERT_TRUE(solver.ok());
+    auto groupings = EnumerateEquiSizedGroupings(6, 2);
+    ASSERT_TRUE(groupings.ok());
+    double best = 0.0;
+    for (const Grouping& g : groupings.value()) {
+      best = std::max(best,
+                      EvaluateRoundGain(mode, g, gain, skills).value());
+    }
+    EXPECT_NEAR(solver->best_total_gain, best, 1e-12);
+  }
+}
+
+TEST(BruteForceTest, RespectsBudget) {
+  SkillVector skills(12, 1.0);
+  for (size_t i = 0; i < skills.size(); ++i) skills[i] += i;
+  LinearGain gain(0.5);
+  BruteForceOptions options;
+  options.max_sequences = 10;  // (12 choose 6)/2 = 462 > 10
+  EXPECT_FALSE(SolveTdgBruteForce(skills, 2, 1, InteractionMode::kStar, gain,
+                                  options)
+                   .ok());
+}
+
+TEST(BruteForceTest, ExploredSequenceCountIsExact) {
+  SkillVector skills = {0.2, 0.4, 0.6, 0.8};
+  LinearGain gain(0.5);
+  auto result =
+      SolveTdgBruteForce(skills, 2, 3, InteractionMode::kStar, gain);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->sequences_explored, 27.0);  // 3^3
+  EXPECT_EQ(result->best_sequence.size(), 3u);
+}
+
+// Theorem 5 (spot check; the full 1000-instance sweep is the §V-B3 bench):
+// DyGroups-Star attains the brute-force optimum for k = 2.
+TEST(BruteForceTest, DyGroupsStarOptimalForTwoGroups) {
+  random::Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    int n = 4 + 2 * static_cast<int>(rng.NextBounded(2));  // 4 or 6
+    int alpha = 1 + static_cast<int>(rng.NextBounded(3));  // 1..3
+    double r = 0.1 + 0.8 * rng.NextDouble();
+    SkillVector skills =
+        random::GenerateSkills(rng, random::SkillDistribution::kUniform, n);
+    for (double& s : skills) s += 0.01;
+
+    LinearGain gain(r);
+    auto brute = SolveTdgBruteForce(skills, 2, alpha, InteractionMode::kStar,
+                                    gain);
+    ASSERT_TRUE(brute.ok());
+
+    DyGroupsStarPolicy policy;
+    ProcessConfig config;
+    config.num_groups = 2;
+    config.num_rounds = alpha;
+    config.mode = InteractionMode::kStar;
+    auto dygroups = RunProcess(skills, config, gain, policy);
+    ASSERT_TRUE(dygroups.ok());
+
+    EXPECT_NEAR(dygroups->total_gain, brute->best_total_gain, 1e-9)
+        << "n=" << n << " alpha=" << alpha << " r=" << r;
+  }
+}
+
+// The paper conjectures (§VII) DyGroups-Star stays optimal for k > 2;
+// verify on tiny instances that it at least matches brute force there too.
+TEST(BruteForceTest, DyGroupsStarMatchesBruteForceOnTinyKThree) {
+  random::Rng rng(13);
+  for (int trial = 0; trial < 10; ++trial) {
+    SkillVector skills =
+        random::GenerateSkills(rng, random::SkillDistribution::kUniform, 6);
+    for (double& s : skills) s += 0.01;
+    LinearGain gain(0.5);
+    auto brute = SolveTdgBruteForce(skills, 3, 2, InteractionMode::kStar,
+                                    gain);
+    ASSERT_TRUE(brute.ok());
+
+    DyGroupsStarPolicy policy;
+    ProcessConfig config;
+    config.num_groups = 3;
+    config.num_rounds = 2;
+    config.mode = InteractionMode::kStar;
+    auto dygroups = RunProcess(skills, config, gain, policy);
+    ASSERT_TRUE(dygroups.ok());
+    EXPECT_LE(dygroups->total_gain, brute->best_total_gain + 1e-9);
+    EXPECT_NEAR(dygroups->total_gain, brute->best_total_gain, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tdg

@@ -1,0 +1,81 @@
+#include "sim/calibration.h"
+
+#include <gtest/gtest.h>
+
+namespace tdg::sim {
+namespace {
+
+TEST(CalibrationTest, RejectsBadConfig) {
+  CalibrationConfig config;
+  config.group_sizes = {};
+  EXPECT_FALSE(RunCalibration(config).ok());
+  config.group_sizes = {1};
+  EXPECT_FALSE(RunCalibration(config).ok());
+  config.group_sizes = {4};
+  config.deployments = 0;
+  EXPECT_FALSE(RunCalibration(config).ok());
+}
+
+TEST(CalibrationTest, RecoversTrueRateForSmallGroups) {
+  CalibrationConfig config;
+  config.group_sizes = {2, 3, 4};
+  config.deployments = 50;
+  config.true_rate_mean = 0.5;
+  auto result = RunCalibration(config);
+  ASSERT_TRUE(result.ok());
+  for (const CalibrationCell& cell : result->cells) {
+    // No crowding penalty at or below the comfortable size: the implied
+    // rate should recover the ground truth.
+    EXPECT_NEAR(cell.estimated_rate, 0.5, 0.03)
+        << "size " << cell.group_size;
+  }
+}
+
+TEST(CalibrationTest, CrowdingDilutesLargeGroups) {
+  CalibrationConfig config;
+  config.group_sizes = {4, 15};
+  config.deployments = 50;
+  auto result = RunCalibration(config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->cells.size(), 2u);
+  const CalibrationCell& small = result->cells[0];
+  const CalibrationCell& large = result->cells[1];
+  // Effective rate at size 15 is scaled by 1 / (1 + 0.15 * 10) = 0.4.
+  EXPECT_LT(large.estimated_rate, small.estimated_rate * 0.6);
+}
+
+TEST(CalibrationTest, RecommendsPaperSizedGroups) {
+  // The paper's pre-deployments concluded groups of 4-5 are best and
+  // r ≈ 0.5. The same study on the simulator must reach the same place.
+  CalibrationConfig config;  // default sizes {2,3,4,5,10,12,15}
+  config.deployments = 50;
+  auto result = RunCalibration(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->recommended_group_size, 3);
+  EXPECT_LE(result->recommended_group_size, 5);
+  EXPECT_NEAR(result->recommended_rate, 0.5, 0.05);
+  // Every configured size produced a cell, in order.
+  ASSERT_EQ(result->cells.size(), config.group_sizes.size());
+  for (size_t i = 0; i < config.group_sizes.size(); ++i) {
+    EXPECT_EQ(result->cells[i].group_size, config.group_sizes[i]);
+    EXPECT_GE(result->cells[i].retention, 0.0);
+    EXPECT_LE(result->cells[i].retention, 1.0);
+  }
+}
+
+TEST(CalibrationTest, DeterministicGivenSeed) {
+  CalibrationConfig config;
+  config.group_sizes = {3, 6};
+  config.deployments = 5;
+  auto a = RunCalibration(config);
+  auto b = RunCalibration(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->cells.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->cells[i].estimated_rate,
+                     b->cells[i].estimated_rate);
+    EXPECT_DOUBLE_EQ(a->cells[i].score, b->cells[i].score);
+  }
+}
+
+}  // namespace
+}  // namespace tdg::sim

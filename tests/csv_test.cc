@@ -1,0 +1,87 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace tdg::util {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsUnchanged) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, QuotesSpecialFields) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvSplitLineTest, SplitsPlainAndQuoted) {
+  auto fields = CsvSplitLine("a,\"b,c\",d");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields.value(), (std::vector<std::string>{"a", "b,c", "d"}));
+}
+
+TEST(CsvSplitLineTest, UnescapesDoubledQuotes) {
+  auto fields = CsvSplitLine("\"say \"\"hi\"\"\"");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields.value(), (std::vector<std::string>{"say \"hi\""}));
+}
+
+TEST(CsvSplitLineTest, RejectsMalformedQuotes) {
+  EXPECT_FALSE(CsvSplitLine("a\"b").ok());
+  EXPECT_FALSE(CsvSplitLine("\"unterminated").ok());
+}
+
+TEST(CsvDocumentTest, RoundTripsThroughText) {
+  CsvDocument doc({"name", "value"});
+  ASSERT_TRUE(doc.AddRow({"alpha", "1"}).ok());
+  ASSERT_TRUE(doc.AddRow({"with,comma", "2"}).ok());
+
+  auto parsed = CsvDocument::Parse(doc.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->header(), doc.header());
+  EXPECT_EQ(parsed->rows(), doc.rows());
+}
+
+TEST(CsvDocumentTest, RejectsWrongArity) {
+  CsvDocument doc({"a", "b"});
+  EXPECT_FALSE(doc.AddRow({"only-one"}).ok());
+}
+
+TEST(CsvDocumentTest, ColumnIndexAndField) {
+  CsvDocument doc({"x", "y"});
+  ASSERT_TRUE(doc.AddRow({"1", "2"}).ok());
+  EXPECT_EQ(doc.ColumnIndex("y").value(), 1u);
+  EXPECT_FALSE(doc.ColumnIndex("z").ok());
+  EXPECT_EQ(doc.Field(0, 1).value(), "2");
+  EXPECT_FALSE(doc.Field(1, 0).ok());
+  EXPECT_FALSE(doc.Field(0, 2).ok());
+}
+
+TEST(CsvDocumentTest, ParseHandlesCrlfAndBlankLines) {
+  auto parsed = CsvDocument::Parse("a,b\r\n1,2\r\n\r\n3,4\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_rows(), 2u);
+  EXPECT_EQ(parsed->Field(1, 1).value(), "4");
+}
+
+TEST(CsvDocumentTest, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/tdg_csv_test.csv";
+  CsvDocument doc({"k", "v"});
+  ASSERT_TRUE(doc.AddRow({"a", "1"}).ok());
+  ASSERT_TRUE(doc.WriteToFile(path).ok());
+  auto loaded = CsvDocument::ReadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows(), doc.rows());
+  std::remove(path.c_str());
+}
+
+TEST(CsvDocumentTest, ReadMissingFileFails) {
+  EXPECT_FALSE(CsvDocument::ReadFromFile("/nonexistent/nope.csv").ok());
+}
+
+}  // namespace
+}  // namespace tdg::util

@@ -1,0 +1,135 @@
+#include "core/dygroups.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "random/distributions.h"
+
+namespace tdg {
+namespace {
+
+// TOY EXAMPLE skills (paper §II), indexed so participant i has skill
+// (i+1)/10.
+SkillVector ToySkills() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+}
+
+// Skill multiset of each group under `grouping`.
+std::vector<std::vector<double>> GroupSkills(const Grouping& grouping,
+                                             const SkillVector& skills) {
+  std::vector<std::vector<double>> out;
+  for (const auto& group : grouping.groups) {
+    std::vector<double> values;
+    for (int id : group) values.push_back(skills[id]);
+    std::sort(values.begin(), values.end(), std::greater<>());
+    out.push_back(values);
+  }
+  return out;
+}
+
+// Paper §III-A round 1 of DyGroups-Star on the toy example:
+// [0.9,0.6,0.5], [0.8,0.4,0.3], [0.7,0.2,0.1].
+TEST(DyGroupsStarLocalTest, ToyExampleRoundOneGroups) {
+  auto grouping = DyGroupsStarLocal(ToySkills(), 3);
+  ASSERT_TRUE(grouping.ok());
+  auto groups = GroupSkills(grouping.value(), ToySkills());
+  EXPECT_EQ(groups[0], (std::vector<double>{0.9, 0.6, 0.5}));
+  EXPECT_EQ(groups[1], (std::vector<double>{0.8, 0.4, 0.3}));
+  EXPECT_EQ(groups[2], (std::vector<double>{0.7, 0.2, 0.1}));
+}
+
+// Paper §III-B round 1 of DyGroups-Clique on the toy example:
+// [0.9,0.6,0.3], [0.8,0.5,0.2], [0.7,0.4,0.1].
+TEST(DyGroupsCliqueLocalTest, ToyExampleRoundOneGroups) {
+  auto grouping = DyGroupsCliqueLocal(ToySkills(), 3);
+  ASSERT_TRUE(grouping.ok());
+  auto groups = GroupSkills(grouping.value(), ToySkills());
+  EXPECT_EQ(groups[0], (std::vector<double>{0.9, 0.6, 0.3}));
+  EXPECT_EQ(groups[1], (std::vector<double>{0.8, 0.5, 0.2}));
+  EXPECT_EQ(groups[2], (std::vector<double>{0.7, 0.4, 0.1}));
+}
+
+TEST(DyGroupsStarLocalTest, TopKAreTeachersOfDistinctGroups) {
+  random::Rng rng(3);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kLogNormal, 20);
+  auto grouping = DyGroupsStarLocal(skills, 4);
+  ASSERT_TRUE(grouping.ok());
+  ASSERT_TRUE(grouping->ValidateEquiSized(20).ok());
+
+  std::vector<int> sorted = SortedByskillDescending(skills);
+  // Each of the top-4 ids must be the maximum of its own group.
+  for (int rank = 0; rank < 4; ++rank) {
+    int teacher = sorted[rank];
+    bool found = false;
+    for (const auto& group : grouping->groups) {
+      if (std::find(group.begin(), group.end(), teacher) == group.end()) {
+        continue;
+      }
+      found = true;
+      for (int member : group) {
+        EXPECT_LE(skills[member], skills[teacher]);
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+// The dominance property of Algorithm 3: the j-th strongest member of group
+// i is at least the j-th strongest member of group i+1.
+TEST(DyGroupsCliqueLocalTest, DominanceProperty) {
+  random::Rng rng(5);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kLogNormal, 24);
+  auto grouping = DyGroupsCliqueLocal(skills, 4);
+  ASSERT_TRUE(grouping.ok());
+  auto groups = GroupSkills(grouping.value(), skills);
+  for (size_t g = 0; g + 1 < groups.size(); ++g) {
+    for (size_t j = 0; j < groups[g].size(); ++j) {
+      EXPECT_GE(groups[g][j], groups[g + 1][j]);
+    }
+  }
+}
+
+TEST(DyGroupsLocalTest, RejectsInvalidArguments) {
+  SkillVector skills = {1.0, 2.0, 3.0};
+  EXPECT_FALSE(DyGroupsStarLocal(skills, 2).ok());   // 3 % 2 != 0
+  EXPECT_FALSE(DyGroupsStarLocal(skills, 0).ok());
+  EXPECT_FALSE(DyGroupsStarLocal(skills, 4).ok());   // k > n
+  EXPECT_FALSE(DyGroupsStarLocal({}, 1).ok());
+  EXPECT_FALSE(DyGroupsStarLocal({1.0, -2.0}, 1).ok());
+  EXPECT_FALSE(DyGroupsCliqueLocal(skills, 2).ok());
+}
+
+TEST(DyGroupsLocalTest, SingletonGroupsWhenKEqualsN) {
+  SkillVector skills = {3.0, 1.0, 2.0};
+  auto grouping = DyGroupsStarLocal(skills, 3);
+  ASSERT_TRUE(grouping.ok());
+  EXPECT_TRUE(grouping->ValidateEquiSized(3).ok());
+  for (const auto& group : grouping->groups) {
+    EXPECT_EQ(group.size(), 1u);
+  }
+}
+
+TEST(DyGroupsLocalTest, OneGroupContainsEveryone) {
+  SkillVector skills = {3.0, 1.0, 2.0};
+  for (auto* local : {&DyGroupsStarLocal, &DyGroupsCliqueLocal}) {
+    auto grouping = (*local)(skills, 1);
+    ASSERT_TRUE(grouping.ok());
+    EXPECT_EQ(grouping->num_groups(), 1);
+    EXPECT_EQ(grouping->groups[0].size(), 3u);
+  }
+}
+
+TEST(MakeDyGroupsPolicyTest, ReturnsMatchingPolicy) {
+  auto star = MakeDyGroupsPolicy(InteractionMode::kStar);
+  auto clique = MakeDyGroupsPolicy(InteractionMode::kClique);
+  ASSERT_NE(star, nullptr);
+  ASSERT_NE(clique, nullptr);
+  EXPECT_EQ(star->name(), "DyGroups-Star");
+  EXPECT_EQ(clique->name(), "DyGroups-Clique");
+}
+
+}  // namespace
+}  // namespace tdg

@@ -1,0 +1,130 @@
+// Assorted boundary behaviors across modules that the focused suites do
+// not cover.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/percentile_partitions.h"
+#include "core/affinity.h"
+#include "core/dygroups.h"
+#include "core/process.h"
+#include "io/series_io.h"
+#include "random/distributions.h"
+#include "util/csv.h"
+#include "util/table_printer.h"
+
+namespace tdg {
+namespace {
+
+TEST(EdgeCaseTest, TwoPersonPopulationOneGroup) {
+  SkillVector skills = {0.2, 0.8};
+  DyGroupsStarPolicy policy;
+  LinearGain gain(0.5);
+  ProcessConfig config;
+  config.num_groups = 1;
+  config.num_rounds = 3;
+  auto result = RunProcess(skills, config, gain, policy);
+  ASSERT_TRUE(result.ok());
+  // 0.2 -> 0.5 -> 0.65 -> 0.725; teacher fixed at 0.8.
+  EXPECT_NEAR(result->final_skills[0], 0.725, 1e-12);
+  EXPECT_NEAR(result->final_skills[1], 0.8, 1e-12);
+  EXPECT_NEAR(result->total_gain, 0.525, 1e-12);
+}
+
+TEST(EdgeCaseTest, AllEqualSkillsProduceZeroGainEverywhere) {
+  SkillVector equal(20, 3.0);
+  for (InteractionMode mode :
+       {InteractionMode::kStar, InteractionMode::kClique}) {
+    auto policy = MakeDyGroupsPolicy(mode);
+    LinearGain gain(0.5);
+    ProcessConfig config;
+    config.num_groups = 4;
+    config.num_rounds = 5;
+    config.mode = mode;
+    auto result = RunProcess(equal, config, gain, *policy);
+    ASSERT_TRUE(result.ok());
+    EXPECT_DOUBLE_EQ(result->total_gain, 0.0);
+    EXPECT_EQ(result->final_skills, equal);
+  }
+}
+
+TEST(EdgeCaseTest, ExtremeLearningRatesBehave) {
+  SkillVector skills = {1.0, 9.0};
+  Grouping grouping({{0, 1}});
+  SkillVector slow = skills;
+  LinearGain tiny(1e-9);
+  ASSERT_TRUE(
+      ApplyRound(InteractionMode::kStar, grouping, tiny, slow).ok());
+  EXPECT_NEAR(slow[0], 1.0, 1e-7);
+
+  SkillVector fast = skills;
+  LinearGain near_one(0.999999);
+  ASSERT_TRUE(
+      ApplyRound(InteractionMode::kStar, grouping, near_one, fast).ok());
+  EXPECT_NEAR(fast[0], 9.0, 1e-4);
+  EXPECT_LE(fast[0], 9.0);  // never overtakes
+}
+
+TEST(EdgeCaseTest, PercentilePolicyAtTinyPopulations) {
+  // n = k: singleton groups, any p.
+  SkillVector skills = {1, 2, 3, 4};
+  baselines::PercentilePartitionsPolicy policy(0.75);
+  auto grouping = policy.FormGroups(skills, 4);
+  ASSERT_TRUE(grouping.ok());
+  EXPECT_TRUE(grouping->ValidateEquiSized(4).ok());
+}
+
+TEST(EdgeCaseTest, AffinityPolicyWithSingletonGroups) {
+  random::Rng rng(1);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kLogNormal, 6);
+  LinearGain gain(0.5);
+  AffinityDyGroupsPolicy policy(InteractionMode::kStar, gain,
+                                AffinityMatrix(6), 3);
+  auto grouping = policy.FormGroups(skills, 6);  // k = n
+  ASSERT_TRUE(grouping.ok());
+  EXPECT_TRUE(grouping->ValidateEquiSized(6).ok());
+}
+
+TEST(EdgeCaseTest, CsvDocumentWithoutHeaderStillSerializes) {
+  util::CsvDocument doc;
+  ASSERT_TRUE(doc.AddRow({"a", "b"}).ok());
+  ASSERT_TRUE(doc.AddRow({"c"}).ok());  // arity unchecked without header
+  EXPECT_EQ(doc.ToString(), "a,b\nc\n");
+  EXPECT_FALSE(doc.ColumnIndex("a").ok());
+}
+
+TEST(EdgeCaseTest, EmptySeriesAndTablePrint) {
+  io::ExperimentSeries series;
+  series.x_label = "x";
+  EXPECT_EQ(series.ToTable(), "x\n-\n");
+
+  util::TablePrinter table({});
+  EXPECT_EQ(table.num_rows(), 0u);
+  EXPECT_FALSE(table.ToString().empty());
+}
+
+TEST(EdgeCaseTest, ProcessWithVeryManyRoundsConvergesAndStaysFinite) {
+  random::Rng rng(2);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kLogNormal, 30);
+  DyGroupsCliquePolicy policy;
+  LinearGain gain(0.9);
+  ProcessConfig config;
+  config.num_groups = 3;
+  config.num_rounds = 500;
+  config.mode = InteractionMode::kClique;
+  config.record_history = false;
+  auto result = RunProcess(skills, config, gain, policy);
+  ASSERT_TRUE(result.ok());
+  double top = *std::max_element(skills.begin(), skills.end());
+  for (double s : result->final_skills) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_LE(s, top + 1e-9);
+    EXPECT_NEAR(s, top, 1e-6 * top);
+  }
+}
+
+}  // namespace
+}  // namespace tdg

@@ -1,0 +1,66 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace tdg::util {
+namespace {
+
+FlagParser ParseArgs(std::vector<const char*> args) {
+  args.insert(args.begin(), "binary");
+  FlagParser parser;
+  EXPECT_TRUE(parser.Parse(static_cast<int>(args.size()), args.data()).ok());
+  return parser;
+}
+
+TEST(FlagParserTest, EqualsAndSpaceSyntax) {
+  FlagParser flags = ParseArgs({"--n=100", "--r", "0.5"});
+  EXPECT_EQ(flags.GetInt("n", 0), 100);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("r", 0), 0.5);
+}
+
+TEST(FlagParserTest, BareFlagIsTrue) {
+  FlagParser flags = ParseArgs({"--verbose"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+  EXPECT_TRUE(flags.HasFlag("verbose"));
+  EXPECT_FALSE(flags.HasFlag("quiet"));
+}
+
+TEST(FlagParserTest, DefaultsWhenAbsentOrMalformed) {
+  FlagParser flags = ParseArgs({"--n=abc"});
+  EXPECT_EQ(flags.GetInt("n", 7), 7);
+  EXPECT_EQ(flags.GetInt("missing", 9), 9);
+  EXPECT_EQ(flags.GetString("mode", "star"), "star");
+  EXPECT_FALSE(flags.GetBool("missing", false));
+}
+
+TEST(FlagParserTest, PositionalArguments) {
+  FlagParser flags = ParseArgs({"input.csv", "--k=3", "output.csv"});
+  EXPECT_EQ(flags.positional(),
+            (std::vector<std::string>{"input.csv", "output.csv"}));
+  EXPECT_EQ(flags.GetInt("k", 0), 3);
+}
+
+TEST(FlagParserTest, BoolSpellings) {
+  FlagParser flags =
+      ParseArgs({"--a=true", "--b=1", "--c=yes", "--d=on", "--e=false"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_TRUE(flags.GetBool("d", false));
+  EXPECT_FALSE(flags.GetBool("e", true));
+}
+
+TEST(FlagParserTest, RejectsBareDoubleDash) {
+  const char* args[] = {"binary", "--"};
+  FlagParser parser;
+  EXPECT_FALSE(parser.Parse(2, args).ok());
+}
+
+TEST(FlagParserTest, FlagFollowedByFlagIsTrue) {
+  FlagParser flags = ParseArgs({"--fast", "--n=10"});
+  EXPECT_TRUE(flags.GetBool("fast", false));
+  EXPECT_EQ(flags.GetInt("n", 0), 10);
+}
+
+}  // namespace
+}  // namespace tdg::util

@@ -1,0 +1,65 @@
+#include "core/grouping.h"
+
+#include <gtest/gtest.h>
+
+namespace tdg {
+namespace {
+
+TEST(GroupingTest, ValidEquiSizedPartitionPasses) {
+  Grouping g({{0, 2}, {1, 3}});
+  EXPECT_TRUE(g.ValidateEquiSized(4).ok());
+  EXPECT_TRUE(g.ValidatePartition(4).ok());
+  EXPECT_EQ(g.num_groups(), 2);
+  EXPECT_EQ(g.num_members(), 4);
+}
+
+TEST(GroupingTest, DetectsUnequalSizes) {
+  Grouping g({{0, 1, 2}, {3}});
+  EXPECT_FALSE(g.ValidateEquiSized(4).ok());
+  EXPECT_TRUE(g.ValidatePartition(4).ok());  // still a partition
+}
+
+TEST(GroupingTest, DetectsDuplicatesAndGaps) {
+  EXPECT_FALSE(Grouping({{0, 1}, {1, 2}}).ValidatePartition(4).ok());
+  EXPECT_FALSE(Grouping({{0, 1}, {2}}).ValidatePartition(4).ok());
+  EXPECT_FALSE(Grouping({{0, 1}, {2, 5}}).ValidatePartition(4).ok());
+  EXPECT_FALSE(Grouping({{0, -1}}).ValidatePartition(2).ok());
+  EXPECT_FALSE(Grouping({{0, 1}, {}}).ValidatePartition(2).ok());
+  EXPECT_FALSE(Grouping().ValidatePartition(0).ok());
+}
+
+TEST(GroupingTest, CanonicalizationSortsMembersAndGroups) {
+  Grouping g({{3, 1}, {2, 0}});
+  Grouping canonical = g.Canonicalized();
+  EXPECT_EQ(canonical.groups,
+            (std::vector<std::vector<int>>{{0, 2}, {1, 3}}));
+}
+
+TEST(GroupingTest, CanonicalKeyIdentifiesSamePartition) {
+  Grouping a({{3, 1}, {2, 0}});
+  Grouping b({{0, 2}, {1, 3}});
+  Grouping c({{0, 1}, {2, 3}});
+  EXPECT_EQ(a.CanonicalKey(), b.CanonicalKey());
+  EXPECT_NE(a.CanonicalKey(), c.CanonicalKey());
+  EXPECT_EQ(a.CanonicalKey(), "0,2|1,3");
+}
+
+TEST(GroupingTest, ToStringIsReadable) {
+  Grouping g({{0, 1}, {2}});
+  EXPECT_EQ(g.ToString(), "[[0,1],[2]]");
+}
+
+TEST(GroupingFromAssignmentTest, BuildsGroups) {
+  auto g = GroupingFromAssignment({0, 1, 0, 1}, 2);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->groups, (std::vector<std::vector<int>>{{0, 2}, {1, 3}}));
+}
+
+TEST(GroupingFromAssignmentTest, RejectsBadAssignments) {
+  EXPECT_FALSE(GroupingFromAssignment({0, 2}, 2).ok());   // index out of range
+  EXPECT_FALSE(GroupingFromAssignment({0, 0}, 2).ok());   // group 1 empty
+  EXPECT_FALSE(GroupingFromAssignment({}, 0).ok());
+}
+
+}  // namespace
+}  // namespace tdg

@@ -1,0 +1,137 @@
+// End-to-end flows across modules: generate -> persist -> reload -> run all
+// policies -> analyze -> export, mirroring what a downstream user of the
+// library would script.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+
+#include "baselines/registry.h"
+#include "core/dygroups.h"
+#include "core/metrics.h"
+#include "core/process.h"
+#include "io/population_io.h"
+#include "io/series_io.h"
+#include "random/distributions.h"
+#include "stats/descriptive.h"
+#include "stats/inequality.h"
+
+namespace tdg {
+namespace {
+
+TEST(IntegrationTest, FullPipelineAcrossAllPolicies) {
+  // 1. Generate a population and round-trip it through CSV.
+  random::Rng rng(42);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kLogNormal, 60);
+  std::string path = testing::TempDir() + "/tdg_integration_population.csv";
+  ASSERT_TRUE(io::WriteSkills(path, skills).ok());
+  auto reloaded = io::ReadSkills(path);
+  ASSERT_TRUE(reloaded.ok());
+  std::remove(path.c_str());
+
+  // 2. Run every registered policy on the reloaded population.
+  LinearGain gain(0.5);
+  ProcessConfig config;
+  config.num_groups = 5;
+  config.num_rounds = 5;
+  config.mode = InteractionMode::kStar;
+
+  std::map<std::string, double> total_gains;
+  for (const std::string& name : baselines::AllPolicyNames()) {
+    auto policy = baselines::MakePolicy(name, 7);
+    ASSERT_TRUE(policy.ok());
+    auto result = RunProcess(reloaded.value(), config, gain, **policy);
+    ASSERT_TRUE(result.ok()) << name;
+    total_gains[name] = result->total_gain;
+
+    // Invariants hold for every policy.
+    EXPECT_NEAR(result->total_gain,
+                stats::Sum(result->final_skills) -
+                    stats::Sum(result->initial_skills),
+                1e-9);
+    for (const RoundRecord& record : result->history) {
+      EXPECT_TRUE(record.grouping.ValidateEquiSized(60).ok());
+    }
+  }
+
+  // 3. DyGroups-Star wins its own mode.
+  for (const auto& [name, total] : total_gains) {
+    EXPECT_LE(total, total_gains["DyGroups-Star"] + 1e-9) << name;
+  }
+
+  // 4. Analyze the winner's trajectory with the metrics module.
+  auto policy = baselines::MakePolicy("DyGroups-Star", 7);
+  ASSERT_TRUE(policy.ok());
+  auto result = RunProcess(reloaded.value(), config, gain, **policy);
+  ASSERT_TRUE(result.ok());
+  const SkillVector* before = &result->initial_skills;
+  for (const RoundRecord& record : result->history) {
+    auto metrics =
+        ComputeRoundMetrics(record.grouping, *before, record.skills_after);
+    ASSERT_TRUE(metrics.ok());
+    EXPECT_DOUBLE_EQ(metrics->teacher_coverage, 1.0);
+    EXPECT_NEAR(metrics->round_gain, record.gain, 1e-9);
+    before = &record.skills_after;
+  }
+
+  // 5. Export a series of the per-round gains.
+  io::ExperimentSeries series;
+  series.x_label = "round";
+  series.series_names = {"gain"};
+  for (size_t t = 0; t < result->round_gains.size(); ++t) {
+    series.x_values.push_back(static_cast<double>(t + 1));
+  }
+  series.values = {result->round_gains};
+  std::string series_path = testing::TempDir() + "/tdg_integration_series.csv";
+  ASSERT_TRUE(series.WriteCsv(series_path).ok());
+  std::remove(series_path.c_str());
+}
+
+TEST(IntegrationTest, InequalityFallsUnderAllPolicies) {
+  random::Rng rng(43);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kLogNormal, 50);
+  LinearGain gain(0.3);
+  ProcessConfig config;
+  config.num_groups = 5;
+  config.num_rounds = 8;
+  config.mode = InteractionMode::kClique;
+
+  for (const std::string& name : baselines::AllPolicyNames()) {
+    auto policy = baselines::MakePolicy(name, 9);
+    ASSERT_TRUE(policy.ok());
+    auto result = RunProcess(skills, config, gain, **policy);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_LT(stats::GiniIndex(result->final_skills),
+              stats::GiniIndex(skills))
+        << name;
+    EXPECT_LT(stats::CoefficientOfVariation(result->final_skills),
+              stats::CoefficientOfVariation(skills))
+        << name;
+  }
+}
+
+TEST(IntegrationTest, LongHorizonConvergesTowardTopSkill) {
+  random::Rng rng(44);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kUniform, 40);
+  for (double& s : skills) s += 1e-6;
+  double top = *std::max_element(skills.begin(), skills.end());
+
+  DyGroupsStarPolicy policy;
+  LinearGain gain(0.5);
+  ProcessConfig config;
+  config.num_groups = 4;
+  config.num_rounds = 64;
+  config.record_history = false;
+  auto result = RunProcess(skills, config, gain, policy);
+  ASSERT_TRUE(result.ok());
+  for (double s : result->final_skills) {
+    EXPECT_NEAR(s, top, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace tdg

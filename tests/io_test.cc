@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "io/population_io.h"
+#include "io/series_io.h"
+
+namespace tdg::io {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(PopulationIoTest, RoundTripsSkills) {
+  std::string path = TempPath("skills_roundtrip.csv");
+  SkillVector skills = {0.1, 0.9, 2.5, 1e-6};
+  ASSERT_TRUE(WriteSkills(path, skills).ok());
+  auto loaded = ReadSkills(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), skills.size());
+  for (size_t i = 0; i < skills.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*loaded)[i], skills[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(PopulationIoTest, ReadReordersById) {
+  std::string path = TempPath("skills_shuffled.csv");
+  {
+    std::ofstream out(path);
+    out << "participant,skill\n2,0.3\n0,0.1\n1,0.2\n";
+  }
+  auto loaded = ReadSkills(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, (SkillVector{0.1, 0.2, 0.3}));
+  std::remove(path.c_str());
+}
+
+TEST(PopulationIoTest, RejectsBadFiles) {
+  std::string path = TempPath("skills_bad.csv");
+  {
+    std::ofstream out(path);
+    out << "participant,skill\n0,0.5\n0,0.7\n";  // duplicate id
+  }
+  EXPECT_FALSE(ReadSkills(path).ok());
+  {
+    std::ofstream out(path);
+    out << "participant,skill\n0,0.5\n5,0.7\n";  // id out of range
+  }
+  EXPECT_FALSE(ReadSkills(path).ok());
+  {
+    std::ofstream out(path);
+    out << "participant,skill\n0,-0.5\n1,0.7\n";  // negative skill
+  }
+  EXPECT_FALSE(ReadSkills(path).ok());
+  {
+    std::ofstream out(path);
+    out << "id,value\n0,0.5\n";  // wrong header
+  }
+  EXPECT_FALSE(ReadSkills(path).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadSkills("/nonexistent/skills.csv").ok());
+}
+
+TEST(PopulationIoTest, WriteRejectsInvalidSkills) {
+  EXPECT_FALSE(WriteSkills(TempPath("never.csv"), {}).ok());
+  EXPECT_FALSE(WriteSkills(TempPath("never.csv"), {1.0, -1.0}).ok());
+}
+
+TEST(SeriesIoTest, TableAndCsvAgree) {
+  ExperimentSeries series;
+  series.x_label = "n";
+  series.series_names = {"DyGroups-Star", "Random"};
+  series.x_values = {10, 100};
+  series.values = {{1.5, 12.25}, {1.0, 9.5}};
+
+  std::string table = series.ToTable();
+  EXPECT_NE(table.find("DyGroups-Star"), std::string::npos);
+  EXPECT_NE(table.find("12.25"), std::string::npos);
+
+  std::string path = TempPath("series.csv");
+  ASSERT_TRUE(series.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "n,DyGroups-Star,Random");
+  std::string row;
+  std::getline(in, row);
+  EXPECT_EQ(row, "10,1.5,1");
+  std::remove(path.c_str());
+}
+
+TEST(SeriesIoTest, RejectsShapeMismatch) {
+  ExperimentSeries series;
+  series.x_label = "k";
+  series.series_names = {"a"};
+  series.x_values = {1, 2};
+  series.values = {{1.0}};  // too short
+  EXPECT_FALSE(series.WriteCsv(TempPath("bad_series.csv")).ok());
+  series.values = {{1.0, 2.0}, {3.0, 4.0}};  // too many columns
+  EXPECT_FALSE(series.WriteCsv(TempPath("bad_series.csv")).ok());
+}
+
+}  // namespace
+}  // namespace tdg::io

@@ -1,0 +1,117 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace tdg::util {
+namespace {
+
+TEST(JsonValueTest, TypePredicatesAndAccessors) {
+  EXPECT_TRUE(JsonValue().is_null());
+  EXPECT_TRUE(JsonValue(true).is_bool());
+  EXPECT_TRUE(JsonValue(1.5).is_number());
+  EXPECT_TRUE(JsonValue("hi").is_string());
+  EXPECT_TRUE(JsonValue::MakeArray().is_array());
+  EXPECT_TRUE(JsonValue::MakeObject().is_object());
+
+  EXPECT_EQ(JsonValue(true).AsBool(), true);
+  EXPECT_DOUBLE_EQ(JsonValue(2.5).AsNumber(), 2.5);
+  EXPECT_EQ(JsonValue("x").AsString(), "x");
+}
+
+TEST(JsonValueTest, BuildAndSerializeCompact) {
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("name", "tdg");
+  root.Set("n", 10000);
+  root.Set("ok", true);
+  root.Set("ratio", 1.5);
+  JsonValue list = JsonValue::MakeArray();
+  list.Append(1);
+  list.Append(2);
+  root.Set("values", std::move(list));
+  root.Set("nothing", JsonValue::Null());
+  EXPECT_EQ(root.Serialize(),
+            "{\"n\":10000,\"name\":\"tdg\",\"nothing\":null,\"ok\":true,"
+            "\"ratio\":1.5,\"values\":[1,2]}");
+}
+
+TEST(JsonValueTest, PrettySerializationIndents) {
+  JsonValue root = JsonValue::MakeObject();
+  root.Set("a", 1);
+  std::string pretty = root.SerializePretty();
+  EXPECT_EQ(pretty, "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonValueTest, EscapingRoundTrips) {
+  JsonValue value(std::string("line\nquote\"back\\slash\ttab"));
+  auto parsed = JsonValue::Parse(value.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), value.AsString());
+}
+
+TEST(JsonParseTest, ParsesScalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_EQ(JsonValue::Parse("true")->AsBool(), true);
+  EXPECT_EQ(JsonValue::Parse("false")->AsBool(), false);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-2.5e3")->AsNumber(), -2500.0);
+  EXPECT_EQ(JsonValue::Parse("\"abc\"")->AsString(), "abc");
+}
+
+TEST(JsonParseTest, ParsesNestedStructures) {
+  auto parsed = JsonValue::Parse(
+      R"({"cells": [{"n": 10, "gain": 1.5}, {"n": 20, "gain": 3.25}],
+          "name": "sweep"})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetField("name")->AsString(), "sweep");
+  const auto& cells = parsed->GetField("cells")->AsArray();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_DOUBLE_EQ(cells[1].GetField("gain")->AsNumber(), 3.25);
+  EXPECT_FALSE(parsed->GetField("missing").ok());
+}
+
+TEST(JsonParseTest, UnicodeEscapes) {
+  auto parsed = JsonValue::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "A\xc3\xa9");  // "Aé" in UTF-8
+}
+
+TEST(JsonParseTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("{'a': 1}").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());       // trailing junk
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("nul").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"bad\\escape\"").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"\\ud800\"").ok());  // surrogate
+}
+
+TEST(JsonParseTest, RoundTripsComplexDocument) {
+  JsonValue root = JsonValue::MakeObject();
+  JsonValue cells = JsonValue::MakeArray();
+  for (int i = 0; i < 3; ++i) {
+    JsonValue cell = JsonValue::MakeObject();
+    cell.Set("index", i);
+    cell.Set("gain", 1.0 / (i + 1));
+    cells.Append(std::move(cell));
+  }
+  root.Set("cells", std::move(cells));
+  root.Set("meta", JsonValue::MakeObject());
+
+  auto reparsed = JsonValue::Parse(root.Serialize());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value(), root);
+  auto reparsed_pretty = JsonValue::Parse(root.SerializePretty());
+  ASSERT_TRUE(reparsed_pretty.ok());
+  EXPECT_EQ(reparsed_pretty.value(), root);
+}
+
+TEST(JsonParseTest, WhitespaceTolerant) {
+  auto parsed = JsonValue::Parse("  {\n\t\"a\" :\r [ 1 , 2 ]\n}  ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetField("a")->AsArray().size(), 2u);
+}
+
+}  // namespace
+}  // namespace tdg::util

@@ -1,0 +1,90 @@
+#include "core/learning_gain.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tdg {
+namespace {
+
+TEST(LinearGainTest, GainIsProportional) {
+  LinearGain gain(0.5);
+  EXPECT_DOUBLE_EQ(gain.Gain(0.6), 0.3);
+  EXPECT_DOUBLE_EQ(gain.Gain(0.0), 0.0);
+  EXPECT_TRUE(gain.is_linear());
+  EXPECT_DOUBLE_EQ(gain.rate(), 0.5);
+  EXPECT_EQ(gain.name(), "linear(r=0.5)");
+}
+
+TEST(LinearGainTest, CreateValidatesRate) {
+  EXPECT_TRUE(LinearGain::Create(0.5).ok());
+  EXPECT_TRUE(LinearGain::Create(0.999).ok());
+  EXPECT_FALSE(LinearGain::Create(0.0).ok());
+  EXPECT_FALSE(LinearGain::Create(1.0).ok());   // r = 1 excluded (footnote 5)
+  EXPECT_FALSE(LinearGain::Create(-0.2).ok());
+  EXPECT_FALSE(LinearGain::Create(1.5).ok());
+}
+
+// Common contract for every gain function: f(0) = 0, 0 <= f(Δ) <= Δ,
+// monotone non-decreasing.
+template <typename F>
+void CheckGainContract(const F& gain) {
+  EXPECT_DOUBLE_EQ(gain.Gain(0.0), 0.0);
+  double previous = 0.0;
+  for (double delta = 0.01; delta < 20.0; delta *= 1.7) {
+    double g = gain.Gain(delta);
+    EXPECT_GE(g, 0.0) << gain.name() << " delta=" << delta;
+    EXPECT_LE(g, delta + 1e-12) << gain.name() << " delta=" << delta;
+    EXPECT_GE(g, previous - 1e-12) << gain.name() << " not monotone";
+    previous = g;
+  }
+}
+
+TEST(GainContractTest, AllFamiliesSatisfyContract) {
+  CheckGainContract(LinearGain(0.5));
+  CheckGainContract(PowerGain(0.5, 0.5));
+  CheckGainContract(PowerGain(1.0, 1.0));
+  CheckGainContract(LogGain(0.8));
+  CheckGainContract(SaturatingExpGain(0.9, 2.0));
+}
+
+// Concavity (midpoint test) for the nonlinear families on their
+// un-clamped region.
+template <typename F>
+void CheckMidpointConcavity(const F& gain, double lo, double hi) {
+  for (double a = lo; a < hi; a += (hi - lo) / 7) {
+    double b = a + (hi - lo) / 11;
+    double mid = gain.Gain((a + b) / 2);
+    double chord = (gain.Gain(a) + gain.Gain(b)) / 2;
+    EXPECT_GE(mid, chord - 1e-12) << gain.name();
+  }
+}
+
+TEST(GainConcavityTest, NonlinearFamiliesAreConcave) {
+  CheckMidpointConcavity(PowerGain(0.5, 0.5), 0.5, 3.0);
+  CheckMidpointConcavity(LogGain(0.5), 0.1, 5.0);
+  CheckMidpointConcavity(SaturatingExpGain(0.5, 1.0), 0.1, 5.0);
+}
+
+TEST(PowerGainTest, MatchesFormulaAndClamps) {
+  PowerGain gain(0.5, 0.5);
+  EXPECT_NEAR(gain.Gain(4.0), 0.5 * 2.0, 1e-12);
+  // Near zero, r * Δ^p > Δ, so the never-overtake clamp engages.
+  double tiny = 1e-6;
+  EXPECT_DOUBLE_EQ(gain.Gain(tiny), tiny);
+  EXPECT_FALSE(gain.is_linear());
+}
+
+TEST(LogGainTest, MatchesFormula) {
+  LogGain gain(0.5);
+  EXPECT_NEAR(gain.Gain(std::exp(1.0) - 1.0), 0.5, 1e-12);
+}
+
+TEST(SaturatingExpGainTest, SaturatesAtRateTimesScale) {
+  SaturatingExpGain gain(0.5, 2.0);
+  EXPECT_NEAR(gain.Gain(100.0), 1.0, 1e-9);  // r * c = 1
+  EXPECT_LT(gain.Gain(0.5), 0.5);
+}
+
+}  // namespace
+}  // namespace tdg

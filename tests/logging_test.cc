@@ -1,0 +1,72 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "util/stopwatch.h"
+
+namespace tdg::util {
+namespace {
+
+TEST(LoggingTest, SeverityThresholdRoundTrips) {
+  LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingTest, InfoBelowThresholdIsSuppressed) {
+  LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  testing::internal::CaptureStderr();
+  TDG_LOG(Info) << "should not appear";
+  TDG_LOG(Error) << "should appear";
+  std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(output.find("should not appear"), std::string::npos);
+  EXPECT_NE(output.find("should appear"), std::string::npos);
+  EXPECT_NE(output.find("ERROR"), std::string::npos);
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingTest, LogLineCarriesBasenameAndLine) {
+  LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kInfo);
+  testing::internal::CaptureStderr();
+  TDG_LOG(Warning) << "marker";
+  std::string output = testing::internal::GetCapturedStderr();
+  EXPECT_NE(output.find("logging_test.cc"), std::string::npos);
+  EXPECT_EQ(output.find('/'), std::string::npos);  // basename only
+  SetMinLogSeverity(original);
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  testing::internal::CaptureStderr();
+  TDG_CHECK(1 + 1 == 2) << "never evaluated";
+  TDG_CHECK_EQ(4, 4);
+  TDG_CHECK_LT(1, 2);
+  TDG_CHECK_GE(2, 2);
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+TEST(CheckDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH({ TDG_CHECK(false) << "boom"; }, "Check failed");
+  EXPECT_DEATH({ TDG_CHECK_EQ(1, 2); }, "Check failed");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTimeMonotonically) {
+  Stopwatch stopwatch;
+  int64_t first = stopwatch.ElapsedMicros();
+  // Burn a little time.
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
+  int64_t second = stopwatch.ElapsedMicros();
+  EXPECT_GE(first, 0);
+  EXPECT_GE(second, first);
+  EXPECT_NEAR(stopwatch.ElapsedMillis(), second / 1e3, 1.0);
+  EXPECT_NEAR(stopwatch.ElapsedSeconds(), second / 1e6, 1e-3);
+
+  stopwatch.Restart();
+  EXPECT_LE(stopwatch.ElapsedMicros(), second);
+}
+
+}  // namespace
+}  // namespace tdg::util

@@ -1,0 +1,88 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dygroups.h"
+#include "core/interaction.h"
+#include "baselines/random_assignment.h"
+#include "random/distributions.h"
+
+namespace tdg {
+namespace {
+
+TEST(RoundMetricsTest, BasicAccounting) {
+  SkillVector before = {0.9, 0.5, 0.3, 0.8, 0.4, 0.2};
+  SkillVector after = before;
+  Grouping grouping({{0, 1, 2}, {3, 4, 5}});
+  LinearGain gain(0.5);
+  ASSERT_TRUE(
+      ApplyRound(InteractionMode::kStar, grouping, gain, after).ok());
+
+  auto metrics = ComputeRoundMetrics(grouping, before, after);
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_EQ(metrics->groups.size(), 2u);
+  EXPECT_EQ(metrics->groups[0].teacher, 0);
+  EXPECT_EQ(metrics->groups[1].teacher, 3);
+  EXPECT_DOUBLE_EQ(metrics->groups[0].teacher_skill, 0.9);
+  EXPECT_NEAR(metrics->groups[0].skill_spread, 0.6, 1e-12);
+  EXPECT_NEAR(metrics->groups[0].group_gain, 0.5, 1e-12);
+  EXPECT_NEAR(metrics->round_gain, 0.5 + 0.5, 1e-12);
+  // Top-2 = {0.9, 0.8} are both teachers.
+  EXPECT_DOUBLE_EQ(metrics->teacher_coverage, 1.0);
+}
+
+TEST(RoundMetricsTest, DyGroupsHasFullTeacherCoverageRandomOftenNot) {
+  random::Rng rng(3);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kUniform, 40);
+  for (double& s : skills) s += 1e-6;
+  LinearGain gain(0.5);
+
+  auto dygroups = DyGroupsStarLocal(skills, 8);
+  ASSERT_TRUE(dygroups.ok());
+  SkillVector after = skills;
+  ASSERT_TRUE(
+      ApplyRound(InteractionMode::kStar, dygroups.value(), gain, after)
+          .ok());
+  auto dy_metrics = ComputeRoundMetrics(dygroups.value(), skills, after);
+  ASSERT_TRUE(dy_metrics.ok());
+  EXPECT_DOUBLE_EQ(dy_metrics->teacher_coverage, 1.0);
+
+  baselines::RandomAssignmentPolicy random_policy(5);
+  double coverage_total = 0.0;
+  constexpr int kTrials = 20;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto grouping = random_policy.FormGroups(skills, 8);
+    ASSERT_TRUE(grouping.ok());
+    SkillVector random_after = skills;
+    ASSERT_TRUE(ApplyRound(InteractionMode::kStar, grouping.value(), gain,
+                           random_after)
+                    .ok());
+    auto metrics =
+        ComputeRoundMetrics(grouping.value(), skills, random_after);
+    ASSERT_TRUE(metrics.ok());
+    coverage_total += metrics->teacher_coverage;
+  }
+  EXPECT_LT(coverage_total / kTrials, 0.95);
+}
+
+TEST(RoundMetricsTest, RejectsBadInputs) {
+  SkillVector before = {1, 2, 3};
+  SkillVector mismatched = {1, 2};
+  Grouping grouping({{0, 1, 2}});
+  EXPECT_FALSE(ComputeRoundMetrics(grouping, before, mismatched).ok());
+  Grouping bad({{0, 1}});
+  EXPECT_FALSE(ComputeRoundMetrics(bad, before, before).ok());
+}
+
+TEST(RoundMetricsTest, TieBrokenByLowestId) {
+  SkillVector before = {0.5, 0.5, 0.2};
+  SkillVector after = before;
+  Grouping grouping({{2, 1, 0}});
+  auto metrics = ComputeRoundMetrics(grouping, before, after);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->groups[0].teacher, 0);
+}
+
+}  // namespace
+}  // namespace tdg

@@ -1,0 +1,219 @@
+#include "core/process.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/dygroups.h"
+
+namespace tdg {
+namespace {
+
+SkillVector ToySkills() {
+  return {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+}
+
+std::vector<double> SortedDesc(std::vector<double> v) {
+  std::sort(v.begin(), v.end(), std::greater<>());
+  return v;
+}
+
+// Paper §III-A: DyGroups-Star on the toy example, 3 rounds, r = 0.5.
+// Total learning gain 2.55; final skills (as a multiset)
+// {0.9, 0.8, 0.8, 0.85, 0.825, 0.75, 0.7375, 0.70, 0.6875}.
+TEST(ProcessTest, PaperToyExampleStarGolden) {
+  DyGroupsStarPolicy policy;
+  LinearGain gain(0.5);
+  ProcessConfig config;
+  config.num_groups = 3;
+  config.num_rounds = 3;
+  config.mode = InteractionMode::kStar;
+
+  auto result = RunProcess(ToySkills(), config, gain, policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->total_gain, 2.55, 1e-12);
+
+  std::vector<double> expected = SortedDesc(
+      {0.9, 0.8, 0.8, 0.85, 0.825, 0.75, 0.7375, 0.70, 0.6875});
+  std::vector<double> actual = SortedDesc(result->final_skills);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-12) << "rank " << i;
+  }
+
+  // Intermediate snapshots from the paper.
+  ASSERT_EQ(result->history.size(), 3u);
+  std::vector<double> after_round1 = SortedDesc(result->history[0].skills_after);
+  std::vector<double> paper_round1 =
+      SortedDesc({0.9, 0.8, 0.7, 0.75, 0.7, 0.6, 0.55, 0.45, 0.4});
+  for (size_t i = 0; i < paper_round1.size(); ++i) {
+    EXPECT_NEAR(after_round1[i], paper_round1[i], 1e-12);
+  }
+  std::vector<double> after_round2 = SortedDesc(result->history[1].skills_after);
+  std::vector<double> paper_round2 =
+      SortedDesc({0.9, 0.8, 0.75, 0.8, 0.8, 0.7, 0.675, 0.6, 0.575});
+  for (size_t i = 0; i < paper_round2.size(); ++i) {
+    EXPECT_NEAR(after_round2[i], paper_round2[i], 1e-12);
+  }
+}
+
+// Paper §III-B: DyGroups-Clique on the toy example, 3 rounds, r = 0.5.
+// Total learning gain 2.334375; final multiset
+// {0.9, 0.825, 0.8, 0.8, 0.7625, 0.7375, 0.73125, 0.66875, 0.609375}.
+TEST(ProcessTest, PaperToyExampleCliqueGolden) {
+  DyGroupsCliquePolicy policy;
+  LinearGain gain(0.5);
+  ProcessConfig config;
+  config.num_groups = 3;
+  config.num_rounds = 3;
+  config.mode = InteractionMode::kClique;
+
+  auto result = RunProcess(ToySkills(), config, gain, policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->total_gain, 2.334375, 1e-12);
+
+  std::vector<double> expected = SortedDesc({0.9, 0.825, 0.8, 0.8, 0.7625,
+                                             0.7375, 0.73125, 0.66875,
+                                             0.609375});
+  std::vector<double> actual = SortedDesc(result->final_skills);
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(actual[i], expected[i], 1e-12) << "rank " << i;
+  }
+
+  ASSERT_EQ(result->history.size(), 3u);
+  std::vector<double> after_round1 = SortedDesc(result->history[0].skills_after);
+  std::vector<double> paper_round1 = SortedDesc(
+      {0.9, 0.8, 0.75, 0.7, 0.65, 0.55, 0.525, 0.425, 0.325});
+  for (size_t i = 0; i < paper_round1.size(); ++i) {
+    EXPECT_NEAR(after_round1[i], paper_round1[i], 1e-12);
+  }
+}
+
+// The paper's "arbitrary locally optimal grouping" trace reaches only 2.4 —
+// strictly below DyGroups-Star's 2.55. Reproduce it with a scripted policy.
+class ScriptedPolicy final : public GroupingPolicy {
+ public:
+  explicit ScriptedPolicy(std::vector<Grouping> script)
+      : script_(std::move(script)) {}
+
+  util::StatusOr<Grouping> FormGroups(const SkillVector& skills,
+                                      int num_groups) override {
+    (void)skills;
+    (void)num_groups;
+    if (next_ >= script_.size()) {
+      return util::Status::FailedPrecondition("script exhausted");
+    }
+    return script_[next_++];
+  }
+  std::string_view name() const override { return "Scripted"; }
+
+ private:
+  std::vector<Grouping> script_;
+  size_t next_ = 0;
+};
+
+TEST(ProcessTest, PaperArbitraryLocalOptimumTrailsDyGroups) {
+  // Participant i has skill (i+1)/10. Round-1 groups from the paper:
+  // [0.9,0.1,0.2], [0.8,0.3,0.4], [0.7,0.5,0.6].
+  std::vector<Grouping> script;
+  script.push_back(Grouping({{8, 0, 1}, {7, 2, 3}, {6, 4, 5}}));
+  // Round 2 (paper): [0.9,0.55,0.5],[0.8,0.6,0.55],[0.7,0.65,0.6].
+  // Skills after round 1 by id:
+  //   id: 0->0.5, 1->0.55, 2->0.55, 3->0.6, 4->0.6, 5->0.65, 6->0.7,
+  //       7->0.8, 8->0.9
+  // The paper's groups map to ids {8,1,0}(0.9,0.55,0.5), {7,4,2} picking the
+  // 0.6 from id 4 and 0.55 from id 2, {6,5,3}.
+  script.push_back(Grouping({{8, 1, 0}, {7, 4, 2}, {6, 5, 3}}));
+  // Round 3 (paper): [0.9,0.675,0.65],[0.8,0.7,0.675],[0.725,0.7,0.7].
+  // Skills after round 2 by id:
+  //   0 -> 0.5+0.5*0.4 = 0.7,  1 -> 0.55+0.5*0.35 = 0.725,
+  //   2 -> 0.55+0.5*0.25 = 0.675, 3 -> 0.6+0.5*0.1 = 0.65,
+  //   4 -> 0.6+0.5*0.2 = 0.7,  5 -> 0.65+0.5*0.05 = 0.675,
+  //   6 -> 0.7, 7 -> 0.8, 8 -> 0.9.
+  // Paper groups map to ids {8,2,3}, {7,0,5}, {1,4,6}.
+  script.push_back(Grouping({{8, 2, 3}, {7, 0, 5}, {1, 4, 6}}));
+
+  ScriptedPolicy policy(std::move(script));
+  LinearGain gain(0.5);
+  ProcessConfig config;
+  config.num_groups = 3;
+  config.num_rounds = 3;
+  config.mode = InteractionMode::kStar;
+
+  auto result = RunProcess(ToySkills(), config, gain, policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->total_gain, 2.4, 1e-12);
+}
+
+TEST(ProcessTest, RoundGainsSumToTotal) {
+  DyGroupsStarPolicy policy;
+  LinearGain gain(0.5);
+  ProcessConfig config;
+  config.num_groups = 3;
+  config.num_rounds = 5;
+  auto result = RunProcess(ToySkills(), config, gain, policy);
+  ASSERT_TRUE(result.ok());
+  double sum = 0;
+  for (double g : result->round_gains) sum += g;
+  EXPECT_NEAR(sum, result->total_gain, 1e-12);
+  EXPECT_NEAR(result->total_gain,
+              AggregateGain(result->initial_skills, result->final_skills),
+              1e-12);
+}
+
+TEST(ProcessTest, HistoryCanBeDisabled) {
+  DyGroupsStarPolicy policy;
+  LinearGain gain(0.5);
+  ProcessConfig config;
+  config.num_groups = 3;
+  config.num_rounds = 2;
+  config.record_history = false;
+  auto result = RunProcess(ToySkills(), config, gain, policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->history.empty());
+  EXPECT_EQ(result->round_gains.size(), 2u);
+}
+
+TEST(ProcessTest, ZeroRoundsIsIdentity) {
+  DyGroupsStarPolicy policy;
+  LinearGain gain(0.5);
+  ProcessConfig config;
+  config.num_groups = 3;
+  config.num_rounds = 0;
+  auto result = RunProcess(ToySkills(), config, gain, policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->total_gain, 0.0);
+  EXPECT_EQ(result->final_skills, ToySkills());
+}
+
+TEST(ProcessTest, RejectsInvalidConfig) {
+  DyGroupsStarPolicy policy;
+  LinearGain gain(0.5);
+  ProcessConfig config;
+  config.num_groups = 2;  // 9 % 2 != 0
+  EXPECT_FALSE(RunProcess(ToySkills(), config, gain, policy).ok());
+  config.num_groups = 3;
+  config.num_rounds = -1;
+  EXPECT_FALSE(RunProcess(ToySkills(), config, gain, policy).ok());
+}
+
+TEST(ProcessTest, RejectsPolicyReturningBadGrouping) {
+  class BadPolicy final : public GroupingPolicy {
+   public:
+    util::StatusOr<Grouping> FormGroups(const SkillVector& skills,
+                                        int num_groups) override {
+      (void)skills;
+      (void)num_groups;
+      return Grouping({{0, 1, 2, 3, 4, 5}, {6, 7, 8}});  // not equi-sized
+    }
+    std::string_view name() const override { return "Bad"; }
+  };
+  BadPolicy policy;
+  LinearGain gain(0.5);
+  ProcessConfig config;
+  config.num_groups = 3;
+  EXPECT_FALSE(RunProcess(ToySkills(), config, gain, policy).ok());
+}
+
+}  // namespace
+}  // namespace tdg

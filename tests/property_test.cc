@@ -1,0 +1,180 @@
+// Parameterized invariant sweeps across interaction modes, skill
+// distributions, population shapes and learning rates.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "baselines/registry.h"
+#include "core/dygroups.h"
+#include "core/process.h"
+#include "random/distributions.h"
+
+namespace tdg {
+namespace {
+
+struct PropertyCase {
+  InteractionMode mode;
+  random::SkillDistribution distribution;
+  int n;
+  int k;
+  double r;
+
+  std::string Name() const {
+    std::string name(InteractionModeName(mode));
+    name += "_";
+    name += random::SkillDistributionName(distribution);
+    name += "_n" + std::to_string(n) + "_k" + std::to_string(k) + "_r" +
+            std::to_string(static_cast<int>(r * 100));
+    std::replace(name.begin(), name.end(), '-', '_');
+    return name;
+  }
+};
+
+class ProcessPropertyTest : public testing::TestWithParam<PropertyCase> {
+ protected:
+  SkillVector MakeSkills(uint64_t seed) const {
+    random::Rng rng(seed);
+    SkillVector skills = random::GenerateSkills(
+        rng, GetParam().distribution, GetParam().n);
+    for (double& s : skills) s += 1e-6;  // uniform can draw exact zero
+    return skills;
+  }
+
+  ProcessConfig MakeConfig() const {
+    ProcessConfig config;
+    config.num_groups = GetParam().k;
+    config.num_rounds = 5;
+    config.mode = GetParam().mode;
+    return config;
+  }
+};
+
+TEST_P(ProcessPropertyTest, HistoryGroupingsAreValidPartitions) {
+  SkillVector skills = MakeSkills(1);
+  LinearGain gain(GetParam().r);
+  auto policy = MakeDyGroupsPolicy(GetParam().mode);
+  auto result = RunProcess(skills, MakeConfig(), gain, *policy);
+  ASSERT_TRUE(result.ok());
+  for (const RoundRecord& record : result->history) {
+    EXPECT_TRUE(record.grouping.ValidateEquiSized(GetParam().n).ok());
+  }
+}
+
+TEST_P(ProcessPropertyTest, MaxSkillIsInvariantAndSkillsMonotone) {
+  SkillVector skills = MakeSkills(2);
+  LinearGain gain(GetParam().r);
+  auto policy = MakeDyGroupsPolicy(GetParam().mode);
+  auto result = RunProcess(skills, MakeConfig(), gain, *policy);
+  ASSERT_TRUE(result.ok());
+  double initial_max = *std::max_element(skills.begin(), skills.end());
+  const SkillVector* previous = &result->initial_skills;
+  for (const RoundRecord& record : result->history) {
+    double round_max = *std::max_element(record.skills_after.begin(),
+                                         record.skills_after.end());
+    EXPECT_NEAR(round_max, initial_max, 1e-9);
+    for (int i = 0; i < GetParam().n; ++i) {
+      EXPECT_GE(record.skills_after[i], (*previous)[i] - 1e-12);
+      EXPECT_LE(record.skills_after[i], initial_max + 1e-9);
+    }
+    previous = &record.skills_after;
+  }
+}
+
+TEST_P(ProcessPropertyTest, TotalGainMatchesSkillMassDelta) {
+  SkillVector skills = MakeSkills(3);
+  LinearGain gain(GetParam().r);
+  auto policy = MakeDyGroupsPolicy(GetParam().mode);
+  auto result = RunProcess(skills, MakeConfig(), gain, *policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->total_gain,
+              TotalSkill(result->final_skills) - TotalSkill(skills),
+              1e-6 * std::max(1.0, TotalSkill(skills)));
+  for (double g : result->round_gains) {
+    EXPECT_GE(g, -1e-12);
+  }
+}
+
+// Theorems 1 & 4 in sweep form: no baseline's round-1 grouping beats the
+// matching DyGroups-Local grouping in its own interaction mode.
+TEST_P(ProcessPropertyTest, DyGroupsLocalIsRoundOptimalAmongBaselines) {
+  SkillVector skills = MakeSkills(4);
+  LinearGain gain(GetParam().r);
+  auto dygroups = MakeDyGroupsPolicy(GetParam().mode);
+  auto dy_grouping = dygroups->FormGroups(skills, GetParam().k);
+  ASSERT_TRUE(dy_grouping.ok());
+  double dy_gain = EvaluateRoundGain(GetParam().mode, dy_grouping.value(),
+                                     gain, skills)
+                       .value();
+  for (const std::string& name : baselines::AllPolicyNames()) {
+    auto policy = baselines::MakePolicy(name, 11);
+    ASSERT_TRUE(policy.ok());
+    auto grouping = (*policy)->FormGroups(skills, GetParam().k);
+    ASSERT_TRUE(grouping.ok()) << name;
+    double lg = EvaluateRoundGain(GetParam().mode, grouping.value(), gain,
+                                  skills)
+                    .value();
+    EXPECT_LE(lg, dy_gain + 1e-9) << name;
+  }
+}
+
+TEST_P(ProcessPropertyTest, DyGroupsBeatsRandomAssignmentOverProcess) {
+  SkillVector skills = MakeSkills(5);
+  LinearGain gain(GetParam().r);
+  auto dygroups = MakeDyGroupsPolicy(GetParam().mode);
+  auto dy_result = RunProcess(skills, MakeConfig(), gain, *dygroups);
+  ASSERT_TRUE(dy_result.ok());
+
+  // Average random assignment over a few seeds for stability.
+  double random_total = 0.0;
+  constexpr int kRuns = 3;
+  for (uint64_t seed = 0; seed < kRuns; ++seed) {
+    auto random_policy = baselines::MakePolicy("Random-Assignment", seed);
+    ASSERT_TRUE(random_policy.ok());
+    auto result = RunProcess(skills, MakeConfig(), gain, **random_policy);
+    ASSERT_TRUE(result.ok());
+    random_total += result->total_gain;
+  }
+  EXPECT_GE(dy_result->total_gain, random_total / kRuns - 1e-9);
+}
+
+TEST_P(ProcessPropertyTest, DeterministicGivenSameInputs) {
+  SkillVector skills = MakeSkills(6);
+  LinearGain gain(GetParam().r);
+  auto policy_a = MakeDyGroupsPolicy(GetParam().mode);
+  auto policy_b = MakeDyGroupsPolicy(GetParam().mode);
+  auto a = RunProcess(skills, MakeConfig(), gain, *policy_a);
+  auto b = RunProcess(skills, MakeConfig(), gain, *policy_b);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->final_skills, b->final_skills);
+  EXPECT_DOUBLE_EQ(a->total_gain, b->total_gain);
+}
+
+std::vector<PropertyCase> MakeCases() {
+  std::vector<PropertyCase> cases;
+  for (InteractionMode mode :
+       {InteractionMode::kStar, InteractionMode::kClique}) {
+    for (random::SkillDistribution distribution :
+         {random::SkillDistribution::kLogNormal,
+          random::SkillDistribution::kZipf,
+          random::SkillDistribution::kUniform}) {
+      for (auto [n, k] : {std::pair{60, 5}, std::pair{40, 2},
+                          std::pair{24, 12}}) {
+        for (double r : {0.1, 0.5, 0.9}) {
+          cases.push_back(PropertyCase{mode, distribution, n, k, r});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ProcessPropertyTest, testing::ValuesIn(MakeCases()),
+    [](const testing::TestParamInfo<PropertyCase>& info) {
+      return info.param.Name();
+    });
+
+}  // namespace
+}  // namespace tdg

@@ -1,0 +1,173 @@
+#include "random/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "random/distributions.h"
+
+namespace tdg::random {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a(), b());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedRespectsBound) {
+  Rng rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.NextBounded(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+}
+
+TEST(RngTest, NextDoubleRoughlyUniform) {
+  Rng rng(99);
+  int below_half = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.NextDouble() < 0.5) ++below_half;
+  }
+  EXPECT_NEAR(static_cast<double>(below_half) / kSamples, 0.5, 0.01);
+}
+
+TEST(SplitMix64Test, KnownSequenceIsStable) {
+  SplitMix64 a(0);
+  SplitMix64 b(0);
+  EXPECT_EQ(a(), b());
+  // Distinct consecutive outputs.
+  SplitMix64 c(0);
+  uint64_t first = c();
+  uint64_t second = c();
+  EXPECT_NE(first, second);
+}
+
+TEST(UniformRealTest, StaysInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = UniformReal(rng, -2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(StandardNormalTest, MomentsMatch) {
+  Rng rng(31);
+  constexpr int kSamples = 100000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    double v = StandardNormal(rng);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / kSamples;
+  double variance = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(variance, 1.0, 0.03);
+}
+
+TEST(LogNormalTest, AlwaysPositiveAndMedianMatches) {
+  Rng rng(17);
+  constexpr int kSamples = 50000;
+  int below_median = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    double v = LogNormal(rng, 1.0, 0.5);
+    EXPECT_GT(v, 0.0);
+    if (v < std::exp(1.0)) ++below_median;  // median of log-normal = e^mu
+  }
+  EXPECT_NEAR(static_cast<double>(below_median) / kSamples, 0.5, 0.02);
+}
+
+TEST(BoundedZipfTest, SupportAndMonotoneMass) {
+  Rng rng(23);
+  BoundedZipf zipf(kZipfExponent, kZipfNumValues);
+  std::vector<int> counts(kZipfNumValues + 1, 0);
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    int v = zipf.Sample(rng);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, kZipfNumValues);
+    ++counts[v];
+  }
+  // Mass must be decreasing in v, and the head dominates: P(1) =
+  // 1 / sum_{v=1..10} v^{-2.3} ≈ 0.716.
+  for (int v = 1; v < kZipfNumValues; ++v) {
+    EXPECT_GE(counts[v], counts[v + 1]) << "v=" << v;
+  }
+  EXPECT_NEAR(static_cast<double>(counts[1]) / kSamples, 0.716, 0.02);
+}
+
+TEST(BoundedZipfTest, DegenerateSingleValue) {
+  Rng rng(1);
+  BoundedZipf zipf(2.0, 1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(zipf.Sample(rng), 1);
+  }
+}
+
+TEST(GenerateSkillsTest, AllDistributionsProducePositiveSkills) {
+  Rng rng(3);
+  for (SkillDistribution d :
+       {SkillDistribution::kLogNormal, SkillDistribution::kZipf,
+        SkillDistribution::kUniform}) {
+    std::vector<double> skills = GenerateSkills(rng, d, 1000);
+    ASSERT_EQ(skills.size(), 1000u);
+    for (double s : skills) {
+      EXPECT_GE(s, 0.0) << SkillDistributionName(d);
+    }
+  }
+}
+
+TEST(GenerateSkillsTest, ZipfSkillsAreIntegersInRange) {
+  Rng rng(4);
+  std::vector<double> skills =
+      GenerateSkills(rng, SkillDistribution::kZipf, 500);
+  for (double s : skills) {
+    EXPECT_EQ(s, std::floor(s));
+    EXPECT_GE(s, 1.0);
+    EXPECT_LE(s, 10.0);
+  }
+}
+
+TEST(SkillDistributionTest, ParseRoundTrip) {
+  for (SkillDistribution d :
+       {SkillDistribution::kLogNormal, SkillDistribution::kZipf,
+        SkillDistribution::kUniform}) {
+    auto parsed = ParseSkillDistribution(SkillDistributionName(d));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value(), d);
+  }
+  EXPECT_FALSE(ParseSkillDistribution("pareto").ok());
+  EXPECT_TRUE(ParseSkillDistribution("lognormal").ok());
+}
+
+}  // namespace
+}  // namespace tdg::random

@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/dygroups.h"
+#include "sim/amt_experiment.h"
+#include "sim/assessment.h"
+#include "sim/retention.h"
+#include "sim/worker.h"
+#include "stats/descriptive.h"
+
+namespace tdg::sim {
+namespace {
+
+TEST(MakePopulationTest, SkillsWithinBounds) {
+  random::Rng rng(1);
+  PopulationParams params;
+  params.size = 500;
+  std::vector<SimulatedWorker> workers = MakePopulation(params, rng);
+  ASSERT_EQ(workers.size(), 500u);
+  for (const auto& w : workers) {
+    EXPECT_GE(w.latent_skill, params.skill_floor);
+    EXPECT_LE(w.latent_skill, params.skill_ceil);
+    EXPECT_TRUE(w.active);
+  }
+  std::vector<double> latent;
+  for (const auto& w : workers) latent.push_back(w.latent_skill);
+  EXPECT_NEAR(stats::Mean(latent), params.skill_mean, 0.03);
+}
+
+TEST(SplitMatchedPopulationsTest, PopulationsHaveMatchedMeans) {
+  random::Rng rng(2);
+  PopulationParams params;
+  params.size = 128;
+  std::vector<SimulatedWorker> pool = MakePopulation(params, rng);
+  auto populations = SplitMatchedPopulations(pool, 4, rng);
+  ASSERT_EQ(populations.size(), 4u);
+  std::vector<double> means;
+  for (const auto& population : populations) {
+    ASSERT_EQ(population.size(), 32u);
+    std::vector<double> latent;
+    for (const auto& w : population) latent.push_back(w.latent_skill);
+    means.push_back(stats::Mean(latent));
+  }
+  // Stratified split: means must be nearly identical.
+  double spread = stats::Max(means) - stats::Min(means);
+  EXPECT_LT(spread, 0.01);
+}
+
+TEST(AssessWorkerTest, UnbiasedAndBounded) {
+  random::Rng rng(3);
+  SimulatedWorker worker;
+  worker.latent_skill = 0.7;
+  double total = 0.0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    double score = AssessWorker(worker, 10, rng);
+    EXPECT_GT(score, 0.0);
+    EXPECT_LE(score, 1.0);
+    total += score;
+  }
+  // Slight positive bias from the zero-score floor is < 0.001 at p=0.7.
+  EXPECT_NEAR(total / kTrials, 0.7, 0.01);
+}
+
+TEST(AssessWorkerTest, ZeroKnowledgeFloorsAtHalfQuestion) {
+  random::Rng rng(4);
+  SimulatedWorker hopeless;
+  hopeless.latent_skill = 0.0;
+  EXPECT_DOUBLE_EQ(AssessWorker(hopeless, 10, rng), 0.05);
+}
+
+TEST(RetentionModelTest, HigherGainMeansLowerDropout) {
+  RetentionModel model(RetentionParams{});
+  EXPECT_GT(model.DropoutProbability(0.0),
+            model.DropoutProbability(0.1));
+  EXPECT_GE(model.DropoutProbability(10.0),
+            model.params().min_dropout);
+  EXPECT_LE(model.DropoutProbability(-10.0),
+            model.params().max_dropout);
+}
+
+TEST(RetentionModelTest, SurvivalFrequencyMatchesProbability) {
+  RetentionParams params;
+  params.base_dropout = 0.3;
+  params.gain_weight = 0.0;
+  RetentionModel model(params);
+  random::Rng rng(5);
+  int survived = 0;
+  constexpr int kTrials = 20000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (model.SurvivesRound(0.0, rng)) ++survived;
+  }
+  EXPECT_NEAR(static_cast<double>(survived) / kTrials, 0.7, 0.01);
+}
+
+TEST(RunAmtPopulationTest, ProducesRoundsAndGains) {
+  random::Rng rng(6);
+  PopulationParams params;
+  params.size = 32;
+  std::vector<SimulatedWorker> workers = MakePopulation(params, rng);
+  DyGroupsStarPolicy policy;
+  AmtConfig config;
+  config.num_rounds = 3;
+  auto result = RunAmtPopulation(workers, policy, config, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->policy_name, "DyGroups-Star");
+  EXPECT_EQ(result->initial_size, 32);
+  EXPECT_FALSE(result->rounds.empty());
+  for (const AmtRound& round : result->rounds) {
+    EXPECT_GT(round.participants, 0);
+    EXPECT_EQ(round.participants % config.group_size, 0);
+    EXPECT_GE(round.retention_fraction, 0.0);
+    EXPECT_LE(round.retention_fraction, 1.0);
+    // Latent learning can only help.
+    EXPECT_GE(round.aggregate_latent_gain, 0.0);
+  }
+  EXPECT_EQ(result->per_worker_gain.size(), 32u);
+}
+
+TEST(RunAmtPopulationTest, RetentionFractionIsNonIncreasing) {
+  random::Rng rng(7);
+  PopulationParams params;
+  params.size = 48;
+  std::vector<SimulatedWorker> workers = MakePopulation(params, rng);
+  DyGroupsStarPolicy policy;
+  AmtConfig config;
+  config.num_rounds = 5;
+  auto result = RunAmtPopulation(workers, policy, config, rng);
+  ASSERT_TRUE(result.ok());
+  double previous = 1.0;
+  for (const AmtRound& round : result->rounds) {
+    EXPECT_LE(round.retention_fraction, previous + 1e-12);
+    previous = round.retention_fraction;
+  }
+}
+
+TEST(RunAmtPopulationTest, RejectsBadConfig) {
+  random::Rng rng(8);
+  std::vector<SimulatedWorker> workers =
+      MakePopulation(PopulationParams{}, rng);
+  DyGroupsStarPolicy policy;
+  AmtConfig config;
+  config.group_size = 1;
+  EXPECT_FALSE(RunAmtPopulation(workers, policy, config, rng).ok());
+  config.group_size = 4;
+  config.num_rounds = 0;
+  EXPECT_FALSE(RunAmtPopulation(workers, policy, config, rng).ok());
+}
+
+TEST(RunExperimentTest, Experiment1ShapeMatchesPaper) {
+  auto result = RunExperiment(Experiment1Config(/*seed=*/42));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->populations.size(), 2u);
+  EXPECT_EQ(result->populations[0].policy_name, "DyGroups-Star");
+  EXPECT_EQ(result->populations[1].policy_name, "k-means");
+  EXPECT_EQ(result->populations[0].initial_size, 32);
+  // Observation I: pooled learning gain positive at 75% confidence.
+  EXPECT_GT(result->pooled_gain_ci.lower, 0.0);
+}
+
+TEST(RunExperimentTest, DyGroupsBeatsKMeansOnAverageAcrossSeeds) {
+  // Individual deployments are noisy (10-question quizzes); average a few.
+  int wins = 0;
+  constexpr int kSeeds = 5;
+  for (uint64_t seed = 100; seed < 100 + kSeeds; ++seed) {
+    auto result = RunExperiment(Experiment1Config(seed));
+    ASSERT_TRUE(result.ok());
+    if (result->populations[0].total_observed_gain >
+        result->populations[1].total_observed_gain) {
+      ++wins;
+    }
+  }
+  EXPECT_GE(wins, (kSeeds + 1) / 2);
+}
+
+TEST(RunExperimentTest, Experiment2HasFourPopulations) {
+  auto result = RunExperiment(Experiment2Config(/*seed=*/7));
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->populations.size(), 4u);
+  for (const auto& population : result->populations) {
+    EXPECT_EQ(population.initial_size, 32);
+    EXPECT_LE(population.rounds.size(), 2u);
+  }
+  EXPECT_EQ(result->first_vs_other.size(), 4u);
+}
+
+TEST(RunExperimentTest, RejectsBadSplit) {
+  ExperimentConfig config = Experiment1Config(1);
+  config.total_workers = 63;  // not divisible by 2
+  EXPECT_FALSE(RunExperiment(config).ok());
+  config.total_workers = 64;
+  config.policy_names.clear();
+  EXPECT_FALSE(RunExperiment(config).ok());
+}
+
+}  // namespace
+}  // namespace tdg::sim

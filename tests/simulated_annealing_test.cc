@@ -1,0 +1,102 @@
+#include "baselines/simulated_annealing.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dygroups.h"
+#include "random/distributions.h"
+
+namespace tdg::baselines {
+namespace {
+
+TEST(SimulatedAnnealingTest, ProducesValidGroupings) {
+  random::Rng rng(1);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kLogNormal, 20);
+  LinearGain gain(0.5);
+  SimulatedAnnealingPolicy policy(InteractionMode::kStar, gain, 7);
+  auto grouping = policy.FormGroups(skills, 4);
+  ASSERT_TRUE(grouping.ok());
+  EXPECT_TRUE(grouping->ValidateEquiSized(20).ok());
+  EXPECT_GT(policy.last_evaluations(), 0);
+}
+
+TEST(SimulatedAnnealingTest, ConvergesToRoundOptimalGainOnSmallInstances) {
+  // With a generous iteration budget, SA should reach the closed-form
+  // round optimum DyGroups computes directly (Theorems 1 / 4).
+  random::Rng rng(2);
+  for (InteractionMode mode :
+       {InteractionMode::kStar, InteractionMode::kClique}) {
+    SkillVector skills =
+        random::GenerateSkills(rng, random::SkillDistribution::kUniform, 12);
+    for (double& s : skills) s += 1e-6;
+    LinearGain gain(0.5);
+    SimulatedAnnealingOptions options;
+    options.iterations = 20000;
+    SimulatedAnnealingPolicy sa(mode, gain, 11, options);
+    auto sa_grouping = sa.FormGroups(skills, 3);
+    ASSERT_TRUE(sa_grouping.ok());
+    double sa_gain =
+        EvaluateRoundGain(mode, sa_grouping.value(), gain, skills).value();
+
+    auto dygroups = (mode == InteractionMode::kStar)
+                        ? DyGroupsStarLocal(skills, 3)
+                        : DyGroupsCliqueLocal(skills, 3);
+    ASSERT_TRUE(dygroups.ok());
+    double optimal =
+        EvaluateRoundGain(mode, dygroups.value(), gain, skills).value();
+    EXPECT_NEAR(sa_gain, optimal, 0.01 * optimal)
+        << InteractionModeName(mode);
+    EXPECT_LE(sa_gain, optimal + 1e-9);
+  }
+}
+
+TEST(SimulatedAnnealingTest, MoreIterationsNeverHurtQualityMuch) {
+  random::Rng rng(3);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kLogNormal, 24);
+  LinearGain gain(0.5);
+  SimulatedAnnealingOptions few;
+  few.iterations = 50;
+  SimulatedAnnealingOptions many;
+  many.iterations = 5000;
+  SimulatedAnnealingPolicy sa_few(InteractionMode::kStar, gain, 13, few);
+  SimulatedAnnealingPolicy sa_many(InteractionMode::kStar, gain, 13, many);
+  double gain_few =
+      EvaluateRoundGain(InteractionMode::kStar,
+                        sa_few.FormGroups(skills, 4).value(), gain, skills)
+          .value();
+  double gain_many =
+      EvaluateRoundGain(InteractionMode::kStar,
+                        sa_many.FormGroups(skills, 4).value(), gain, skills)
+          .value();
+  EXPECT_GE(gain_many, gain_few - 1e-9);
+}
+
+TEST(SimulatedAnnealingTest, DeterministicGivenSeed) {
+  random::Rng rng(4);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kLogNormal, 16);
+  LinearGain gain(0.5);
+  SimulatedAnnealingPolicy a(InteractionMode::kStar, gain, 99);
+  SimulatedAnnealingPolicy b(InteractionMode::kStar, gain, 99);
+  EXPECT_EQ(a.FormGroups(skills, 4)->CanonicalKey(),
+            b.FormGroups(skills, 4)->CanonicalKey());
+}
+
+TEST(SimulatedAnnealingTest, RejectsBadArguments) {
+  LinearGain gain(0.5);
+  SimulatedAnnealingPolicy policy(InteractionMode::kStar, gain, 1);
+  EXPECT_FALSE(policy.FormGroups({1.0, 2.0, 3.0}, 2).ok());
+  EXPECT_FALSE(policy.FormGroups({}, 1).ok());
+}
+
+TEST(SimulatedAnnealingTest, SingleGroupIsTrivial) {
+  LinearGain gain(0.5);
+  SimulatedAnnealingPolicy policy(InteractionMode::kStar, gain, 1);
+  auto grouping = policy.FormGroups({1.0, 2.0, 3.0}, 1);
+  ASSERT_TRUE(grouping.ok());
+  EXPECT_EQ(grouping->num_groups(), 1);
+}
+
+}  // namespace
+}  // namespace tdg::baselines

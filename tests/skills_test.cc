@@ -1,0 +1,52 @@
+#include "core/skills.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tdg {
+namespace {
+
+TEST(ValidateSkillsTest, AcceptsPositiveSkills) {
+  EXPECT_TRUE(ValidateSkills(SkillVector{0.1, 5.0, 1e-9}).ok());
+}
+
+TEST(ValidateSkillsTest, RejectsBadSkills) {
+  EXPECT_FALSE(ValidateSkills(SkillVector{}).ok());
+  EXPECT_FALSE(ValidateSkills(SkillVector{0.5, 0.0}).ok());
+  EXPECT_FALSE(ValidateSkills(SkillVector{0.5, -0.1}).ok());
+  EXPECT_FALSE(ValidateSkills(SkillVector{0.5, std::nan("")}).ok());
+}
+
+TEST(SortedByskillDescendingTest, SortsWithStableTieBreak) {
+  SkillVector skills = {0.5, 0.9, 0.5, 0.1};
+  std::vector<int> sorted = SortedByskillDescending(skills);
+  EXPECT_EQ(sorted, (std::vector<int>{1, 0, 2, 3}));
+}
+
+TEST(TotalSkillTest, Sums) {
+  EXPECT_DOUBLE_EQ(TotalSkill(SkillVector{1, 2, 3}), 6.0);
+  EXPECT_DOUBLE_EQ(TotalSkill(SkillVector{}), 0.0);
+}
+
+TEST(AggregateGainTest, SumsDeltas) {
+  EXPECT_DOUBLE_EQ(
+      AggregateGain(SkillVector{1, 2}, SkillVector{1.5, 2.25}), 0.75);
+  EXPECT_DOUBLE_EQ(AggregateGain(SkillVector{1}, SkillVector{1}), 0.0);
+}
+
+TEST(SkillDeficitsTest, MeasuresDistanceToTop) {
+  // Paper §IV-C: skills [0.9..0.1] give b = [0, 0.1, ..., 0.8].
+  SkillVector skills = {0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.1};
+  std::vector<double> deficits = SkillDeficits(skills);
+  for (size_t i = 0; i < skills.size(); ++i) {
+    EXPECT_NEAR(deficits[i], 0.1 * static_cast<double>(i), 1e-12);
+  }
+}
+
+TEST(SkillDeficitsTest, EmptyInput) {
+  EXPECT_TRUE(SkillDeficits(SkillVector{}).empty());
+}
+
+}  // namespace
+}  // namespace tdg

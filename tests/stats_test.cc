@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "random/distributions.h"
+#include "stats/bootstrap.h"
+#include "stats/descriptive.h"
+#include "stats/hypothesis.h"
+#include "stats/inequality.h"
+#include "stats/regression.h"
+
+namespace tdg::stats {
+namespace {
+
+// --- Descriptive ----------------------------------------------------------
+
+TEST(DescriptiveTest, BasicMoments) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Sum(v), 15.0);
+  EXPECT_DOUBLE_EQ(Mean(v), 3.0);
+  EXPECT_DOUBLE_EQ(PopulationVariance(v), 2.0);
+  EXPECT_DOUBLE_EQ(SampleVariance(v), 2.5);
+  EXPECT_DOUBLE_EQ(PopulationStdDev(v), std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(Min(v), 1.0);
+  EXPECT_DOUBLE_EQ(Max(v), 5.0);
+}
+
+TEST(DescriptiveTest, EmptyAndSingletonEdgeCases) {
+  std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(Mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(PopulationVariance(empty), 0.0);
+  std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(Mean(one), 7.0);
+  EXPECT_DOUBLE_EQ(SampleVariance(one), 0.0);
+  EXPECT_DOUBLE_EQ(Median(one), 7.0);
+}
+
+TEST(DescriptiveTest, MedianAndPercentiles) {
+  std::vector<double> v = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(Median(v), 3.0);
+  std::vector<double> even = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Median(even), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(even, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(even, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(even, 0.25), 1.75);
+}
+
+TEST(DescriptiveTest, KahanSumHandlesMixedMagnitudes) {
+  std::vector<double> v;
+  v.push_back(1e16);
+  for (int i = 0; i < 1000; ++i) v.push_back(1.0);
+  v.push_back(-1e16);
+  EXPECT_DOUBLE_EQ(Sum(v), 1000.0);
+}
+
+TEST(DescriptiveTest, SummarizeAggregates) {
+  std::vector<double> v = {2, 4, 6};
+  Summary s = Summarize(v);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 12.0);
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_DOUBLE_EQ(s.sample_std_dev, 2.0);
+}
+
+// --- Inequality -------------------------------------------------------------
+
+TEST(InequalityTest, UniformPopulationHasZeroInequality) {
+  std::vector<double> equal = {3, 3, 3, 3};
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation(equal), 0.0);
+  EXPECT_DOUBLE_EQ(GiniIndex(equal), 0.0);
+}
+
+TEST(InequalityTest, GiniMatchesPairwiseDefinition) {
+  // Paper footnote 9: G = sum_{i>j} |s_i - s_j| / (n * sum_i |s_i|).
+  std::vector<double> v = {1, 2, 3, 7};
+  double pairwise = 0.0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      pairwise += std::abs(v[i] - v[j]);
+    }
+  }
+  double expected = pairwise / (v.size() * (1 + 2 + 3 + 7));
+  EXPECT_NEAR(GiniIndex(v), expected, 1e-12);
+}
+
+TEST(InequalityTest, ExtremeConcentrationApproachesOne) {
+  std::vector<double> v(100, 0.0);
+  v[0] = 1000.0;
+  // Gini of "one person owns everything" is (n-1)/n.
+  EXPECT_NEAR(GiniIndex(v), 0.99, 1e-12);
+}
+
+TEST(InequalityTest, CvMatchesDirectComputation) {
+  std::vector<double> v = {2, 4, 6, 8};
+  EXPECT_NEAR(CoefficientOfVariation(v),
+              PopulationStdDev(v) / Mean(v), 1e-12);
+}
+
+TEST(InequalityTest, ScaleInvariance) {
+  std::vector<double> v = {1, 2, 5, 9};
+  std::vector<double> scaled;
+  for (double x : v) scaled.push_back(x * 37.0);
+  EXPECT_NEAR(GiniIndex(v), GiniIndex(scaled), 1e-12);
+  EXPECT_NEAR(CoefficientOfVariation(v), CoefficientOfVariation(scaled),
+              1e-12);
+}
+
+// --- Regression -------------------------------------------------------------
+
+TEST(RegressionTest, ExactLineIsRecovered) {
+  std::vector<double> x = {1, 2, 3, 4};
+  std::vector<double> y = {3, 5, 7, 9};  // y = 1 + 2x
+  auto fit = FitLinear(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit->intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit->Predict(10), 21.0, 1e-12);
+}
+
+TEST(RegressionTest, NoisyLineHasReasonableFit) {
+  random::Rng rng(42);
+  std::vector<double> x;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    double xi = static_cast<double>(i) / 10.0;
+    x.push_back(xi);
+    y.push_back(0.5 + 1.5 * xi + 0.1 * random::StandardNormal(rng));
+  }
+  auto fit = FitLinear(x, y);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->slope, 1.5, 0.02);
+  EXPECT_NEAR(fit->intercept, 0.5, 0.1);
+  EXPECT_GT(fit->r_squared, 0.99);
+}
+
+TEST(RegressionTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(FitLinear(std::vector<double>{1.0},
+                         std::vector<double>{2.0}).ok());
+  EXPECT_FALSE(FitLinear(std::vector<double>{1, 2},
+                         std::vector<double>{1}).ok());
+  EXPECT_FALSE(FitLinear(std::vector<double>{2, 2, 2},
+                         std::vector<double>{1, 2, 3}).ok());
+}
+
+// --- Special functions / t-tests ---------------------------------------------
+
+TEST(IncompleteBetaTest, KnownValues) {
+  // I_x(1, 1) = x (uniform CDF).
+  EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, 0.3), 0.3, 1e-10);
+  // I_x(2, 2) = 3x^2 - 2x^3.
+  double x = 0.4;
+  EXPECT_NEAR(RegularizedIncompleteBeta(2, 2, x), 3 * x * x - 2 * x * x * x,
+              1e-10);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(3, 4, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(3, 4, 1.0), 1.0);
+}
+
+TEST(StudentTCdfTest, SymmetryAndKnownQuantiles) {
+  EXPECT_NEAR(StudentTCdf(0.0, 5), 0.5, 1e-12);
+  EXPECT_NEAR(StudentTCdf(2.0, 10) + StudentTCdf(-2.0, 10), 1.0, 1e-10);
+  // t_{0.975, 10} = 2.228139 (standard table value).
+  EXPECT_NEAR(StudentTCdf(2.228139, 10), 0.975, 1e-4);
+  // With df = 1 (Cauchy), CDF(1) = 0.75.
+  EXPECT_NEAR(StudentTCdf(1.0, 1), 0.75, 1e-8);
+}
+
+TEST(StudentTQuantileTest, InvertsCdf) {
+  for (double p : {0.6, 0.75, 0.9, 0.975, 0.995}) {
+    double q = StudentTQuantile(p, 7);
+    EXPECT_NEAR(StudentTCdf(q, 7), p, 1e-8);
+  }
+  // t_{0.975, 10} = 2.228139.
+  EXPECT_NEAR(StudentTQuantile(0.975, 10), 2.228139, 1e-4);
+}
+
+TEST(WelchTTestTest, DetectsLargeDifference) {
+  std::vector<double> a = {5.1, 5.0, 4.9, 5.2, 5.05, 4.95};
+  std::vector<double> b = {3.0, 3.1, 2.9, 3.05, 3.0, 2.95};
+  auto result = WelchTTest(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->t_statistic, 10.0);
+  EXPECT_LT(result->p_value_two_sided, 1e-6);
+  EXPECT_LT(result->p_value_one_sided_greater, 1e-6);
+  EXPECT_NEAR(result->mean_difference, 2.0333, 1e-3);
+  EXPECT_TRUE(result->SignificantAt(0.05));
+}
+
+TEST(WelchTTestTest, NoDifferenceIsInsignificant) {
+  random::Rng rng(8);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 50; ++i) {
+    a.push_back(random::StandardNormal(rng));
+    b.push_back(random::StandardNormal(rng));
+  }
+  auto result = WelchTTest(a, b);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->p_value_two_sided, 0.05);
+}
+
+TEST(WelchTTestTest, RejectsTinySamples) {
+  EXPECT_FALSE(WelchTTest(std::vector<double>{1.0},
+                          std::vector<double>{1.0, 2.0}).ok());
+  EXPECT_FALSE(WelchTTest(std::vector<double>{1, 1, 1},
+                          std::vector<double>{2, 2, 2}).ok());
+}
+
+TEST(PairedTTestTest, DetectsConsistentImprovement) {
+  std::vector<double> before = {0.4, 0.5, 0.45, 0.6, 0.55, 0.5};
+  std::vector<double> after = {0.55, 0.62, 0.60, 0.71, 0.68, 0.66};
+  auto result = PairedTTest(after, before);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->mean_difference, 0.1);
+  EXPECT_LT(result->p_value_one_sided_greater, 0.01);
+}
+
+TEST(PairedTTestTest, RejectsMismatchedOrConstant) {
+  EXPECT_FALSE(PairedTTest(std::vector<double>{1, 2},
+                           std::vector<double>{1, 2, 3}).ok());
+  EXPECT_FALSE(PairedTTest(std::vector<double>{2, 3},
+                           std::vector<double>{1, 2}).ok());
+}
+
+TEST(ConfidenceIntervalTest, CoversTrueMean) {
+  std::vector<double> v = {9.8, 10.1, 10.0, 9.9, 10.2, 10.0, 9.95, 10.05};
+  auto ci = MeanConfidenceInterval(v, 0.95);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_LT(ci->lower, 10.0);
+  EXPECT_GT(ci->upper, 10.0);
+  EXPECT_LT(ci->upper - ci->lower, 0.3);
+  // Narrower at the paper's 75% level.
+  auto ci75 = MeanConfidenceInterval(v, 0.75);
+  ASSERT_TRUE(ci75.ok());
+  EXPECT_LT(ci75->upper - ci75->lower, ci->upper - ci->lower);
+}
+
+TEST(ConfidenceIntervalTest, RejectsBadInputs) {
+  std::vector<double> v = {1.0};
+  EXPECT_FALSE(MeanConfidenceInterval(v, 0.9).ok());
+  std::vector<double> ok = {1.0, 2.0};
+  EXPECT_FALSE(MeanConfidenceInterval(ok, 0.0).ok());
+  EXPECT_FALSE(MeanConfidenceInterval(ok, 1.0).ok());
+}
+
+// --- Bootstrap ---------------------------------------------------------------
+
+TEST(BootstrapTest, MeanIntervalCoversTruth) {
+  random::Rng rng(77);
+  std::vector<double> data;
+  for (int i = 0; i < 200; ++i) {
+    data.push_back(5.0 + random::StandardNormal(rng));
+  }
+  random::Rng boot_rng(78);
+  auto ci = BootstrapConfidenceInterval(
+      data, [](std::span<const double> v) { return Mean(v); }, 0.95, 1000,
+      boot_rng);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_LT(ci->lower, 5.0);
+  EXPECT_GT(ci->upper, 5.0);
+  EXPECT_LT(ci->upper - ci->lower, 0.5);
+}
+
+TEST(BootstrapTest, MeanDifferenceDetectsGap) {
+  random::Rng rng(79);
+  std::vector<double> a;
+  std::vector<double> b;
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(2.0 + 0.2 * random::StandardNormal(rng));
+    b.push_back(1.0 + 0.2 * random::StandardNormal(rng));
+  }
+  random::Rng boot_rng(80);
+  auto ci = BootstrapMeanDifference(a, b, 0.95, 800, boot_rng);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_GT(ci->lower, 0.8);
+  EXPECT_LT(ci->upper, 1.2);
+}
+
+TEST(BootstrapTest, RejectsBadInputs) {
+  random::Rng rng(1);
+  std::vector<double> empty;
+  std::vector<double> ok = {1.0, 2.0};
+  EXPECT_FALSE(BootstrapMeanDifference(empty, ok, 0.9, 10, rng).ok());
+  EXPECT_FALSE(BootstrapMeanDifference(ok, ok, 1.5, 10, rng).ok());
+  EXPECT_FALSE(BootstrapMeanDifference(ok, ok, 0.9, 0, rng).ok());
+}
+
+}  // namespace
+}  // namespace tdg::stats

@@ -1,0 +1,79 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace tdg::util {
+namespace {
+
+TEST(SplitTest, BasicSplit) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitTest, EmptyInputIsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(TrimTest, TrimsBothEnds) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("hello"), "hello");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(JoinTest, JoinsWithSeparator) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("--flag", "--"));
+  EXPECT_FALSE(StartsWith("-", "--"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+}
+
+TEST(ParseDoubleTest, ParsesValidNumbers) {
+  EXPECT_DOUBLE_EQ(ParseDouble("3.25").value(), 3.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-1e-3").value(), -1e-3);
+  EXPECT_DOUBLE_EQ(ParseDouble("  7 ").value(), 7.0);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+}
+
+TEST(ParseIntTest, ParsesValidIntegers) {
+  EXPECT_EQ(ParseInt("42").value(), 42);
+  EXPECT_EQ(ParseInt("-7").value(), -7);
+  EXPECT_EQ(ParseInt(" 1000000000000 ").value(), 1000000000000LL);
+}
+
+TEST(ParseIntTest, RejectsGarbageAndOverflow) {
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("1.5").ok());
+  EXPECT_FALSE(ParseInt("999999999999999999999999").ok());
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+}
+
+TEST(FormatDoubleTest, TrimsTrailingZeros) {
+  EXPECT_EQ(FormatDouble(0.5), "0.5");
+  EXPECT_EQ(FormatDouble(2.334375), "2.334375");
+  EXPECT_EQ(FormatDouble(3.0), "3.0");
+  // 0.125 is exactly representable; printf rounds half to even.
+  EXPECT_EQ(FormatDouble(0.125, 2), "0.12");
+  EXPECT_EQ(FormatDouble(0.175, 2), "0.17");
+}
+
+}  // namespace
+}  // namespace tdg::util

@@ -1,0 +1,53 @@
+#include "util/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tdg::util {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"name", "value"});
+  printer.AddRow({"a", "1"});
+  printer.AddRow({"long-name", "22"});
+  std::string out = printer.ToString();
+  // Every line has the same width.
+  std::istringstream lines(out);
+  std::string line;
+  size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << out;
+  }
+  EXPECT_NE(out.find("long-name"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsShortRowsAndExtendsLongOnes) {
+  TablePrinter printer({"a"});
+  printer.AddRow({"1", "2"});
+  printer.AddRow({});
+  std::string out = printer.ToString();
+  EXPECT_EQ(printer.num_rows(), 2u);
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumericRowsFormatted) {
+  TablePrinter printer({"x", "y"});
+  printer.AddNumericRow({1.0, 2.334375}, 6);
+  std::string out = printer.ToString();
+  EXPECT_NE(out.find("2.334375"), std::string::npos);
+  EXPECT_NE(out.find("1.0"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PrintWritesToStream) {
+  TablePrinter printer({"h"});
+  printer.AddRow({"v"});
+  std::ostringstream out;
+  printer.Print(out);
+  EXPECT_EQ(out.str(), printer.ToString());
+}
+
+}  // namespace
+}  // namespace tdg::util

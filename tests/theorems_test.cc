@@ -1,0 +1,262 @@
+// Exhaustive small-instance validation of the paper's §IV theorems.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/brute_force.h"
+#include "core/dygroups.h"
+#include "core/interaction.h"
+#include "core/objective.h"
+#include "core/process.h"
+#include "baselines/random_assignment.h"
+#include "random/distributions.h"
+#include "stats/descriptive.h"
+
+namespace tdg {
+namespace {
+
+// Ids of each group's teacher (pre-round maximum).
+std::set<int> Teachers(const Grouping& grouping, const SkillVector& skills) {
+  std::set<int> teachers;
+  for (const auto& group : grouping.groups) {
+    int best = group.front();
+    for (int id : group) {
+      if (skills[id] > skills[best]) best = id;
+    }
+    teachers.insert(best);
+  }
+  return teachers;
+}
+
+// Theorem 1: in star mode, (a) every round-optimal grouping has the top-k
+// skills as teachers of distinct groups, and (b) every grouping with that
+// property attains the same (maximal) gain.
+TEST(Theorem1Test, TopKTeachersCharacterizeRoundOptima) {
+  random::Rng rng(21);
+  LinearGain gain(0.5);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 6 + 3 * static_cast<int>(rng.NextBounded(2));  // 6 or 9
+    int k = (n == 6) ? 2 : 3;
+    SkillVector skills =
+        random::GenerateSkills(rng, random::SkillDistribution::kUniform, n);
+    for (double& s : skills) s += 0.01;
+
+    std::vector<int> sorted = SortedByskillDescending(skills);
+    std::set<int> top_k(sorted.begin(), sorted.begin() + k);
+
+    auto groupings = EnumerateEquiSizedGroupings(n, k);
+    ASSERT_TRUE(groupings.ok());
+    double best = -1.0;
+    for (const Grouping& g : groupings.value()) {
+      best = std::max(
+          best, EvaluateRoundGain(InteractionMode::kStar, g, gain, skills)
+                    .value());
+    }
+    for (const Grouping& g : groupings.value()) {
+      double lg =
+          EvaluateRoundGain(InteractionMode::kStar, g, gain, skills).value();
+      bool top_k_teachers = Teachers(g, skills) == top_k;
+      if (top_k_teachers) {
+        EXPECT_NEAR(lg, best, 1e-12) << "part (b) violated: " << g.ToString();
+      } else {
+        EXPECT_LT(lg, best + 1e-12);
+      }
+      if (std::abs(lg - best) < 1e-12) {
+        EXPECT_TRUE(top_k_teachers)
+            << "part (a) violated: " << g.ToString();
+      }
+    }
+    // And DyGroups-Star-Local attains the optimum.
+    auto local = DyGroupsStarLocal(skills, k);
+    ASSERT_TRUE(local.ok());
+    EXPECT_NEAR(EvaluateRoundGain(InteractionMode::kStar, local.value(), gain,
+                                  skills)
+                    .value(),
+                best, 1e-12);
+  }
+}
+
+// Theorem 2: among all round-optimal star groupings, Algorithm 2's output
+// maximizes the variance of the post-round skills.
+TEST(Theorem2Test, Algorithm2MaximizesPostRoundVariance) {
+  random::Rng rng(23);
+  LinearGain gain(0.5);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = 8;
+    int k = 2;
+    SkillVector skills =
+        random::GenerateSkills(rng, random::SkillDistribution::kUniform, n);
+    for (double& s : skills) s += 0.01;
+
+    auto groupings = EnumerateEquiSizedGroupings(n, k);
+    ASSERT_TRUE(groupings.ok());
+    double best_gain = -1.0;
+    for (const Grouping& g : groupings.value()) {
+      best_gain = std::max(
+          best_gain,
+          EvaluateRoundGain(InteractionMode::kStar, g, gain, skills).value());
+    }
+    double max_variance = -1.0;
+    for (const Grouping& g : groupings.value()) {
+      SkillVector updated = skills;
+      double lg = ApplyRound(InteractionMode::kStar, g, gain, updated).value();
+      if (std::abs(lg - best_gain) < 1e-12) {
+        max_variance =
+            std::max(max_variance, stats::PopulationVariance(updated));
+      }
+    }
+
+    auto local = DyGroupsStarLocal(skills, k);
+    ASSERT_TRUE(local.ok());
+    SkillVector updated = skills;
+    ASSERT_TRUE(
+        ApplyRound(InteractionMode::kStar, local.value(), gain, updated)
+            .ok());
+    EXPECT_NEAR(stats::PopulationVariance(updated), max_variance, 1e-12);
+  }
+}
+
+// Theorem 4: Algorithm 3's grouping maximizes the clique-mode round gain.
+TEST(Theorem4Test, Algorithm3IsRoundOptimalForClique) {
+  random::Rng rng(29);
+  LinearGain gain(0.5);
+  for (int trial = 0; trial < 20; ++trial) {
+    int n = (trial % 2 == 0) ? 6 : 8;
+    int k = 2;
+    SkillVector skills =
+        random::GenerateSkills(rng, random::SkillDistribution::kUniform, n);
+    for (double& s : skills) s += 0.01;
+
+    auto groupings = EnumerateEquiSizedGroupings(n, k);
+    ASSERT_TRUE(groupings.ok());
+    double best = -1.0;
+    for (const Grouping& g : groupings.value()) {
+      best = std::max(
+          best, EvaluateRoundGain(InteractionMode::kClique, g, gain, skills)
+                    .value());
+    }
+    auto local = DyGroupsCliqueLocal(skills, k);
+    ASSERT_TRUE(local.ok());
+    EXPECT_NEAR(EvaluateRoundGain(InteractionMode::kClique, local.value(),
+                                  gain, skills)
+                    .value(),
+                best, 1e-12);
+  }
+}
+
+// Also for k = 3 on n = 9 (280 groupings).
+TEST(Theorem4Test, Algorithm3IsRoundOptimalForCliqueKThree) {
+  random::Rng rng(31);
+  LinearGain gain(0.3);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kUniform, 9);
+  for (double& s : skills) s += 0.01;
+  auto groupings = EnumerateEquiSizedGroupings(9, 3);
+  ASSERT_TRUE(groupings.ok());
+  double best = -1.0;
+  for (const Grouping& g : groupings.value()) {
+    best = std::max(
+        best, EvaluateRoundGain(InteractionMode::kClique, g, gain, skills)
+                  .value());
+  }
+  auto local = DyGroupsCliqueLocal(skills, 3);
+  ASSERT_TRUE(local.ok());
+  EXPECT_NEAR(EvaluateRoundGain(InteractionMode::kClique, local.value(), gain,
+                                skills)
+                  .value(),
+              best, 1e-12);
+}
+
+// Eq. 4: maximizing Σ_t LG_t is the same as minimizing the final deficit sum;
+// the two bookkeepings agree exactly.
+TEST(ObjectiveTest, GainEqualsDeficitReduction) {
+  random::Rng rng(37);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kLogNormal, 12);
+  DyGroupsStarPolicy policy;
+  LinearGain gain(0.5);
+  ProcessConfig config;
+  config.num_groups = 2;
+  config.num_rounds = 4;
+  auto result = RunProcess(skills, config, gain, policy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->total_gain,
+              TotalGainFromDeficits(SkillDeficits(result->initial_skills),
+                                    SkillDeficits(result->final_skills)),
+              1e-9);
+}
+
+// Eq. 5: the closed-form deficit recursion holds for *any* k=2 star-mode
+// grouping sequence, not just DyGroups — validated with both DyGroups and
+// random groupings.
+TEST(ObjectiveTest, Equation5ClosedFormMatchesSimulation) {
+  random::Rng rng(41);
+  for (int trial = 0; trial < 10; ++trial) {
+    int n = 8;
+    double r = 0.1 + 0.8 * rng.NextDouble();
+    SkillVector skills =
+        random::GenerateSkills(rng, random::SkillDistribution::kUniform, n);
+    for (double& s : skills) s += 0.01;
+    LinearGain gain(r);
+    ProcessConfig config;
+    config.num_groups = 2;
+    config.num_rounds = 3;
+    config.mode = InteractionMode::kStar;
+
+    for (bool use_random : {false, true}) {
+      std::unique_ptr<GroupingPolicy> policy;
+      if (use_random) {
+        policy = std::make_unique<baselines::RandomAssignmentPolicy>(trial);
+      } else {
+        policy = std::make_unique<DyGroupsStarPolicy>();
+      }
+      auto result = RunProcess(skills, config, gain, *policy);
+      ASSERT_TRUE(result.ok());
+
+      auto second_teacher = SecondTeacherDeficits(result.value());
+      ASSERT_TRUE(second_teacher.ok());
+      std::vector<double> initial_deficits =
+          SkillDeficits(result->initial_skills);
+      double d = 0.0;
+      for (double b : initial_deficits) d += b;
+      double predicted =
+          StarK2DeficitObjective(d, n, r, second_teacher.value());
+      std::vector<double> final_deficits =
+          SkillDeficits(result->final_skills);
+      double actual = 0.0;
+      for (double b : final_deficits) actual += b;
+      EXPECT_NEAR(predicted, actual, 1e-9)
+          << (use_random ? "random" : "dygroups") << " trial " << trial;
+    }
+  }
+}
+
+// Lemma 1 count: with k = 2 there are 2 * C(n-2, n/2-1) round-optimal
+// groupings. (The factor 2 in the paper counts the two ways of labeling the
+// groups; unordered, it is C(n-2, n/2-1).)
+TEST(Lemma1Test, NumberOfRoundOptimaMatches) {
+  SkillVector skills = {0.1, 0.25, 0.4, 0.55, 0.7, 0.85};  // n = 6, distinct
+  LinearGain gain(0.5);
+  auto groupings = EnumerateEquiSizedGroupings(6, 2);
+  ASSERT_TRUE(groupings.ok());
+  double best = -1.0;
+  for (const Grouping& g : groupings.value()) {
+    best = std::max(
+        best,
+        EvaluateRoundGain(InteractionMode::kStar, g, gain, skills).value());
+  }
+  int optima = 0;
+  for (const Grouping& g : groupings.value()) {
+    if (std::abs(EvaluateRoundGain(InteractionMode::kStar, g, gain, skills)
+                     .value() -
+                 best) < 1e-12) {
+      ++optima;
+    }
+  }
+  EXPECT_EQ(optima, 6);  // C(4, 2) = 6 unordered
+}
+
+}  // namespace
+}  // namespace tdg

@@ -1,0 +1,115 @@
+#include "core/theory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "random/distributions.h"
+
+namespace tdg {
+namespace {
+
+TEST(RateOneSaturationTest, PredictionFormula) {
+  // t = n/k; rounds = ceil(log_t(n)).
+  EXPECT_EQ(PredictedRateOneSaturationRounds(9, 3).value(), 2);   // t=3
+  EXPECT_EQ(PredictedRateOneSaturationRounds(8, 4).value(), 3);   // t=2
+  EXPECT_EQ(PredictedRateOneSaturationRounds(16, 8).value(), 4);  // t=2
+  EXPECT_EQ(PredictedRateOneSaturationRounds(1000, 100).value(), 3);  // t=10
+  EXPECT_EQ(PredictedRateOneSaturationRounds(4, 1).value(), 1);   // t=4
+}
+
+TEST(RateOneSaturationTest, PredictionRejectsBadShapes) {
+  EXPECT_FALSE(PredictedRateOneSaturationRounds(7, 2).ok());
+  EXPECT_FALSE(PredictedRateOneSaturationRounds(4, 4).ok());  // t = 1
+  EXPECT_FALSE(PredictedRateOneSaturationRounds(1, 1).ok());
+}
+
+// The paper's §V-B2 note: with r = 1 it takes log_{n/k}(n) rounds for
+// everyone to reach the top skill under DyGroups — simulation must match
+// the closed form (with distinct skills, so exactly one initial maximum).
+TEST(RateOneSaturationTest, SimulationMatchesPrediction) {
+  random::Rng rng(3);
+  struct Shape {
+    int n, k;
+  };
+  for (Shape shape : {Shape{9, 3}, Shape{16, 8}, Shape{64, 16},
+                      Shape{100, 20}, Shape{1000, 100}}) {
+    SkillVector skills;
+    skills.reserve(shape.n);
+    for (int i = 0; i < shape.n; ++i) {
+      skills.push_back(1.0 + static_cast<double>(i) +
+                       0.5 * rng.NextDouble());
+    }
+    // shuffle
+    for (int i = shape.n - 1; i > 0; --i) {
+      int j =
+          static_cast<int>(rng.NextBounded(static_cast<uint64_t>(i + 1)));
+      std::swap(skills[i], skills[j]);
+    }
+    int predicted = PredictedRateOneSaturationRounds(shape.n, shape.k).value();
+    int simulated =
+        SimulateRateOneStarSaturation(skills, shape.k).value();
+    EXPECT_EQ(simulated, predicted)
+        << "n=" << shape.n << " k=" << shape.k;
+  }
+}
+
+TEST(RateOneSaturationTest, AlreadySaturatedIsZeroRounds) {
+  SkillVector uniform(8, 3.0);
+  EXPECT_EQ(SimulateRateOneStarSaturation(uniform, 2).value(), 0);
+}
+
+TEST(DeficitLowerBoundTest, GeometricEnvelope) {
+  EXPECT_DOUBLE_EQ(DeficitLowerBound(10.0, 0.5, 0), 10.0);
+  EXPECT_DOUBLE_EQ(DeficitLowerBound(10.0, 0.5, 3), 1.25);
+  EXPECT_DOUBLE_EQ(DeficitLowerBound(10.0, 0.9, 1), 1.0);
+}
+
+// No process can shed deficit faster than the geometric envelope — the
+// simulated rounds-to-fraction is always >= the envelope's bound.
+TEST(RoundsToDeficitFractionTest, RespectsGeometricEnvelope) {
+  random::Rng rng(5);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kLogNormal, 60);
+  for (double fraction : {0.5, 0.1, 0.01}) {
+    double r = 0.5;
+    auto rounds = RoundsToDeficitFraction(skills, 5, InteractionMode::kStar,
+                                          r, fraction);
+    ASSERT_TRUE(rounds.ok());
+    // Envelope: fraction >= (1-r)^rounds  =>  rounds >= log(fraction)/log(1-r).
+    int envelope_rounds = static_cast<int>(
+        std::ceil(std::log(fraction) / std::log(1.0 - r) - 1e-9));
+    EXPECT_GE(rounds.value(), envelope_rounds) << fraction;
+    EXPECT_LT(rounds.value(), 10000);
+  }
+}
+
+TEST(RoundsToDeficitFractionTest, MonotoneInTargetFraction) {
+  random::Rng rng(7);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kLogNormal, 40);
+  auto half = RoundsToDeficitFraction(skills, 4, InteractionMode::kClique,
+                                      0.5, 0.5);
+  auto tenth = RoundsToDeficitFraction(skills, 4, InteractionMode::kClique,
+                                       0.5, 0.1);
+  ASSERT_TRUE(half.ok() && tenth.ok());
+  EXPECT_LE(half.value(), tenth.value());
+}
+
+TEST(RoundsToDeficitFractionTest, RejectsBadArguments) {
+  SkillVector skills = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_FALSE(RoundsToDeficitFraction(skills, 2, InteractionMode::kStar,
+                                       0.5, 1.5)
+                   .ok());
+  EXPECT_FALSE(RoundsToDeficitFraction(skills, 3, InteractionMode::kStar,
+                                       0.5, 0.5)
+                   .ok());
+  SkillVector converged(6, 2.0);
+  EXPECT_EQ(RoundsToDeficitFraction(converged, 2, InteractionMode::kStar,
+                                    0.5, 0.5)
+                .value(),
+            0);
+}
+
+}  // namespace
+}  // namespace tdg

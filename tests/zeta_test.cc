@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "random/distributions.h"
+
+namespace tdg::random {
+namespace {
+
+TEST(ZetaDistributionTest, SupportIsPositiveIntegers) {
+  Rng rng(1);
+  ZetaDistribution zeta(2.3);
+  for (int i = 0; i < 10000; ++i) {
+    int v = zeta.Sample(rng);
+    EXPECT_GE(v, 1);
+  }
+}
+
+TEST(ZetaDistributionTest, HeadProbabilityMatchesZetaFunction) {
+  // P(1) = 1 / zeta(2.3); zeta(2.3) ≈ 1.4340, so P(1) ≈ 0.697.
+  Rng rng(2);
+  ZetaDistribution zeta(2.3);
+  constexpr int kSamples = 200000;
+  int ones = 0;
+  int twos = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    int v = zeta.Sample(rng);
+    if (v == 1) ++ones;
+    if (v == 2) ++twos;
+  }
+  double p1 = static_cast<double>(ones) / kSamples;
+  EXPECT_NEAR(p1, 0.697, 0.01);
+  // P(2)/P(1) = 2^{-2.3}.
+  EXPECT_NEAR(static_cast<double>(twos) / ones, std::pow(2.0, -2.3), 0.01);
+}
+
+TEST(ZetaDistributionTest, ProducesHeavyTail) {
+  // Unlike the bounded Zipf (max 10), the zeta distribution produces
+  // occasional large values — the rare experts that separate grouping
+  // policies.
+  Rng rng(3);
+  ZetaDistribution zeta(2.3);
+  int max_value = 0;
+  for (int i = 0; i < 100000; ++i) {
+    max_value = std::max(max_value, zeta.Sample(rng));
+  }
+  EXPECT_GT(max_value, 100);
+}
+
+TEST(ZetaDistributionTest, LargerExponentConcentratesMass) {
+  Rng rng(4);
+  ZetaDistribution heavy(2.0);
+  ZetaDistribution light(5.0);
+  int heavy_ones = 0;
+  int light_ones = 0;
+  constexpr int kSamples = 50000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (heavy.Sample(rng) == 1) ++heavy_ones;
+    if (light.Sample(rng) == 1) ++light_ones;
+  }
+  EXPECT_GT(light_ones, heavy_ones);
+  // P(1) for s = 5 is 1/zeta(5) ≈ 0.9644.
+  EXPECT_NEAR(static_cast<double>(light_ones) / kSamples, 0.9644, 0.01);
+}
+
+TEST(ZetaSkillsTest, GenerateAndParse) {
+  Rng rng(5);
+  std::vector<double> skills =
+      GenerateSkills(rng, SkillDistribution::kZipfUnbounded, 1000);
+  ASSERT_EQ(skills.size(), 1000u);
+  for (double s : skills) {
+    EXPECT_GE(s, 1.0);
+    EXPECT_EQ(s, std::floor(s));
+  }
+  EXPECT_EQ(ParseSkillDistribution("zipf-unbounded").value(),
+            SkillDistribution::kZipfUnbounded);
+  EXPECT_EQ(ParseSkillDistribution("zeta").value(),
+            SkillDistribution::kZipfUnbounded);
+  EXPECT_EQ(SkillDistributionName(SkillDistribution::kZipfUnbounded),
+            "zipf-unbounded");
+}
+
+}  // namespace
+}  // namespace tdg::random
