@@ -12,6 +12,7 @@
 
 #include "baselines/registry.h"
 #include "core/process.h"
+#include "obs/obs.h"
 #include "random/distributions.h"
 #include "util/logging.h"
 
@@ -30,13 +31,34 @@ inline void RunPolicyBenchmark(benchmark::State& state,
   config.mode = mode;
   config.record_history = false;
 
+  // Per-iteration process wall time goes through the tdg::obs registry —
+  // the same histogram machinery the sweep framework reports from — and the
+  // registry-derived mean/p50/p95 are attached as benchmark counters.
+  obs::Histogram& process_micros =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "bench/process_micros/" + policy_name);
+  const obs::Histogram::Totals before = process_micros.GetTotals();
+
   uint64_t seed = 1;
   for (auto _ : state) {
     auto policy = baselines::MakePolicy(policy_name, seed++);
     TDG_CHECK(policy.ok());
+    obs::ScopedHistogramTimer timer(process_micros);
     auto result = RunProcess(skills, config, gain, **policy);
+    timer.watch().Pause();
     TDG_CHECK(result.ok()) << result.status();
     benchmark::DoNotOptimize(result->total_gain);
+  }
+
+  const obs::Histogram::Totals after = process_micros.GetTotals();
+  const int64_t timed = after.count - before.count;
+  if (timed > 0) {
+    state.counters["proc_us_mean"] =
+        benchmark::Counter((after.sum - before.sum) / timed);
+    state.counters["proc_us_p50"] =
+        benchmark::Counter(process_micros.Quantile(0.50));
+    state.counters["proc_us_p95"] =
+        benchmark::Counter(process_micros.Quantile(0.95));
   }
   state.SetLabel(policy_name);
 }

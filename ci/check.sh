@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Sanitizer + configuration matrix for the tdg repo.
+#
+#   ci/check.sh            run the full matrix (asan, ubsan, tsan, obs-off)
+#   ci/check.sh asan       run one configuration
+#
+# Configurations:
+#   asan     AddressSanitizer build, full ctest suite
+#   ubsan    UndefinedBehaviorSanitizer build, full ctest suite
+#   tsan     ThreadSanitizer build, concurrency-sensitive tests only
+#            (thread pool, observability, sweep)
+#   obs-off  -DTDG_OBS_DISABLED=ON build, full ctest suite — proves the
+#            compiled-out observability path builds and leaves every result
+#            unchanged
+#
+# Build trees live under build-ci/<config> so they never disturb ./build.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+configure_flags() {
+  case "$1" in
+    asan) echo "-DTDG_SANITIZE=address" ;;
+    ubsan) echo "-DTDG_SANITIZE=undefined" ;;
+    tsan) echo "-DTDG_SANITIZE=thread" ;;
+    obs-off) echo "-DTDG_OBS_DISABLED=ON" ;;
+    *)
+      echo "unknown configuration '$1'" >&2
+      exit 2
+      ;;
+  esac
+}
+
+ctest_args() {
+  case "$1" in
+    # TSan is ~10x slower; run the suites that actually exercise
+    # cross-thread interleavings.
+    tsan) echo "-R ThreadPool|ParallelFor|Obs|Trace|Sweep|Logging" ;;
+    *) echo "" ;;
+  esac
+}
+
+run_config() {
+  local config="$1"
+  local build_dir="build-ci/${config}"
+  echo "==> [${config}] configure"
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    $(configure_flags "${config}") >/dev/null
+  echo "==> [${config}] build"
+  cmake --build "${build_dir}" -j "${JOBS}" >/dev/null
+  echo "==> [${config}] test"
+  # shellcheck disable=SC2046
+  (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}" \
+    $(ctest_args "${config}"))
+  echo "==> [${config}] OK"
+}
+
+if [[ $# -gt 0 ]]; then
+  for config in "$@"; do run_config "${config}"; done
+else
+  for config in asan ubsan tsan obs-off; do run_config "${config}"; done
+fi
+
+echo "all checks passed"

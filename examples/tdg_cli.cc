@@ -23,6 +23,17 @@
 //
 //   example_tdg_cli human-sim [--experiment=1|2] [--seed=42]
 //       Run a simulated AMT deployment (see amt_crowdsourcing example).
+//
+// Observability flags (valid with every command):
+//
+//   --trace_out=<file>     Record tdg::obs trace spans for the whole run and
+//                          write them as Chrome trace-event JSON (open in
+//                          chrome://tracing or https://ui.perfetto.dev).
+//   --metrics_out=<file>   Write a JSON snapshot of the tdg::obs metrics
+//                          registry (counters / gauges / histograms with
+//                          p50/p95/p99) at the end of the run.
+//   --print_metrics        Print the end-of-run metrics table to stdout
+//                          (implied by --metrics_out).
 
 #include <cstdio>
 #include <fstream>
@@ -32,6 +43,7 @@
 #include "core/dygroups.h"
 #include "core/process.h"
 #include "exp/sweep.h"
+#include "obs/obs.h"
 #include "random/distributions.h"
 #include "sim/amt_experiment.h"
 #include "util/flags.h"
@@ -218,8 +230,22 @@ void PrintUsage() {
       "usage: example_tdg_cli <command> [flags]\n"
       "commands: policies | run | sweep | config-template | exact | "
       "human-sim\n"
+      "observability (any command): --trace_out=<file> --metrics_out=<file> "
+      "--print_metrics\n"
       "see the header comment of examples/tdg_cli.cc for per-command "
       "flags\n");
+}
+
+int Dispatch(const std::string& command, const tdg::util::FlagParser& flags) {
+  if (command == "policies") return CmdPolicies();
+  if (command == "run") return CmdRun(flags);
+  if (command == "sweep") return CmdSweep(flags);
+  if (command == "config-template") return CmdConfigTemplate();
+  if (command == "exact") return CmdExact(flags);
+  if (command == "human-sim") return CmdHumanSim(flags);
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  PrintUsage();
+  return 1;
 }
 
 }  // namespace
@@ -232,14 +258,29 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 1;
   }
-  const std::string& command = flags.positional().front();
-  if (command == "policies") return CmdPolicies();
-  if (command == "run") return CmdRun(flags);
-  if (command == "sweep") return CmdSweep(flags);
-  if (command == "config-template") return CmdConfigTemplate();
-  if (command == "exact") return CmdExact(flags);
-  if (command == "human-sim") return CmdHumanSim(flags);
-  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
-  PrintUsage();
-  return 1;
+  const std::string trace_out = flags.GetString("trace_out", "");
+  const std::string metrics_out = flags.GetString("metrics_out", "");
+  const bool print_metrics =
+      flags.GetBool("print_metrics", false) || !metrics_out.empty();
+  if (!trace_out.empty()) tdg::obs::StartTracing();
+
+  int exit_code = Dispatch(flags.positional().front(), flags);
+
+  if (!trace_out.empty()) {
+    tdg::obs::StopTracing();
+    auto status = tdg::obs::WriteTraceFile(trace_out);
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote trace to %s (%zu events)\n", trace_out.c_str(),
+                tdg::obs::CollectTraceEvents().size());
+  }
+  if (print_metrics) {
+    std::printf("\n== tdg::obs metrics ==\n%s",
+                tdg::obs::MetricsRegistry::Global().Snapshot().ToTable().c_str());
+  }
+  if (!metrics_out.empty()) {
+    auto status = tdg::obs::WriteMetricsJsonFile(metrics_out);
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote metrics to %s\n", metrics_out.c_str());
+  }
+  return exit_code;
 }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace tdg {
 
 std::string_view InteractionModeName(InteractionMode mode) {
@@ -96,9 +98,13 @@ util::StatusOr<double> ApplyRoundImpl(InteractionMode mode,
                                       bool allow_fast_path) {
   TDG_RETURN_IF_ERROR(
       grouping.ValidatePartition(static_cast<int>(skills.size())));
+  TDG_TRACE_SPAN(mode == InteractionMode::kStar ? "interaction/star_round"
+                                                : "interaction/clique_round");
   double round_gain = 0.0;
+  int64_t updated_groups = 0;
   for (const auto& members : grouping.groups) {
     if (members.size() == 1) continue;  // nothing to learn from
+    ++updated_groups;
     std::vector<std::pair<double, int>> sorted = SortedGroup(members, skills);
     switch (mode) {
       case InteractionMode::kStar:
@@ -112,6 +118,11 @@ util::StatusOr<double> ApplyRoundImpl(InteractionMode mode,
         }
         break;
     }
+  }
+  if (mode == InteractionMode::kStar) {
+    TDG_OBS_COUNTER_ADD("interaction/star_group_updates", updated_groups);
+  } else {
+    TDG_OBS_COUNTER_ADD("interaction/clique_group_updates", updated_groups);
   }
   return round_gain;
 }

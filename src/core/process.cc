@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/obs.h"
 #include "util/string_util.h"
 
 namespace tdg {
@@ -17,12 +18,16 @@ util::StatusOr<ProcessResult> RunProcess(const SkillVector& initial_skills,
         "num_rounds must be >= 0, got %d", config.num_rounds));
   }
 
+  TDG_TRACE_SPAN("process/run");
+  TDG_OBS_COUNTER_ADD("process/runs", 1);
+
   ProcessResult result;
   result.initial_skills = initial_skills;
   SkillVector skills = initial_skills;
   result.round_gains.reserve(config.num_rounds);
 
   for (int t = 0; t < config.num_rounds; ++t) {
+    TDG_TRACE_SPAN("process/round");
     TDG_ASSIGN_OR_RETURN(Grouping grouping,
                          policy.FormGroups(skills, config.num_groups));
     TDG_RETURN_IF_ERROR(
@@ -30,6 +35,12 @@ util::StatusOr<ProcessResult> RunProcess(const SkillVector& initial_skills,
     auto gain_or = ApplyRound(config.mode, grouping, gain, skills);
     if (!gain_or.ok()) return gain_or.status();
     double round_gain = gain_or.value();
+
+    TDG_OBS_COUNTER_ADD("process/rounds", 1);
+    TDG_OBS_HISTOGRAM_RECORD("process/round_gain", round_gain);
+    TDG_OBS_HISTOGRAM_RECORD(
+        "process/round_mean_skill_delta",
+        round_gain / static_cast<double>(skills.size()));
 
     result.round_gains.push_back(round_gain);
     result.total_gain += round_gain;

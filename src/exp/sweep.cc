@@ -6,9 +6,9 @@
 
 #include "baselines/registry.h"
 #include "core/process.h"
+#include "obs/obs.h"
 #include "stats/descriptive.h"
 #include "util/logging.h"
-#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 #include "util/thread_pool.h"
@@ -43,6 +43,14 @@ std::vector<SweepPoint> GridPoints(const SweepConfig& config) {
 
 namespace {
 
+std::string PointLabel(const SweepPoint& point) {
+  return util::StrFormat(
+      "%s/%s n=%d k=%d a=%d r=%s",
+      std::string(random::SkillDistributionName(point.distribution)).c_str(),
+      std::string(InteractionModeName(point.mode)).c_str(), point.n,
+      point.k, point.alpha, util::FormatDouble(point.r, 3).c_str());
+}
+
 // Runs one cell: `runs` fresh populations through the α-round process.
 // `point_seed` drives the population draws so that every policy in the
 // sweep sees the *same* populations (heavy-tailed skill distributions make
@@ -52,9 +60,17 @@ util::StatusOr<SweepCell> RunCell(const SweepPoint& point,
                                   const std::string& policy_name,
                                   int runs, uint64_t point_seed,
                                   uint64_t policy_seed) {
+  TDG_TRACE_SPAN("sweep/cell");
   std::vector<double> gains;
   gains.reserve(runs);
-  double total_micros = 0.0;
+  // Per-run process wall time is recorded into a per-cell registry
+  // histogram; mean_micros is derived from its before/after totals so the
+  // sweep, the CLI metrics table, and --metrics_out all report from one
+  // source of truth (0 when metrics are disabled at runtime).
+  obs::Histogram& process_micros =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "sweep/process_micros/" + PointLabel(point) + "/" + policy_name);
+  const obs::Histogram::Totals micros_before = process_micros.GetTotals();
   for (int run = 0; run < runs; ++run) {
     uint64_t run_seed = point_seed + static_cast<uint64_t>(run) * 1000003ULL;
     random::Rng rng(run_seed);
@@ -73,12 +89,13 @@ util::StatusOr<SweepCell> RunCell(const SweepPoint& point,
     process.mode = point.mode;
     process.record_history = false;
 
-    util::Stopwatch stopwatch;
+    obs::ScopedHistogramTimer timer(process_micros);
     TDG_ASSIGN_OR_RETURN(ProcessResult result,
                          RunProcess(skills, process, gain, *policy));
-    total_micros += static_cast<double>(stopwatch.ElapsedMicros());
+    timer.watch().Pause();  // exclude result bookkeeping below
     gains.push_back(result.total_gain);
   }
+  TDG_OBS_COUNTER_ADD("sweep/cells_completed", 1);
 
   SweepCell cell;
   cell.point = point;
@@ -87,22 +104,21 @@ util::StatusOr<SweepCell> RunCell(const SweepPoint& point,
   cell.mean_gain = stats::Mean(gains);
   cell.stderr_gain =
       runs > 1 ? stats::SampleStdDev(gains) / std::sqrt(runs) : 0.0;
-  cell.mean_micros = total_micros / runs;
+  const obs::Histogram::Totals micros_after = process_micros.GetTotals();
+  const int64_t timed_runs = micros_after.count - micros_before.count;
+  cell.mean_micros =
+      timed_runs > 0
+          ? (micros_after.sum - micros_before.sum) / timed_runs
+          : 0.0;
   return cell;
-}
-
-std::string PointLabel(const SweepPoint& point) {
-  return util::StrFormat(
-      "%s/%s n=%d k=%d a=%d r=%s",
-      std::string(random::SkillDistributionName(point.distribution)).c_str(),
-      std::string(InteractionModeName(point.mode)).c_str(), point.n,
-      point.k, point.alpha, util::FormatDouble(point.r, 3).c_str());
 }
 
 }  // namespace
 
 util::StatusOr<SweepResult> RunSweep(const SweepConfig& config) {
   TDG_RETURN_IF_ERROR(config.Validate());
+  obs::InstallThreadPoolInstrumentation();
+  TDG_TRACE_SPAN("sweep/run");
   std::vector<std::string> policies =
       config.policies.empty() ? baselines::AllPolicyNames() : config.policies;
   std::vector<SweepPoint> points = GridPoints(config);

@@ -28,7 +28,10 @@ struct SweepCell {
   int runs = 0;
   double mean_gain = 0;
   double stderr_gain = 0;   // standard error over the runs
-  double mean_micros = 0;   // mean wall time of the α-round process
+  /// Mean wall time of the α-round process, derived from the cell's
+  /// `sweep/process_micros/...` histogram in the tdg::obs metrics registry
+  /// (0 when metrics are disabled via obs::SetMetricsEnabled(false)).
+  double mean_micros = 0;
 };
 
 struct SweepResult {

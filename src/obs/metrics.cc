@@ -1,0 +1,278 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace tdg::obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+// Atomically max-folds `value` into `slot` (relaxed; exact ordering of
+// concurrent maxima does not matter, the final value is the true max).
+void AtomicFoldMax(std::atomic<double>& slot, double value) {
+  double current = slot.load(std::memory_order_relaxed);
+  while (value > current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicFoldMin(std::atomic<double>& slot, double value) {
+  double current = slot.load(std::memory_order_relaxed);
+  while (value < current &&
+         !slot.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Gauge::Set(double value) {
+  if (!MetricsEnabled()) return;
+  value_.store(value, std::memory_order_relaxed);
+  AtomicFoldMax(max_, value);
+}
+
+void Gauge::Reset() {
+  value_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+int Histogram::BucketIndex(double value) {
+  if (!(value > 0)) return 0;  // negatives and NaN land in the first bucket
+  // The epsilon keeps exact bucket bounds in their own bucket: log10 of
+  // BucketLowerBound(i) + 1 can round to just under i / kBucketsPerDecade.
+  int index = static_cast<int>(
+      std::floor(std::log10(value + 1.0) * kBucketsPerDecade + 1e-9));
+  return std::clamp(index, 0, kNumBuckets - 1);
+}
+
+double Histogram::BucketLowerBound(int index) {
+  if (index <= 0) return 0.0;
+  return std::pow(10.0, static_cast<double>(index) / kBucketsPerDecade) - 1.0;
+}
+
+void Histogram::Record(double value) {
+  if (!MetricsEnabled()) return;
+  buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  // First-write initialization of min/max: claim the slot by bumping count_
+  // *after* folding, so readers treating count_ == 0 as "empty" never see
+  // half-initialized extrema. A racy first pair of records can each fold —
+  // both folds are correct.
+  if (count_.load(std::memory_order_relaxed) == 0) {
+    double expected = 0.0;
+    min_.compare_exchange_strong(expected, value, std::memory_order_relaxed);
+  }
+  AtomicFoldMin(min_, value);
+  AtomicFoldMax(max_, value);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Histogram::Min() const {
+  return Count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::Max() const {
+  return Count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::Mean() const {
+  int64_t count = Count();
+  return count > 0 ? Sum() / static_cast<double>(count) : 0.0;
+}
+
+double Histogram::Quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  std::array<int64_t, kNumBuckets> counts;
+  int64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+
+  double target = q * static_cast<double>(total);
+  if (target < 1.0) target = 1.0;
+  int64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (static_cast<double>(cumulative + counts[i]) >= target) {
+      double fraction = (target - static_cast<double>(cumulative)) /
+                        static_cast<double>(counts[i]);
+      double lo = BucketLowerBound(i);
+      double hi = BucketLowerBound(i + 1);
+      double estimate = lo + fraction * (hi - lo);
+      // The exact extrema tighten the bucket-resolution estimate.
+      return std::clamp(estimate, Min(), Max());
+    }
+    cumulative += counts[i];
+  }
+  return Max();
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* const kRegistry = new MetricsRegistry();
+  return *kRegistry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = GaugeStats{gauge->Value(), gauge->Max()};
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramStats stats;
+    stats.count = histogram->Count();
+    stats.sum = histogram->Sum();
+    stats.min = histogram->Min();
+    stats.max = histogram->Max();
+    stats.mean = histogram->Mean();
+    stats.p50 = histogram->Quantile(0.50);
+    stats.p95 = histogram->Quantile(0.95);
+    stats.p99 = histogram->Quantile(0.99);
+    snapshot.histograms[name] = stats;
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+util::JsonValue MetricsSnapshot::ToJson() const {
+  util::JsonValue counters_json = util::JsonValue::MakeObject();
+  for (const auto& [name, value] : counters) {
+    counters_json.Set(name, static_cast<long long>(value));
+  }
+  util::JsonValue gauges_json = util::JsonValue::MakeObject();
+  for (const auto& [name, stats] : gauges) {
+    util::JsonValue entry = util::JsonValue::MakeObject();
+    entry.Set("value", stats.value);
+    entry.Set("max", stats.max);
+    gauges_json.Set(name, std::move(entry));
+  }
+  util::JsonValue histograms_json = util::JsonValue::MakeObject();
+  for (const auto& [name, stats] : histograms) {
+    util::JsonValue entry = util::JsonValue::MakeObject();
+    entry.Set("count", static_cast<long long>(stats.count));
+    entry.Set("sum", stats.sum);
+    entry.Set("min", stats.min);
+    entry.Set("max", stats.max);
+    entry.Set("mean", stats.mean);
+    entry.Set("p50", stats.p50);
+    entry.Set("p95", stats.p95);
+    entry.Set("p99", stats.p99);
+    histograms_json.Set(name, std::move(entry));
+  }
+  util::JsonValue root = util::JsonValue::MakeObject();
+  root.Set("counters", std::move(counters_json));
+  root.Set("gauges", std::move(gauges_json));
+  root.Set("histograms", std::move(histograms_json));
+  return root;
+}
+
+util::CsvDocument MetricsSnapshot::ToCsv() const {
+  util::CsvDocument doc({"kind", "name", "value", "count", "sum", "mean",
+                         "min", "max", "p50", "p95", "p99"});
+  auto fmt = [](double v) { return util::StrFormat("%.17g", v); };
+  for (const auto& [name, value] : counters) {
+    util::Status status = doc.AddRow({"counter", name, std::to_string(value),
+                                      "", "", "", "", "", "", "", ""});
+    TDG_CHECK(status.ok()) << status;
+  }
+  for (const auto& [name, stats] : gauges) {
+    util::Status status =
+        doc.AddRow({"gauge", name, fmt(stats.value), "", "", "", "",
+                    fmt(stats.max), "", "", ""});
+    TDG_CHECK(status.ok()) << status;
+  }
+  for (const auto& [name, stats] : histograms) {
+    util::Status status = doc.AddRow(
+        {"histogram", name, "", std::to_string(stats.count), fmt(stats.sum),
+         fmt(stats.mean), fmt(stats.min), fmt(stats.max), fmt(stats.p50),
+         fmt(stats.p95), fmt(stats.p99)});
+    TDG_CHECK(status.ok()) << status;
+  }
+  return doc;
+}
+
+std::string MetricsSnapshot::ToTable(int digits) const {
+  util::TablePrinter printer({"metric", "kind", "value", "count", "mean",
+                              "min", "max", "p50", "p95", "p99"});
+  auto fmt = [digits](double v) { return util::FormatDouble(v, digits); };
+  for (const auto& [name, value] : counters) {
+    printer.AddRow(
+        {name, "counter", std::to_string(value), "", "", "", "", "", "", ""});
+  }
+  for (const auto& [name, stats] : gauges) {
+    printer.AddRow({name, "gauge", fmt(stats.value), "", "", "",
+                    fmt(stats.max), "", "", ""});
+  }
+  for (const auto& [name, stats] : histograms) {
+    printer.AddRow({name, "histogram", "", std::to_string(stats.count),
+                    fmt(stats.mean), fmt(stats.min), fmt(stats.max),
+                    fmt(stats.p50), fmt(stats.p95), fmt(stats.p99)});
+  }
+  return printer.ToString();
+}
+
+}  // namespace tdg::obs

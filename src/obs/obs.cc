@@ -1,0 +1,41 @@
+#include "obs/obs.h"
+
+#include <fstream>
+
+#include "util/thread_pool.h"
+
+namespace tdg::obs {
+
+void InstallThreadPoolInstrumentation() {
+  util::ThreadPoolObserver observer;
+  observer.on_queue_depth = [](int depth) {
+    static Gauge& gauge =
+        MetricsRegistry::Global().GetGauge("thread_pool/queue_depth");
+    gauge.Set(static_cast<double>(depth));
+  };
+  observer.on_task_micros = [](int64_t micros) {
+    static Histogram& histogram =
+        MetricsRegistry::Global().GetHistogram("thread_pool/task_micros");
+    histogram.Record(static_cast<double>(micros));
+  };
+  util::SetThreadPoolObserver(std::move(observer));
+}
+
+util::Status WriteMetricsJsonFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return util::Status::IOError("cannot open metrics file: " + path);
+  }
+  out << MetricsRegistry::Global().Snapshot().ToJson().SerializePretty()
+      << "\n";
+  if (!out) {
+    return util::Status::IOError("failed writing metrics file: " + path);
+  }
+  return util::Status::OK();
+}
+
+util::Status WriteMetricsCsvFile(const std::string& path) {
+  return MetricsRegistry::Global().Snapshot().ToCsv().WriteToFile(path);
+}
+
+}  // namespace tdg::obs

@@ -1,0 +1,41 @@
+#ifndef TDG_OBS_OBS_H_
+#define TDG_OBS_OBS_H_
+
+/// tdg::obs — runtime observability for the DyGroups engine.
+///
+/// Two pillars, both process-wide:
+///   * a thread-safe metrics registry (metrics.h): named counters, gauges,
+///     and fixed-bucket latency histograms with p50/p95/p99 summaries,
+///     exportable to JSON / CSV / an ASCII table;
+///   * scoped tracing spans (trace.h): TDG_TRACE_SPAN("policy/...") records
+///     into per-thread ring buffers, exported as Chrome trace_event JSON.
+///
+/// Controls:
+///   * compile time — building with -DTDG_OBS_DISABLED compiles every
+///     TDG_TRACE_SPAN / TDG_OBS_* macro to nothing. Explicit API calls
+///     (e.g. the sweep's process-latency histogram that feeds mean_micros)
+///     remain functional: they are product features, not optional
+///     instrumentation.
+///   * runtime — SetMetricsEnabled(false) freezes every metric, and tracing
+///     is off unless StartTracing() was called. With both off, instrumented
+///     hot paths cost one relaxed atomic load per site.
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace tdg::obs {
+
+/// Routes util::ThreadPool's observer hooks into the global registry:
+///   gauge     "thread_pool/queue_depth"  (current + peak queued tasks)
+///   histogram "thread_pool/task_micros"  (per-task run latency)
+/// Idempotent; replaces any previously installed observer.
+void InstallThreadPoolInstrumentation();
+
+/// Writes MetricsRegistry::Global().Snapshot() to `path`.
+util::Status WriteMetricsJsonFile(const std::string& path);
+util::Status WriteMetricsCsvFile(const std::string& path);
+
+}  // namespace tdg::obs
+
+#endif  // TDG_OBS_OBS_H_

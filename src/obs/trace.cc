@@ -1,0 +1,196 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace tdg::obs {
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+// Ring buffer owned by one writer thread; the collector locks it briefly.
+struct ThreadTraceBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  size_t capacity = 0;
+  size_t next = 0;  // overwrite cursor once events.size() == capacity
+  uint64_t dropped = 0;
+
+  void Push(TraceEvent event) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (events.size() < capacity) {
+      events.push_back(std::move(event));
+    } else if (capacity > 0) {
+      events[next] = std::move(event);
+      next = (next + 1) % capacity;
+      ++dropped;
+    }
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mutex);
+    events.clear();
+    next = 0;
+    dropped = 0;
+  }
+
+  // Chronological copy (ring order: oldest first).
+  void AppendTo(std::vector<TraceEvent>& out) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (events.size() < capacity || capacity == 0) {
+      out.insert(out.end(), events.begin(), events.end());
+    } else {
+      out.insert(out.end(), events.begin() + next, events.end());
+      out.insert(out.end(), events.begin(), events.begin() + next);
+    }
+  }
+};
+
+struct TraceState {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadTraceBuffer>> buffers;
+  size_t capacity = 1 << 16;
+};
+
+TraceState& State() {
+  static TraceState* const kState = new TraceState();
+  return *kState;
+}
+
+// The calling thread's buffer; registered globally on first use so events
+// survive thread exit (worker-pool threads outlive their spans, but not the
+// collection point).
+ThreadTraceBuffer& LocalBuffer() {
+  thread_local std::shared_ptr<ThreadTraceBuffer> buffer = [] {
+    auto created = std::make_shared<ThreadTraceBuffer>();
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.mutex);
+    created->capacity = state.capacity;
+    state.buffers.push_back(created);
+    return created;
+  }();
+  return *buffer;
+}
+
+int& LocalDepth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+}  // namespace
+
+void StartTracing(size_t per_thread_capacity) {
+  TraceState& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    state.capacity = per_thread_capacity == 0 ? 1 : per_thread_capacity;
+    for (auto& buffer : state.buffers) {
+      buffer->Clear();
+      std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+      buffer->capacity = state.capacity;
+    }
+  }
+  g_tracing.store(true, std::memory_order_release);
+}
+
+void StopTracing() { g_tracing.store(false, std::memory_order_release); }
+
+bool TracingActive() {
+  return g_tracing.load(std::memory_order_relaxed);
+}
+
+void ClearTrace() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  for (auto& buffer : state.buffers) buffer->Clear();
+}
+
+uint64_t TraceDroppedEvents() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  uint64_t dropped = 0;
+  for (auto& buffer : state.buffers) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    dropped += buffer->dropped;
+  }
+  return dropped;
+}
+
+std::vector<TraceEvent> CollectTraceEvents() {
+  std::vector<TraceEvent> events;
+  TraceState& state = State();
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    for (auto& buffer : state.buffers) buffer->AppendTo(events);
+  }
+  // Ties on the microsecond timestamp are broken by nesting depth so an
+  // enclosing span always sorts before the spans it contains.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_micros != b.ts_micros) {
+                       return a.ts_micros < b.ts_micros;
+                     }
+                     return a.depth < b.depth;
+                   });
+  return events;
+}
+
+util::JsonValue TraceToJson() {
+  util::JsonValue trace_events = util::JsonValue::MakeArray();
+  for (const TraceEvent& event : CollectTraceEvents()) {
+    util::JsonValue entry = util::JsonValue::MakeObject();
+    entry.Set("name", event.name);
+    entry.Set("cat", "tdg");
+    entry.Set("ph", "X");
+    entry.Set("ts", static_cast<double>(event.ts_micros));
+    entry.Set("dur", static_cast<double>(event.dur_micros));
+    entry.Set("pid", 0);
+    entry.Set("tid", event.tid);
+    trace_events.Append(std::move(entry));
+  }
+  util::JsonValue root = util::JsonValue::MakeObject();
+  root.Set("traceEvents", std::move(trace_events));
+  root.Set("displayTimeUnit", "ms");
+  return root;
+}
+
+util::Status WriteTraceFile(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return util::Status::IOError("cannot open trace file: " + path);
+  }
+  out << TraceToJson().SerializePretty() << "\n";
+  if (!out) {
+    return util::Status::IOError("failed writing trace file: " + path);
+  }
+  return util::Status::OK();
+}
+
+TraceSpan::TraceSpan(std::string_view name) {
+  if (!TracingActive()) return;
+  name_.assign(name.data(), name.size());
+  depth_ = LocalDepth()++;
+  start_micros_ = util::MonotonicMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (start_micros_ < 0) return;
+  int64_t duration = util::MonotonicMicros() - start_micros_;
+  --LocalDepth();
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.ts_micros = start_micros_;
+  event.dur_micros = duration;
+  event.tid = util::CurrentThreadId();
+  event.depth = depth_;
+  LocalBuffer().Push(std::move(event));
+}
+
+}  // namespace tdg::obs

@@ -1,0 +1,88 @@
+#ifndef TDG_OBS_TRACE_H_
+#define TDG_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+#include "util/status.h"
+
+namespace tdg::obs {
+
+/// One completed span, timestamped in microseconds since the process-wide
+/// monotonic origin (util::MonotonicMicros).
+struct TraceEvent {
+  std::string name;
+  int64_t ts_micros = 0;   // span start
+  int64_t dur_micros = 0;  // span duration
+  int tid = 0;             // util::CurrentThreadId() of the recording thread
+  int depth = 0;           // nesting depth on that thread (0 = outermost)
+};
+
+/// Turns span recording on. Spans are captured into fixed-capacity
+/// per-thread ring buffers (oldest events are overwritten on overflow).
+/// Calling StartTracing again clears previously captured events. With no
+/// sink installed (tracing stopped, the default) a TDG_TRACE_SPAN costs one
+/// relaxed atomic load.
+void StartTracing(size_t per_thread_capacity = 1 << 16);
+
+/// Turns span recording off. Captured events stay available to Collect*.
+void StopTracing();
+
+bool TracingActive();
+
+/// Drops every captured event (buffers stay registered).
+void ClearTrace();
+
+/// Total events overwritten by ring-buffer wrap since the last
+/// StartTracing/ClearTrace, across all threads.
+uint64_t TraceDroppedEvents();
+
+/// All captured events, sorted by start timestamp.
+std::vector<TraceEvent> CollectTraceEvents();
+
+/// Chrome trace_event JSON (the "JSON Object Format"): load the serialized
+/// output in chrome://tracing or https://ui.perfetto.dev. Complete ("ph":"X")
+/// events, microsecond timestamps.
+util::JsonValue TraceToJson();
+
+/// Serializes TraceToJson() to `path`.
+util::Status WriteTraceFile(const std::string& path);
+
+/// RAII scoped span: records [construction, destruction) on the calling
+/// thread when tracing is active. Prefer the TDG_TRACE_SPAN macro, which
+/// compiles out under TDG_OBS_DISABLED; use the class directly only where
+/// the span is a product feature rather than optional instrumentation.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  int64_t start_micros_ = -1;  // -1: tracing was off at construction
+  int depth_ = 0;
+};
+
+}  // namespace tdg::obs
+
+#define TDG_OBS_CONCAT_INNER(a, b) a##b
+#define TDG_OBS_CONCAT(a, b) TDG_OBS_CONCAT_INNER(a, b)
+
+#if defined(TDG_OBS_DISABLED)
+#define TDG_TRACE_SPAN(name) \
+  do {                       \
+    (void)sizeof(name);      \
+  } while (0)
+#else
+/// Opens a span covering the rest of the enclosing scope.
+#define TDG_TRACE_SPAN(name) \
+  ::tdg::obs::TraceSpan TDG_OBS_CONCAT(tdg_trace_span_, __LINE__)(name)
+#endif
+
+#endif  // TDG_OBS_TRACE_H_

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "baselines/registry.h"
+#include "obs/obs.h"
 #include "random/distributions.h"
 #include "sim/assessment.h"
 #include "stats/descriptive.h"
@@ -72,6 +73,8 @@ util::StatusOr<AmtPopulationResult> RunAmtPopulation(
     return util::Status::InvalidArgument("num_rounds must be >= 1");
   }
 
+  TDG_TRACE_SPAN("amt/population");
+
   AmtPopulationResult result;
   result.policy_name = std::string(policy.name());
   result.initial_size = static_cast<int>(workers.size());
@@ -88,6 +91,7 @@ util::StatusOr<AmtPopulationResult> RunAmtPopulation(
   RetentionModel retention(config.retention);
 
   for (int round = 1; round <= config.num_rounds; ++round) {
+    TDG_TRACE_SPAN("amt/round");
     // Active roster.
     std::vector<SimulatedWorker*> roster;
     for (auto& w : workers) {
@@ -169,6 +173,11 @@ util::StatusOr<AmtPopulationResult> RunAmtPopulation(
     record.retention_fraction = static_cast<double>(
                                     record.active_after_retention) /
                                 static_cast<double>(result.initial_size);
+    TDG_OBS_COUNTER_ADD("amt/rounds", 1);
+    TDG_OBS_COUNTER_ADD("amt/workers_grouped", groupable);
+    TDG_OBS_HISTOGRAM_RECORD("amt/round_observed_gain",
+                             record.aggregate_observed_gain);
+    TDG_OBS_GAUGE_SET("amt/retention_fraction", record.retention_fraction);
     result.rounds.push_back(record);
   }
   return result;
@@ -185,6 +194,8 @@ util::StatusOr<ExperimentResult> RunExperiment(
         "%d workers cannot be split into %d equal populations",
         config.total_workers, num_populations));
   }
+
+  TDG_TRACE_SPAN("amt/experiment");
 
   random::Rng rng(config.seed);
   PopulationParams population_params = config.population;

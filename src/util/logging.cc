@@ -1,9 +1,22 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "util/stopwatch.h"
+
 namespace tdg::util {
 namespace {
 
 LogSeverity g_min_severity = LogSeverity::kInfo;
+
+// Serializes whole-line emission so concurrent threads (e.g. sweep workers)
+// never interleave within a line.
+std::mutex& LogMutex() {
+  static std::mutex* const kMutex = new std::mutex();
+  return *kMutex;
+}
 
 const char* SeverityName(LogSeverity severity) {
   switch (severity) {
@@ -25,6 +38,12 @@ LogSeverity MinLogSeverity() { return g_min_severity; }
 
 void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
 
+int CurrentThreadId() {
+  static std::atomic<int> next_id{0};
+  thread_local const int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
     : severity_(severity) {
   // Keep only the basename to keep log lines short.
@@ -32,14 +51,20 @@ LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << SeverityName(severity) << " " << base << ":" << line
-          << "] ";
+  char prefix[192];
+  std::snprintf(prefix, sizeof(prefix), "[%s %.6f t%d %s:%d] ",
+                SeverityName(severity),
+                static_cast<double>(MonotonicMicros()) / 1e6,
+                CurrentThreadId(), base, line);
+  stream_ << prefix;
 }
 
 LogMessage::~LogMessage() {
-  if (severity_ >= g_min_severity ||
-      severity_ == LogSeverity::kFatal) {
-    std::cerr << stream_.str() << std::endl;
+  if (severity_ >= g_min_severity || severity_ == LogSeverity::kFatal) {
+    std::string line = stream_.str();
+    line += '\n';
+    std::lock_guard<std::mutex> lock(LogMutex());
+    std::cerr << line << std::flush;
   }
   if (severity_ == LogSeverity::kFatal) {
     std::abort();

@@ -16,8 +16,15 @@ LogSeverity MinLogSeverity();
 /// Sets the minimum severity emitted by TDG_LOG.
 void SetMinLogSeverity(LogSeverity severity);
 
-/// Accumulates one log line and flushes it (with severity/location prefix)
-/// on destruction. kFatal aborts the process after flushing.
+/// A small dense id for the calling thread (0 for the first thread that
+/// asks, then 1, 2, ...). Stable for the thread's lifetime; used in log
+/// prefixes and trace events so concurrent output is attributable.
+int CurrentThreadId();
+
+/// Accumulates one log line and flushes it atomically (whole line, under a
+/// process-wide mutex, so concurrent sweep logs never interleave) with a
+/// `[SEVERITY <monotonic seconds> t<thread-id> file:line]` prefix on
+/// destruction. kFatal aborts the process after flushing.
 class LogMessage {
  public:
   LogMessage(LogSeverity severity, const char* file, int line);

@@ -1,8 +1,47 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "util/stopwatch.h"
 
 namespace tdg::util {
+namespace {
+
+// Shared-ptr handoff so a replaced observer stays alive while in-flight
+// tasks finish reporting to it. The atomic flag keeps the uninstalled fast
+// path at one relaxed load (no mutex).
+std::atomic<bool> g_observer_present{false};
+
+std::mutex& ObserverMutex() {
+  static std::mutex* const kMutex = new std::mutex();
+  return *kMutex;
+}
+
+std::shared_ptr<const ThreadPoolObserver>& ObserverSlot() {
+  static std::shared_ptr<const ThreadPoolObserver>* const kSlot =
+      new std::shared_ptr<const ThreadPoolObserver>();
+  return *kSlot;
+}
+
+std::shared_ptr<const ThreadPoolObserver> GetObserver() {
+  if (!g_observer_present.load(std::memory_order_acquire)) return nullptr;
+  std::lock_guard<std::mutex> lock(ObserverMutex());
+  return ObserverSlot();
+}
+
+}  // namespace
+
+void SetThreadPoolObserver(ThreadPoolObserver observer) {
+  auto shared =
+      std::make_shared<const ThreadPoolObserver>(std::move(observer));
+  {
+    std::lock_guard<std::mutex> lock(ObserverMutex());
+    ObserverSlot() = std::move(shared);
+  }
+  g_observer_present.store(true, std::memory_order_release);
+}
 
 ThreadPool::ThreadPool(int num_threads) {
   num_threads = std::max(num_threads, 1);
@@ -25,12 +64,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  int queue_depth;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     queue_.push(std::move(task));
     ++in_flight_;
+    queue_depth = static_cast<int>(queue_.size());
   }
   work_available_.notify_one();
+  if (auto observer = GetObserver(); observer && observer->on_queue_depth) {
+    observer->on_queue_depth(queue_depth);
+  }
 }
 
 void ThreadPool::Wait() {
@@ -41,6 +85,7 @@ void ThreadPool::Wait() {
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
+    int queue_depth;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(
@@ -50,8 +95,18 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop();
+      queue_depth = static_cast<int>(queue_.size());
     }
+    auto observer = GetObserver();
+    if (observer && observer->on_queue_depth) {
+      observer->on_queue_depth(queue_depth);
+    }
+    const bool timed = observer && observer->on_task_micros;
+    const int64_t start_micros = timed ? MonotonicMicros() : 0;
     task();
+    if (timed) {
+      observer->on_task_micros(MonotonicMicros() - start_micros);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) {

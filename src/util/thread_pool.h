@@ -2,6 +2,7 @@
 #define TDG_UTIL_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -9,6 +10,22 @@
 #include <vector>
 
 namespace tdg::util {
+
+/// Process-wide instrumentation hooks for every ThreadPool. Callbacks run on
+/// pool/submitter threads outside the pool's internal lock; they must be
+/// cheap, must not throw, and must not call back into a pool. Installed by
+/// tdg::obs to feed the metrics registry; absent by default (the uninstalled
+/// fast path is one relaxed atomic load per event).
+struct ThreadPoolObserver {
+  /// Queued (not yet running) task count after a submit or a dequeue.
+  std::function<void(int)> on_queue_depth;
+  /// Wall time one task spent running, in microseconds.
+  std::function<void(int64_t)> on_task_micros;
+};
+
+/// Installs (replacing any previous) the global observer. Thread-safe;
+/// in-flight tasks may finish reporting to the observer they started with.
+void SetThreadPoolObserver(ThreadPoolObserver observer);
 
 /// A fixed-size worker pool for embarrassingly parallel experiment sweeps.
 /// Tasks must not throw (the library is exception-free); coordinate error

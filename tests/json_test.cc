@@ -62,7 +62,9 @@ TEST(JsonParseTest, ParsesNestedStructures) {
           "name": "sweep"})");
   ASSERT_TRUE(parsed.ok());
   EXPECT_EQ(parsed->GetField("name")->AsString(), "sweep");
-  const auto& cells = parsed->GetField("cells")->AsArray();
+  // Copy out of the temporary StatusOr — binding a reference to
+  // `GetField(...)->AsArray()` would dangle once the temporary dies.
+  const auto cells = parsed->GetField("cells")->AsArray();
   ASSERT_EQ(cells.size(), 2u);
   EXPECT_DOUBLE_EQ(cells[1].GetField("gain")->AsNumber(), 3.25);
   EXPECT_FALSE(parsed->GetField("missing").ok());

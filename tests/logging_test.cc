@@ -52,6 +52,27 @@ TEST(CheckDeathTest, FailingCheckAborts) {
   EXPECT_DEATH({ TDG_CHECK_EQ(1, 2); }, "Check failed");
 }
 
+TEST(LoggingTest, PrefixCarriesMonotonicTimestampAndThreadId) {
+  LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kInfo);
+  testing::internal::CaptureStderr();
+  TDG_LOG(Info) << "stamped";
+  std::string output = testing::internal::GetCapturedStderr();
+  // "[INFO <seconds>.<micros> t<id> logging_test.cc:<line>] stamped".
+  EXPECT_NE(output.find("[INFO "), std::string::npos);
+  EXPECT_NE(output.find(" t"), std::string::npos);
+  EXPECT_NE(output.find('.'), std::string::npos);  // fractional seconds
+  std::string expected_tid = "t" + std::to_string(CurrentThreadId());
+  EXPECT_NE(output.find(expected_tid), std::string::npos);
+  SetMinLogSeverity(original);
+}
+
+TEST(LoggingTest, CurrentThreadIdIsStablePerThread) {
+  int first = CurrentThreadId();
+  EXPECT_GE(first, 0);
+  EXPECT_EQ(CurrentThreadId(), first);
+}
+
 TEST(StopwatchTest, MeasuresElapsedTimeMonotonically) {
   Stopwatch stopwatch;
   int64_t first = stopwatch.ElapsedMicros();
@@ -66,6 +87,62 @@ TEST(StopwatchTest, MeasuresElapsedTimeMonotonically) {
 
   stopwatch.Restart();
   EXPECT_LE(stopwatch.ElapsedMicros(), second);
+}
+
+// Burns CPU long enough for a steady_clock tick to register.
+int64_t BurnMicros() {
+  Stopwatch burn;
+  volatile double sink = 0;
+  while (burn.TotalMicros() < 200) sink = sink + 1;
+  return burn.TotalMicros();
+}
+
+TEST(StopwatchTest, PauseFreezesTotalAndResumeContinues) {
+  Stopwatch stopwatch;
+  BurnMicros();
+  stopwatch.Pause();
+  EXPECT_FALSE(stopwatch.running());
+  int64_t frozen = stopwatch.TotalMicros();
+  EXPECT_GT(frozen, 0);
+  BurnMicros();
+  EXPECT_EQ(stopwatch.TotalMicros(), frozen);  // paused time excluded
+  stopwatch.Pause();                           // idempotent
+  EXPECT_EQ(stopwatch.TotalMicros(), frozen);
+
+  stopwatch.Resume();
+  EXPECT_TRUE(stopwatch.running());
+  stopwatch.Resume();  // idempotent
+  BurnMicros();
+  EXPECT_GT(stopwatch.TotalMicros(), frozen);
+}
+
+TEST(StopwatchTest, RestartClearsAccumulatedAndPausedState) {
+  Stopwatch stopwatch;
+  BurnMicros();
+  stopwatch.Pause();
+  stopwatch.Restart();
+  EXPECT_TRUE(stopwatch.running());
+  EXPECT_LT(stopwatch.TotalMicros(), 200);
+}
+
+TEST(StopwatchTest, LapsPartitionTheTotal) {
+  Stopwatch stopwatch;
+  BurnMicros();
+  int64_t lap1 = stopwatch.Lap();
+  EXPECT_GT(lap1, 0);
+  BurnMicros();
+  int64_t lap2 = stopwatch.Lap();
+  EXPECT_GT(lap2, 0);
+  // Laps cover everything up to the last lap mark; the running remainder
+  // keeps the total at or above their sum.
+  EXPECT_GE(stopwatch.TotalMicros(), lap1 + lap2);
+}
+
+TEST(StopwatchTest, MonotonicMicrosAdvances) {
+  int64_t first = MonotonicMicros();
+  EXPECT_GE(first, 0);
+  BurnMicros();
+  EXPECT_GT(MonotonicMicros(), first);
 }
 
 }  // namespace

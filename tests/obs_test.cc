@@ -1,0 +1,343 @@
+// Tests for the tdg::obs observability subsystem: metrics registry
+// arithmetic, histogram quantiles, trace span nesting, JSON export
+// round-trips, thread safety under ParallelFor, and the guarantee that
+// observability never perturbs simulation results (sweep determinism).
+//
+// Every test restores the global observability state it touches
+// (metrics enabled, tracing stopped) so test order never matters.
+
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+namespace tdg::obs {
+namespace {
+
+TEST(CounterTest, RegistryReturnsSameHandleAndAccumulates) {
+  Counter& counter =
+      MetricsRegistry::Global().GetCounter("obs_test/counter");
+  counter.Reset();
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42);
+  // Repeat lookup must alias the same counter.
+  Counter& again = MetricsRegistry::Global().GetCounter("obs_test/counter");
+  EXPECT_EQ(&again, &counter);
+  again.Add(-2);
+  EXPECT_EQ(counter.Value(), 40);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0);
+}
+
+TEST(GaugeTest, TracksLastValueAndMaximum) {
+  Gauge& gauge = MetricsRegistry::Global().GetGauge("obs_test/gauge");
+  gauge.Reset();
+  gauge.Set(3.5);
+  gauge.Set(9.0);
+  gauge.Set(1.25);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 1.25);
+  EXPECT_DOUBLE_EQ(gauge.Max(), 9.0);
+  gauge.Reset();
+  EXPECT_DOUBLE_EQ(gauge.Value(), 0.0);
+  EXPECT_DOUBLE_EQ(gauge.Max(), 0.0);
+}
+
+TEST(HistogramTest, ExactMomentsAndBucketedQuantiles) {
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("obs_test/histogram");
+  histogram.Reset();
+  for (int v = 1; v <= 1000; ++v) histogram.Record(v);
+
+  EXPECT_EQ(histogram.Count(), 1000);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 500500.0);
+  EXPECT_DOUBLE_EQ(histogram.Mean(), 500.5);
+  EXPECT_DOUBLE_EQ(histogram.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 1000.0);
+
+  // Quantiles are bucket-interpolated: relative error is bounded by one
+  // log10 bucket (10^(1/16) ≈ 1.155), so allow 16%.
+  EXPECT_NEAR(histogram.Quantile(0.50), 500.0, 0.16 * 500.0);
+  EXPECT_NEAR(histogram.Quantile(0.95), 950.0, 0.16 * 950.0);
+  EXPECT_NEAR(histogram.Quantile(0.99), 990.0, 0.16 * 990.0);
+  // Extremes stay within the exact observed range (the top end clamps to
+  // Max; the bottom end is bucket-interpolated like any other quantile).
+  EXPECT_NEAR(histogram.Quantile(0.0), 1.0, 0.16 * 1.0);
+  EXPECT_GE(histogram.Quantile(0.0), histogram.Min());
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 1000.0);
+
+  histogram.Reset();
+  EXPECT_EQ(histogram.Count(), 0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, BucketGeometryCoversEightDecades) {
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketLowerBound(0), 0.0);
+  // Every bucket maps back to itself through its lower bound.
+  for (int i = 1; i < Histogram::kNumBuckets; ++i) {
+    double bound = Histogram::BucketLowerBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(bound), i) << "bucket " << i;
+    EXPECT_GT(bound, Histogram::BucketLowerBound(i - 1));
+  }
+  // Values beyond the top bound land in the last bucket, not out of range.
+  EXPECT_EQ(Histogram::BucketIndex(1e12), Histogram::kNumBuckets - 1);
+}
+
+TEST(MetricsTest, RuntimeDisableFreezesMutations) {
+  Counter& counter =
+      MetricsRegistry::Global().GetCounter("obs_test/disable_counter");
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("obs_test/disable_histogram");
+  counter.Reset();
+  histogram.Reset();
+
+  ASSERT_TRUE(MetricsEnabled());  // library default
+  SetMetricsEnabled(false);
+  counter.Add(7);
+  histogram.Record(5.0);
+  TDG_OBS_COUNTER_ADD("obs_test/disable_counter", 7);
+  EXPECT_EQ(counter.Value(), 0);
+  EXPECT_EQ(histogram.Count(), 0);
+
+  SetMetricsEnabled(true);
+  counter.Add(7);
+  histogram.Record(5.0);
+  EXPECT_EQ(counter.Value(), 7);
+  EXPECT_EQ(histogram.Count(), 1);
+}
+
+TEST(MetricsTest, SnapshotRoundTripsThroughJsonAndCsv) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("obs_test/snap_counter").Reset();
+  registry.GetCounter("obs_test/snap_counter").Add(11);
+  registry.GetGauge("obs_test/snap_gauge").Reset();
+  registry.GetGauge("obs_test/snap_gauge").Set(2.5);
+  Histogram& histogram = registry.GetHistogram("obs_test/snap_histogram");
+  histogram.Reset();
+  histogram.Record(10.0);
+  histogram.Record(30.0);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.counters.at("obs_test/snap_counter"), 11);
+  EXPECT_DOUBLE_EQ(snapshot.gauges.at("obs_test/snap_gauge").value, 2.5);
+  EXPECT_EQ(snapshot.histograms.at("obs_test/snap_histogram").count, 2);
+  EXPECT_DOUBLE_EQ(snapshot.histograms.at("obs_test/snap_histogram").mean,
+                   20.0);
+
+  // JSON round-trip through the repo's own parser.
+  auto parsed = util::JsonValue::Parse(snapshot.ToJson().Serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto counters = parsed->GetField("counters");
+  ASSERT_TRUE(counters.ok());
+  auto counter_value = counters->GetField("obs_test/snap_counter");
+  ASSERT_TRUE(counter_value.ok());
+  EXPECT_DOUBLE_EQ(counter_value->AsNumber(), 11.0);
+  auto histograms = parsed->GetField("histograms");
+  ASSERT_TRUE(histograms.ok());
+  auto histogram_json = histograms->GetField("obs_test/snap_histogram");
+  ASSERT_TRUE(histogram_json.ok());
+  EXPECT_DOUBLE_EQ(histogram_json->GetField("p50")->AsNumber(),
+                   snapshot.histograms.at("obs_test/snap_histogram").p50);
+
+  // CSV carries one row per metric with the documented header.
+  util::CsvDocument csv = snapshot.ToCsv();
+  std::string csv_text = csv.ToString();
+  EXPECT_NE(csv_text.find("kind,name,value,count,sum,mean,min,max,p50"),
+            std::string::npos);
+  EXPECT_NE(csv_text.find("obs_test/snap_counter"), std::string::npos);
+
+  // The table renders every metric name.
+  std::string table = snapshot.ToTable();
+  EXPECT_NE(table.find("obs_test/snap_gauge"), std::string::npos);
+  EXPECT_NE(table.find("obs_test/snap_histogram"), std::string::npos);
+}
+
+TEST(TraceTest, SpansNestWithDepthAndContainment) {
+  StartTracing();
+  {
+    TDG_TRACE_SPAN("obs_test/outer");
+    {
+      TDG_TRACE_SPAN("obs_test/inner");
+    }
+    {
+      TDG_TRACE_SPAN("obs_test/inner");
+    }
+  }
+  StopTracing();
+  std::vector<TraceEvent> events = CollectTraceEvents();
+  ClearTrace();
+
+#if defined(TDG_OBS_DISABLED)
+  // The macros compile to nothing in the disabled build.
+  EXPECT_TRUE(events.empty());
+#else
+  ASSERT_EQ(events.size(), 3u);
+  // CollectTraceEvents sorts by start time: outer first.
+  const TraceEvent& outer = events[0];
+  EXPECT_EQ(outer.name, "obs_test/outer");
+  EXPECT_EQ(outer.depth, 0);
+  for (size_t i = 1; i < events.size(); ++i) {
+    const TraceEvent& inner = events[i];
+    EXPECT_EQ(inner.name, "obs_test/inner");
+    EXPECT_EQ(inner.depth, 1);
+    EXPECT_EQ(inner.tid, outer.tid);
+    EXPECT_GE(inner.ts_micros, outer.ts_micros);
+    EXPECT_LE(inner.ts_micros + inner.dur_micros,
+              outer.ts_micros + outer.dur_micros);
+  }
+#endif
+}
+
+TEST(TraceTest, ChromeJsonRoundTripsThroughParser) {
+  StartTracing();
+  {
+    // The TraceSpan class records in both builds (it is a product feature;
+    // only the macro compiles out), so this test covers TDG_OBS_DISABLED
+    // builds of the exporter too.
+    TraceSpan outer("obs_test/json_outer");
+    TraceSpan inner("obs_test/json_inner");
+  }
+  StopTracing();
+  auto parsed = util::JsonValue::Parse(TraceToJson().Serialize());
+  ClearTrace();
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  auto display_unit = parsed->GetField("displayTimeUnit");
+  ASSERT_TRUE(display_unit.ok());
+  EXPECT_EQ(display_unit->AsString(), "ms");
+  auto trace_events = parsed->GetField("traceEvents");
+  ASSERT_TRUE(trace_events.ok());
+  ASSERT_TRUE(trace_events->is_array());
+  ASSERT_EQ(trace_events->AsArray().size(), 2u);
+  for (const util::JsonValue& event : trace_events->AsArray()) {
+    EXPECT_EQ(event.GetField("ph")->AsString(), "X");
+    EXPECT_EQ(event.GetField("cat")->AsString(), "tdg");
+    EXPECT_TRUE(event.GetField("ts")->is_number());
+    EXPECT_TRUE(event.GetField("dur")->is_number());
+    EXPECT_TRUE(event.GetField("tid")->is_number());
+    std::string name = event.GetField("name")->AsString();
+    EXPECT_TRUE(name == "obs_test/json_outer" ||
+                name == "obs_test/json_inner");
+  }
+}
+
+TEST(TraceTest, InactiveTracingRecordsNothing) {
+  ASSERT_FALSE(TracingActive());
+  {
+    TraceSpan span("obs_test/ignored");
+    TDG_TRACE_SPAN("obs_test/ignored_macro");
+  }
+  EXPECT_TRUE(CollectTraceEvents().empty());
+}
+
+TEST(TraceTest, RingBufferOverflowCountsDroppedEvents) {
+  StartTracing(/*per_thread_capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span("obs_test/overflow");
+  }
+  StopTracing();
+  std::vector<TraceEvent> events = CollectTraceEvents();
+  uint64_t dropped = TraceDroppedEvents();
+  ClearTrace();
+  EXPECT_EQ(events.size(), 4u);
+  EXPECT_EQ(dropped, 6u);
+}
+
+TEST(ObsThreadingTest, ConcurrentRecordingIsLossless) {
+  constexpr int kIterations = 1000;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& counter = registry.GetCounter("obs_test/mt_counter");
+  Histogram& histogram = registry.GetHistogram("obs_test/mt_histogram");
+  counter.Reset();
+  histogram.Reset();
+
+  InstallThreadPoolInstrumentation();
+  Histogram& task_micros = registry.GetHistogram("thread_pool/task_micros");
+  const Histogram::Totals tasks_before = task_micros.GetTotals();
+
+  StartTracing();
+  {
+    util::ThreadPool pool(4);
+    util::ParallelFor(pool, kIterations, [&](int i) {
+      TDG_TRACE_SPAN("obs_test/mt_span");
+      counter.Add(1);
+      histogram.Record(static_cast<double>(i % 100));
+    });
+  }
+  StopTracing();
+
+  EXPECT_EQ(counter.Value(), kIterations);
+  EXPECT_EQ(histogram.Count(), kIterations);
+  EXPECT_GE(histogram.Max(), 99.0);
+
+  // The thread-pool observer saw the ParallelFor tasks.
+  EXPECT_GT(task_micros.GetTotals().count, tasks_before.count);
+  EXPECT_GE(registry.GetGauge("thread_pool/queue_depth").Max(), 0.0);
+
+#if !defined(TDG_OBS_DISABLED)
+  std::vector<TraceEvent> events = CollectTraceEvents();
+  EXPECT_EQ(events.size(), static_cast<size_t>(kIterations));
+#endif
+  ClearTrace();
+}
+
+// Observability must never perturb results: gains from RunSweep are
+// bit-identical whether metrics/tracing are on (default) or disabled at
+// runtime. The compiled-out (TDG_OBS_DISABLED) build runs this same test,
+// extending the guarantee to the compile-out path.
+TEST(ObsDeterminismTest, SweepGainsUnchangedByObservability) {
+  exp::SweepConfig config;
+  config.name = "obs-determinism";
+  config.policies = {"DyGroups-Star", "Random-Assignment"};
+  config.n_values = {40};
+  config.k_values = {4};
+  config.alpha_values = {3};
+  config.r_values = {0.5};
+  config.modes = {InteractionMode::kStar};
+  config.distributions = {random::SkillDistribution::kUniform};
+  config.runs = 3;
+  config.threads = 2;
+  config.seed = 20260806;
+
+  StartTracing();
+  auto observed = exp::RunSweep(config);
+  StopTracing();
+  ClearTrace();
+  ASSERT_TRUE(observed.ok()) << observed.status();
+
+  SetMetricsEnabled(false);
+  auto unobserved = exp::RunSweep(config);
+  SetMetricsEnabled(true);
+  ASSERT_TRUE(unobserved.ok()) << unobserved.status();
+
+  ASSERT_EQ(observed->cells.size(), unobserved->cells.size());
+  for (size_t i = 0; i < observed->cells.size(); ++i) {
+    const exp::SweepCell& a = observed->cells[i];
+    const exp::SweepCell& b = unobserved->cells[i];
+    EXPECT_EQ(a.policy, b.policy);
+    // Bitwise, not approximate: observability may not change a single ulp.
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.mean_gain),
+              std::bit_cast<uint64_t>(b.mean_gain))
+        << "cell " << i << ": " << a.mean_gain << " vs " << b.mean_gain;
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.stderr_gain),
+              std::bit_cast<uint64_t>(b.stderr_gain));
+  }
+
+  // With metrics runtime-disabled the per-cell latency histogram is frozen,
+  // so mean_micros degrades to 0 rather than lying.
+  for (const exp::SweepCell& cell : unobserved->cells) {
+    EXPECT_EQ(cell.mean_micros, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace tdg::obs
