@@ -8,7 +8,8 @@
 #   asan     AddressSanitizer build, full ctest suite
 #   ubsan    UndefinedBehaviorSanitizer build, full ctest suite
 #   tsan     ThreadSanitizer build, concurrency-sensitive tests only
-#            (thread pool, observability, sweep)
+#            (thread pool, work-stealing parallel solvers, observability,
+#            sweep — including the golden byte-stability test)
 #   obs-off  -DTDG_OBS_DISABLED=ON build, full ctest suite — proves the
 #            compiled-out observability path builds and leaves every result
 #            unchanged
@@ -38,7 +39,9 @@ ctest_args() {
   case "$1" in
     # TSan is ~10x slower; run the suites that actually exercise
     # cross-thread interleavings.
-    tsan) echo "-R ThreadPool|ParallelFor|Obs|Trace|Sweep|Logging" ;;
+    tsan)
+      echo "-R ThreadPool|ParallelFor|Obs|Trace|Sweep|Logging|ParallelSolver|ParserFuzz|BranchBound|BruteForce|SimulatedAnnealing"
+      ;;
     *) echo "" ;;
   esac
 }

@@ -17,9 +17,10 @@
 //       Print a commented sweep config to adapt.
 //
 //   example_tdg_cli exact [--n=8] [--k=2] [--alpha=3] [--r=0.5]
-//                         [--mode=star] [--seed=1]
+//                         [--mode=star] [--seed=1] [--solver_threads=1]
 //       Solve a small TDG instance exactly (branch & bound) and compare
-//       with DyGroups.
+//       with DyGroups. --solver_threads > 1 runs the work-stealing
+//       parallel search (bitwise-identical optimum, see DESIGN.md).
 //
 //   example_tdg_cli human-sim [--experiment=1|2] [--seed=42]
 //       Run a simulated AMT deployment (see amt_crowdsourcing example).
@@ -164,6 +165,8 @@ int CmdExact(const tdg::util::FlagParser& flags) {
   int alpha = static_cast<int>(flags.GetInt("alpha", 3));
   double r = flags.GetDouble("r", 0.5);
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  int solver_threads =
+      static_cast<int>(flags.GetInt("solver_threads", 1));
   auto mode = tdg::ParseInteractionMode(flags.GetString("mode", "star"));
   if (!mode.ok()) return Fail(mode.status());
 
@@ -174,8 +177,10 @@ int CmdExact(const tdg::util::FlagParser& flags) {
   auto gain = tdg::LinearGain::Create(r);
   if (!gain.ok()) return Fail(gain.status());
 
+  tdg::BranchBoundOptions solver_options;
+  solver_options.num_threads = solver_threads;
   auto exact = tdg::SolveTdgBranchBound(skills, k, alpha, mode.value(),
-                                        gain.value());
+                                        gain.value(), solver_options);
   if (!exact.ok()) return Fail(exact.status());
 
   auto policy = tdg::MakeDyGroupsPolicy(mode.value());
@@ -186,9 +191,12 @@ int CmdExact(const tdg::util::FlagParser& flags) {
   auto greedy = tdg::RunProcess(skills, config, gain.value(), *policy);
   if (!greedy.ok()) return Fail(greedy.status());
 
-  std::printf("exact optimum : %.6f (%lld nodes, %lld pruned)\n",
-              exact->best_total_gain, exact->nodes_explored,
-              exact->nodes_pruned);
+  std::printf(
+      "exact optimum : %.6f (%lld nodes, %lld pruned, %d thread%s, "
+      "%lld subtree tasks, %lld steals)\n",
+      exact->best_total_gain, exact->nodes_explored, exact->nodes_pruned,
+      exact->threads_used, exact->threads_used == 1 ? "" : "s",
+      exact->subtree_tasks, exact->steal_count);
   std::printf("DyGroups      : %.6f (%s)\n", greedy->total_gain,
               greedy->total_gain >= exact->best_total_gain - 1e-9
                   ? "optimal"

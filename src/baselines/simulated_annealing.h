@@ -18,13 +18,21 @@ namespace tdg::baselines {
 ///
 /// Serves two roles in this repo: a quality yardstick (with enough
 /// iterations it converges to the round-optimal gain, i.e. the same value
-/// DyGroups-Local computes in closed form) and a cost yardstick (it needs
-/// thousands of O(n) objective evaluations to get there — the scalability
-/// argument for DyGroups).
+/// DyGroups-Local computes in closed form) and a cost yardstick (it
+/// historically needed thousands of O(n) objective evaluations to get
+/// there — the scalability argument for DyGroups).
 struct SimulatedAnnealingOptions {
   int iterations = 2000;
   double initial_temperature = 1.0;   // scaled by the initial gain
   double cooling = 0.995;             // geometric schedule
+  /// Score proposed swaps with the O(n/k) two-group delta objective
+  /// (EvaluateRoundGainDelta) instead of a full O(n) re-evaluation. The
+  /// trajectory — every proposal, acceptance decision, and the returned
+  /// grouping — is bitwise identical either way: per-group gains are cached
+  /// and totals re-summed in group order, reproducing the exact floating-
+  /// point accumulation of EvaluateRoundGain. Off exists for A/B
+  /// verification (tests, bench_baseline_sa).
+  bool delta_evaluation = true;
 };
 
 class SimulatedAnnealingPolicy final : public GroupingPolicy {
@@ -40,8 +48,14 @@ class SimulatedAnnealingPolicy final : public GroupingPolicy {
                                       int num_groups) override;
   std::string_view name() const override { return "Simulated-Annealing"; }
 
-  /// Objective evaluations spent in the last FormGroups call.
+  /// Objective evaluations spent in the last FormGroups call (full + delta).
   long long last_evaluations() const { return last_evaluations_; }
+  /// How many of those were O(n) full re-evaluations vs O(n/k) two-group
+  /// delta evaluations.
+  long long last_full_evaluations() const { return last_full_evaluations_; }
+  long long last_delta_evaluations() const {
+    return last_delta_evaluations_;
+  }
 
  private:
   InteractionMode mode_;
@@ -49,6 +63,8 @@ class SimulatedAnnealingPolicy final : public GroupingPolicy {
   random::Rng rng_;
   SimulatedAnnealingOptions options_;
   long long last_evaluations_ = 0;
+  long long last_full_evaluations_ = 0;
+  long long last_delta_evaluations_ = 0;
 };
 
 }  // namespace tdg::baselines

@@ -11,8 +11,20 @@ struct BranchBoundOptions {
   /// Node budget (a node = one partial sequence extension). The solver
   /// refuses instances whose worst case exceeds the budget only when it
   /// actually hits it, since pruning usually cuts the tree by orders of
-  /// magnitude.
+  /// magnitude. With multiple threads the budget is shared (a global atomic
+  /// count), so the exact node at which an over-budget instance fails can
+  /// vary with scheduling — success/failure for instances comfortably
+  /// inside or outside the budget does not.
   long long max_nodes = 200'000'000;
+
+  /// Worker threads for the search. <= 1 runs the classic serial solver;
+  /// 0 is treated as 1. N > 1 seeds a frontier of subtree tasks by
+  /// expanding the first tree levels sequentially, then solves them on an
+  /// N-thread pool with work stealing and a shared atomic incumbent bound.
+  /// The returned optimum (gain and grouping sequence) is bitwise identical
+  /// to the serial solver's for every thread count — see DESIGN.md
+  /// "Determinism contract".
+  int num_threads = 1;
 };
 
 struct BranchBoundResult {
@@ -20,10 +32,17 @@ struct BranchBoundResult {
   std::vector<Grouping> best_sequence;
   long long nodes_explored = 0;
   long long nodes_pruned = 0;
+  /// Subtree tasks seeded into the work-stealing queue (1 when serial).
+  long long subtree_tasks = 1;
+  /// Tasks a worker obtained by stealing from another worker's deque.
+  long long steal_count = 0;
+  /// Actual worker count used (after clamping).
+  int threads_used = 1;
 };
 
 /// Exact TDG solver via depth-first branch-and-bound. Explores grouping
-/// sequences best-round-gain-first and prunes with the admissible bound
+/// sequences best-round-gain-first (ties broken by grouping index, making
+/// the traversal order total) and prunes with the admissible bound
 ///
 ///   remaining gain <= D * (1 - (1-r)^m)        (linear gain, rate r)
 ///   remaining gain <= D                        (any gain with f(Δ) <= Δ)
@@ -34,8 +53,11 @@ struct BranchBoundResult {
 ///
 /// Finds the same optimum as SolveTdgBruteForce while typically exploring a
 /// small fraction of the tree, extending exact validation to larger
-/// instances (e.g. n = 10). Returns ResourceExhausted-style failure as
-/// InvalidArgument when the node budget is hit.
+/// instances (e.g. n = 10). With options.num_threads > 1 the subtrees below
+/// the sequentially-expanded first levels are searched in parallel over a
+/// work-stealing queue; the result is bitwise identical to the serial
+/// search. Returns ResourceExhausted-style failure as InvalidArgument when
+/// the node budget is hit.
 util::StatusOr<BranchBoundResult> SolveTdgBranchBound(
     const SkillVector& skills, int num_groups, int num_rounds,
     InteractionMode mode, const LearningGainFunction& gain,

@@ -1,10 +1,14 @@
 #include "core/brute_force.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "core/policy.h"
+#include "obs/obs.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
+#include "util/work_steal_queue.h"
 
 namespace tdg {
 namespace {
@@ -71,38 +75,53 @@ util::StatusOr<std::vector<Grouping>> EnumerateEquiSizedGroupings(int n,
 
 namespace {
 
-struct SearchState {
+// One shard of the sequence space: every sequence extending `prefix`.
+// Shards are indexed in enumeration (lexicographic) order, which is the
+// serial solver's traversal order.
+struct SequenceShard {
+  std::vector<int> prefix;
+  SkillVector skills;
+  double gain_so_far = 0.0;
+};
+
+// Result of exhausting one shard: its lexicographically-first maximum.
+struct ShardResult {
+  bool found = false;
+  double best_gain = 0.0;
+  std::vector<int> best_choice;
+  double sequences_explored = 0;
+};
+
+struct ShardSearcher {
   const std::vector<Grouping>* groupings = nullptr;
   InteractionMode mode = InteractionMode::kStar;
   const LearningGainFunction* gain = nullptr;
   int num_rounds = 0;
-  double best_total_gain = -1.0;
-  std::vector<int> best_choice;      // grouping index per round
-  std::vector<int> current_choice;
-  double sequences_explored = 0;
-};
+  std::vector<int> choice;
+  ShardResult result;
 
-// Depth-first search over grouping sequences. `skills` is the pre-round
-// state at depth `round`; `gain_so_far` the accumulated LG.
-void Search(SearchState& state, int round, SkillVector& skills,
-            double gain_so_far) {
-  if (round == state.num_rounds) {
-    state.sequences_explored += 1;
-    if (gain_so_far > state.best_total_gain) {
-      state.best_total_gain = gain_so_far;
-      state.best_choice = state.current_choice;
+  // Depth-first enumeration in ascending grouping-index order — identical
+  // to the classic serial search. `skills` is the pre-round state at depth
+  // `round`; `gain_so_far` the accumulated LG.
+  void Search(int round, SkillVector& skills, double gain_so_far) {
+    if (round == num_rounds) {
+      result.sequences_explored += 1;
+      if (!result.found || gain_so_far > result.best_gain) {
+        result.found = true;
+        result.best_gain = gain_so_far;
+        result.best_choice = choice;
+      }
+      return;
     }
-    return;
+    for (size_t i = 0; i < groupings->size(); ++i) {
+      SkillVector next = skills;
+      auto round_gain = ApplyRound(mode, (*groupings)[i], *gain, next);
+      TDG_CHECK(round_gain.ok()) << round_gain.status();
+      choice[round] = static_cast<int>(i);
+      Search(round + 1, next, gain_so_far + round_gain.value());
+    }
   }
-  for (size_t i = 0; i < state.groupings->size(); ++i) {
-    SkillVector next = skills;
-    auto round_gain =
-        ApplyRound(state.mode, (*state.groupings)[i], *state.gain, next);
-    TDG_CHECK(round_gain.ok()) << round_gain.status();
-    state.current_choice[round] = static_cast<int>(i);
-    Search(state, round + 1, next, gain_so_far + round_gain.value());
-  }
-}
+};
 
 }  // namespace
 
@@ -114,6 +133,7 @@ util::StatusOr<BruteForceResult> SolveTdgBruteForce(
   if (num_rounds < 0) {
     return util::Status::InvalidArgument("num_rounds must be >= 0");
   }
+  TDG_TRACE_SPAN("solver/brute_force");
   int n = static_cast<int>(skills.size());
   TDG_ASSIGN_OR_RETURN(double count, CountEquiSizedGroupings(n, num_groups));
   double sequences = std::pow(count, static_cast<double>(num_rounds));
@@ -125,24 +145,98 @@ util::StatusOr<BruteForceResult> SolveTdgBruteForce(
   TDG_ASSIGN_OR_RETURN(std::vector<Grouping> groupings,
                        EnumerateEquiSizedGroupings(n, num_groups));
 
-  SearchState state;
-  state.groupings = &groupings;
-  state.mode = mode;
-  state.gain = &gain;
-  state.num_rounds = num_rounds;
-  state.current_choice.assign(num_rounds, 0);
+  int num_threads = std::max(options.num_threads, 1);
 
-  SkillVector working = skills;
-  Search(state, 0, working, 0.0);
-
-  BruteForceResult result;
-  result.best_total_gain = state.best_total_gain < 0 ? 0.0
-                                                     : state.best_total_gain;
-  result.sequences_explored = state.sequences_explored;
-  result.best_sequence.reserve(num_rounds);
-  for (int idx : state.best_choice) {
-    result.best_sequence.push_back(groupings[idx]);
+  // Shard the sequence space by its first rounds, expanded sequentially in
+  // enumeration order (serial solves keep the single root shard).
+  std::vector<SequenceShard> shards;
+  {
+    SequenceShard root;
+    root.skills = skills;
+    shards.push_back(std::move(root));
   }
+  const size_t target_shards =
+      num_threads > 1 ? static_cast<size_t>(4 * num_threads) : 1;
+  int shard_depth = 0;
+  while (shard_depth < num_rounds && shards.size() < target_shards) {
+    std::vector<SequenceShard> next;
+    next.reserve(shards.size() * groupings.size());
+    for (SequenceShard& shard : shards) {
+      for (size_t i = 0; i < groupings.size(); ++i) {
+        SequenceShard expanded;
+        expanded.prefix = shard.prefix;
+        expanded.prefix.push_back(static_cast<int>(i));
+        expanded.skills = shard.skills;
+        auto round_gain =
+            ApplyRound(mode, groupings[i], gain, expanded.skills);
+        TDG_CHECK(round_gain.ok()) << round_gain.status();
+        expanded.gain_so_far = shard.gain_so_far + round_gain.value();
+        next.push_back(std::move(expanded));
+      }
+    }
+    shards = std::move(next);
+    ++shard_depth;
+  }
+
+  std::vector<ShardResult> results(shards.size());
+  util::WorkStealingIndexQueue queue(static_cast<int>(shards.size()),
+                                     num_threads);
+  auto run_worker = [&](int worker) {
+    for (int t; (t = queue.Next(worker)) != -1;) {
+      ShardSearcher searcher;
+      searcher.groupings = &groupings;
+      searcher.mode = mode;
+      searcher.gain = &gain;
+      searcher.num_rounds = num_rounds;
+      searcher.choice.assign(num_rounds, 0);
+      std::copy(shards[t].prefix.begin(), shards[t].prefix.end(),
+                searcher.choice.begin());
+      SkillVector working = shards[t].skills;
+      searcher.Search(static_cast<int>(shards[t].prefix.size()), working,
+                      shards[t].gain_so_far);
+      results[t] = std::move(searcher.result);
+    }
+  };
+  if (num_threads > 1 && shards.size() > 1) {
+    util::ThreadPool pool(num_threads);
+    for (int w = 0; w < num_threads; ++w) {
+      pool.Submit([&run_worker, w] { run_worker(w); });
+    }
+    pool.Wait();
+  } else {
+    run_worker(0);
+  }
+
+  // Deterministic selection: shards in enumeration order, strict
+  // improvement — the serial "lexicographically first maximum wins" rule.
+  BruteForceResult result;
+  bool found = false;
+  double best_gain = -1.0;
+  const std::vector<int>* best_choice = nullptr;
+  for (const ShardResult& shard : results) {
+    result.sequences_explored += shard.sequences_explored;
+    if (shard.found && (!found || shard.best_gain > best_gain)) {
+      found = true;
+      best_gain = shard.best_gain;
+      best_choice = &shard.best_choice;
+    }
+  }
+  result.best_total_gain = found ? best_gain : 0.0;
+  result.subtree_tasks = static_cast<long long>(shards.size());
+  result.steal_count = queue.steal_count();
+  result.threads_used = num_threads;
+  result.best_sequence.reserve(num_rounds);
+  if (best_choice != nullptr) {
+    for (int idx : *best_choice) {
+      result.best_sequence.push_back(groupings[idx]);
+    }
+  }
+  TDG_OBS_COUNTER_ADD(
+      "solver/brute_force/sequences_explored",
+      static_cast<int64_t>(result.sequences_explored));
+  TDG_OBS_COUNTER_ADD("solver/brute_force/subtree_tasks",
+                      result.subtree_tasks);
+  TDG_OBS_COUNTER_ADD("solver/brute_force/steals", result.steal_count);
   return result;
 }
 

@@ -40,16 +40,23 @@ std::vector<std::pair<double, int>> SortedGroup(
   return sorted;
 }
 
+// The group kernels below take `skills` as a nullable out-parameter: with a
+// vector they apply the round's update in place, with nullptr they only sum
+// the gain. Both paths run the *identical* arithmetic on the pre-round
+// snapshot in `sorted`, which is what makes EvaluateGroupGain (and the
+// delta-objective built on it, objective.h) bitwise-equal to a full
+// ApplyRound over the same grouping.
+
 // Star-mode group update: everyone learns from the top-ranked member.
 // Works from the pre-round snapshot held in `sorted`.
 double UpdateGroupStar(const std::vector<std::pair<double, int>>& sorted,
                        const LearningGainFunction& gain,
-                       SkillVector& skills) {
+                       SkillVector* skills) {
   double group_gain = 0.0;
   double teacher_skill = sorted.front().first;
   for (size_t i = 1; i < sorted.size(); ++i) {
     double g = gain.Gain(teacher_skill - sorted[i].first);
-    skills[sorted[i].second] += g;
+    if (skills != nullptr) (*skills)[sorted[i].second] += g;
     group_gain += g;
   }
   return group_gain;
@@ -60,13 +67,13 @@ double UpdateGroupStar(const std::vector<std::pair<double, int>>& sorted,
 // where c_{i-1} sums the i-1 higher pre-round skills.
 double UpdateGroupCliqueLinear(
     const std::vector<std::pair<double, int>>& sorted, double r,
-    SkillVector& skills) {
+    SkillVector* skills) {
   double group_gain = 0.0;
   double prefix = sorted.front().first;
   for (size_t i = 1; i < sorted.size(); ++i) {
     double count = static_cast<double>(i);
     double g = r * (prefix - count * sorted[i].first) / count;
-    skills[sorted[i].second] += g;
+    if (skills != nullptr) (*skills)[sorted[i].second] += g;
     group_gain += g;
     prefix += sorted[i].first;
   }
@@ -77,7 +84,7 @@ double UpdateGroupCliqueLinear(
 // average of its pairwise gains from all higher-ranked members.
 double UpdateGroupCliqueNaive(
     const std::vector<std::pair<double, int>>& sorted,
-    const LearningGainFunction& gain, SkillVector& skills) {
+    const LearningGainFunction& gain, SkillVector* skills) {
   double group_gain = 0.0;
   for (size_t i = 1; i < sorted.size(); ++i) {
     double total = 0.0;
@@ -85,10 +92,28 @@ double UpdateGroupCliqueNaive(
       total += gain.Gain(sorted[j].first - sorted[i].first);
     }
     double g = total / static_cast<double>(i);
-    skills[sorted[i].second] += g;
+    if (skills != nullptr) (*skills)[sorted[i].second] += g;
     group_gain += g;
   }
   return group_gain;
+}
+
+// Gain of one group, optionally applying the update. Dispatch shared by
+// ApplyRound (skills != nullptr) and EvaluateGroupGain (skills == nullptr).
+double GroupGain(InteractionMode mode,
+                 const std::vector<std::pair<double, int>>& sorted,
+                 const LearningGainFunction& gain, bool allow_fast_path,
+                 SkillVector* skills) {
+  switch (mode) {
+    case InteractionMode::kStar:
+      return UpdateGroupStar(sorted, gain, skills);
+    case InteractionMode::kClique:
+      if (allow_fast_path && gain.is_linear()) {
+        return UpdateGroupCliqueLinear(sorted, gain.rate(), skills);
+      }
+      return UpdateGroupCliqueNaive(sorted, gain, skills);
+  }
+  return 0.0;
 }
 
 util::StatusOr<double> ApplyRoundImpl(InteractionMode mode,
@@ -106,18 +131,7 @@ util::StatusOr<double> ApplyRoundImpl(InteractionMode mode,
     if (members.size() == 1) continue;  // nothing to learn from
     ++updated_groups;
     std::vector<std::pair<double, int>> sorted = SortedGroup(members, skills);
-    switch (mode) {
-      case InteractionMode::kStar:
-        round_gain += UpdateGroupStar(sorted, gain, skills);
-        break;
-      case InteractionMode::kClique:
-        if (allow_fast_path && gain.is_linear()) {
-          round_gain += UpdateGroupCliqueLinear(sorted, gain.rate(), skills);
-        } else {
-          round_gain += UpdateGroupCliqueNaive(sorted, gain, skills);
-        }
-        break;
-    }
+    round_gain += GroupGain(mode, sorted, gain, allow_fast_path, &skills);
   }
   if (mode == InteractionMode::kStar) {
     TDG_OBS_COUNTER_ADD("interaction/star_group_updates", updated_groups);
@@ -151,6 +165,23 @@ util::StatusOr<double> EvaluateRoundGain(InteractionMode mode,
                                          const SkillVector& skills) {
   SkillVector scratch = skills;
   return ApplyRound(mode, grouping, gain, scratch);
+}
+
+util::StatusOr<double> EvaluateGroupGain(InteractionMode mode,
+                                         const std::vector<int>& members,
+                                         const LearningGainFunction& gain,
+                                         const SkillVector& skills) {
+  int n = static_cast<int>(skills.size());
+  for (int id : members) {
+    if (id < 0 || id >= n) {
+      return util::Status::InvalidArgument(
+          "group member id out of range of the skill vector");
+    }
+  }
+  if (members.size() <= 1) return 0.0;
+  std::vector<std::pair<double, int>> sorted = SortedGroup(members, skills);
+  return GroupGain(mode, sorted, gain, /*allow_fast_path=*/true,
+                   /*skills=*/nullptr);
 }
 
 }  // namespace tdg

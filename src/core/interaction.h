@@ -51,6 +51,18 @@ util::StatusOr<double> EvaluateRoundGain(InteractionMode mode,
                                          const LearningGainFunction& gain,
                                          const SkillVector& skills);
 
+/// Gain contribution of a single group (the inner term of Eq. 3). Because
+/// all interactions read pre-round skills and groups are disjoint, the round
+/// gain decomposes as LG(G) = Σ_g EvaluateGroupGain(g) — summed in group
+/// order this reproduces EvaluateRoundGain *bitwise* (both run the same
+/// per-group kernel and accumulation order). This is the primitive behind
+/// the O(n/k) swap-delta objective (objective.h) used by the SA baseline.
+/// Groups of size <= 1 contribute exactly 0. Member ids must index `skills`.
+util::StatusOr<double> EvaluateGroupGain(InteractionMode mode,
+                                         const std::vector<int>& members,
+                                         const LearningGainFunction& gain,
+                                         const SkillVector& skills);
+
 }  // namespace tdg
 
 #endif  // TDG_CORE_INTERACTION_H_

@@ -8,6 +8,56 @@
 
 namespace tdg {
 
+util::StatusOr<SwapGainDelta> EvaluateRoundGainDelta(
+    InteractionMode mode, const Grouping& grouping,
+    const LearningGainFunction& gain, const SkillVector& skills, int group_a,
+    int index_a, int group_b, int index_b, const double* known_old_gain_a,
+    const double* known_old_gain_b) {
+  if (group_a < 0 || group_a >= grouping.num_groups() || group_b < 0 ||
+      group_b >= grouping.num_groups()) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "swap groups (%d, %d) out of range of %d groups", group_a, group_b,
+        grouping.num_groups()));
+  }
+  if (group_a == group_b) {
+    return util::Status::InvalidArgument(
+        "swap within one group does not change the round gain; "
+        "group_a and group_b must differ");
+  }
+  const std::vector<int>& members_a = grouping.groups[group_a];
+  const std::vector<int>& members_b = grouping.groups[group_b];
+  if (index_a < 0 || index_a >= static_cast<int>(members_a.size()) ||
+      index_b < 0 || index_b >= static_cast<int>(members_b.size())) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "swap member indices (%d, %d) out of range", index_a, index_b));
+  }
+
+  SwapGainDelta result;
+  if (known_old_gain_a != nullptr) {
+    result.old_gain_a = *known_old_gain_a;
+  } else {
+    TDG_ASSIGN_OR_RETURN(result.old_gain_a,
+                         EvaluateGroupGain(mode, members_a, gain, skills));
+  }
+  if (known_old_gain_b != nullptr) {
+    result.old_gain_b = *known_old_gain_b;
+  } else {
+    TDG_ASSIGN_OR_RETURN(result.old_gain_b,
+                         EvaluateGroupGain(mode, members_b, gain, skills));
+  }
+
+  std::vector<int> swapped_a = members_a;
+  std::vector<int> swapped_b = members_b;
+  std::swap(swapped_a[index_a], swapped_b[index_b]);
+  TDG_ASSIGN_OR_RETURN(result.new_gain_a,
+                       EvaluateGroupGain(mode, swapped_a, gain, skills));
+  TDG_ASSIGN_OR_RETURN(result.new_gain_b,
+                       EvaluateGroupGain(mode, swapped_b, gain, skills));
+  result.delta = (result.new_gain_a + result.new_gain_b) -
+                 (result.old_gain_a + result.old_gain_b);
+  return result;
+}
+
 double TotalGainFromDeficits(const std::vector<double>& initial_deficits,
                              const std::vector<double>& final_deficits) {
   double initial = 0.0;

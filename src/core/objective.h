@@ -3,10 +3,39 @@
 
 #include <vector>
 
+#include "core/interaction.h"
 #include "core/process.h"
 #include "util/statusor.h"
 
 namespace tdg {
+
+/// Result of evaluating a proposed two-member swap between groups without
+/// applying it. `delta` is the round-gain change; the per-group terms let a
+/// caller that caches per-group gains (e.g. the SA baseline) update its
+/// running total with the exact accumulation order of EvaluateRoundGain.
+struct SwapGainDelta {
+  double delta = 0;        // (new_gain_a + new_gain_b) - (old_a + old_b)
+  double old_gain_a = 0;   // pre-swap gain of grouping.groups[group_a]
+  double old_gain_b = 0;
+  double new_gain_a = 0;   // post-swap gain of grouping.groups[group_a]
+  double new_gain_b = 0;
+};
+
+/// Round-gain change of swapping grouping.groups[group_a][index_a] with
+/// grouping.groups[group_b][index_b], evaluated by re-scoring only the two
+/// affected groups — O(t_a + t_b) = O(n/k) work instead of the O(n) of a
+/// full EvaluateRoundGain. Valid for every mode and gain function because
+/// the round gain decomposes per group (see EvaluateGroupGain).
+///
+/// `known_old_gain_a` / `known_old_gain_b` let a caller supply cached
+/// pre-swap group gains (halving the work); pass nullptr to have them
+/// recomputed. The grouping itself is not modified.
+util::StatusOr<SwapGainDelta> EvaluateRoundGainDelta(
+    InteractionMode mode, const Grouping& grouping,
+    const LearningGainFunction& gain, const SkillVector& skills, int group_a,
+    int index_a, int group_b, int index_b,
+    const double* known_old_gain_a = nullptr,
+    const double* known_old_gain_b = nullptr);
 
 /// Helpers for the paper's §IV-C alternative objective for the Star mode
 /// with k = 2 groups: writing b_i = s_max - s_i (the "skill deficit"), the

@@ -1,0 +1,43 @@
+#include "util/work_steal_queue.h"
+
+#include <algorithm>
+
+namespace tdg::util {
+
+WorkStealingIndexQueue::WorkStealingIndexQueue(int num_tasks,
+                                               int num_workers) {
+  num_workers = std::max(num_workers, 1);
+  deques_.reserve(num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    deques_.push_back(std::make_unique<WorkerDeque>());
+  }
+  for (int task = 0; task < num_tasks; ++task) {
+    deques_[task % num_workers]->tasks.push_back(task);
+  }
+}
+
+int WorkStealingIndexQueue::Next(int worker) {
+  {
+    WorkerDeque& own = *deques_[worker];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.tasks.empty()) {
+      int task = own.tasks.front();
+      own.tasks.pop_front();
+      return task;
+    }
+  }
+  int num_workers = static_cast<int>(deques_.size());
+  for (int offset = 1; offset < num_workers; ++offset) {
+    WorkerDeque& victim = *deques_[(worker + offset) % num_workers];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      int task = victim.tasks.back();
+      victim.tasks.pop_back();
+      steals_.fetch_add(1, std::memory_order_relaxed);
+      return task;
+    }
+  }
+  return -1;
+}
+
+}  // namespace tdg::util

@@ -1,0 +1,55 @@
+#ifndef TDG_UTIL_WORK_STEAL_QUEUE_H_
+#define TDG_UTIL_WORK_STEAL_QUEUE_H_
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tdg::util {
+
+/// A fixed task set {0, ..., num_tasks-1} distributed round-robin across
+/// per-worker deques. Each worker pops its own deque from the front (so it
+/// consumes its share in ascending index order); a worker whose deque is
+/// empty steals from another worker's back (the victim's largest remaining
+/// index, minimizing contention on the victim's front).
+///
+/// Built for the parallel exact solvers (branch_bound.cc, brute_force.cc):
+/// subtree tasks vary wildly in cost after pruning, so static sharding
+/// alone strands threads behind one heavy subtree — stealing rebalances.
+/// Which worker executes which task is scheduling-dependent, but the task
+/// *set* is fixed up front, so solvers that combine per-task results in
+/// task-index order stay deterministic regardless of the steal pattern.
+class WorkStealingIndexQueue {
+ public:
+  /// `num_workers` >= 1; tasks i are seeded to deque i % num_workers.
+  WorkStealingIndexQueue(int num_tasks, int num_workers);
+
+  WorkStealingIndexQueue(const WorkStealingIndexQueue&) = delete;
+  WorkStealingIndexQueue& operator=(const WorkStealingIndexQueue&) = delete;
+
+  /// Next task for `worker` (in [0, num_workers)), or -1 when every deque
+  /// is empty. Thread-safe: each worker must pass its own distinct id.
+  int Next(int worker);
+
+  /// Tasks obtained by stealing (for solver metrics).
+  long long steal_count() const {
+    return steals_.load(std::memory_order_relaxed);
+  }
+
+  int num_workers() const { return static_cast<int>(deques_.size()); }
+
+ private:
+  struct WorkerDeque {
+    std::mutex mutex;
+    std::deque<int> tasks;
+  };
+
+  std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::atomic<long long> steals_{0};
+};
+
+}  // namespace tdg::util
+
+#endif  // TDG_UTIL_WORK_STEAL_QUEUE_H_
