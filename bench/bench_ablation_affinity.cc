@@ -9,8 +9,6 @@
 #include "util/table_printer.h"
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
   tdg::bench::PrintHeader(
       "Ablation: bi-criteria gain/affinity grouping",
       "Paper §VII extension; star mode, n=200, k=5, alpha=5, r=0.5, "
@@ -60,6 +58,9 @@ int main(int argc, char** argv) {
                                  "mean per-round within-group affinity",
                                  "final mean affinity (evolved)"});
   for (double lambda : {0.0, 0.1, 0.5, 2.0, 10.0}) {
+    tdg::obs::ScopedBenchRep rep(
+        tdg::obs::GlobalBenchReporter(),
+        "lambda=" + tdg::util::FormatDouble(lambda, 1));
     tdg::BiCriteriaOptions options;
     options.lambda = lambda * scale;
     options.refinement_iterations = 5000;
@@ -87,6 +88,7 @@ int main(int argc, char** argv) {
       total_gain += round_gain.value();
       total_affinity += policy.last_affinity();
     }
+    rep.set_objective(total_gain);
 
     table.AddRow({tdg::util::FormatDouble(lambda, 1),
                   tdg::util::FormatDouble(total_gain, 1),
@@ -98,5 +100,6 @@ int main(int argc, char** argv) {
   std::printf("(expected: learning gain is maximal at lambda = 0 and "
               "decreases as lambda buys within-group affinity — the "
               "bi-criteria tradeoff the paper proposes studying)\n");
+  tdg::bench::EmitReport(argc, argv);
   return 0;
 }

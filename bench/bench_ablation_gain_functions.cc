@@ -51,8 +51,6 @@ double PolicyGain(const std::string& policy_name,
 }  // namespace tdg::bench
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
   tdg::bench::PrintHeader(
       "Ablation: learning-gain function families",
       "Paper §VII: DyGroups adapts to concave gains but is only provably "
@@ -61,18 +59,17 @@ int main(int argc, char** argv) {
   tdg::util::TablePrinter table(
       {"gain function", "DyGroups-Star", "LPA", "Random-Assignment"});
   for (const auto& [name, gain] : tdg::bench::GainFamilies()) {
+    auto timed_gain = [&name = name, &gain = gain](const char* policy) {
+      tdg::obs::ScopedBenchRep rep(tdg::obs::GlobalBenchReporter(),
+                                   name + "/" + policy);
+      double mean = tdg::bench::PolicyGain(policy, *gain, 1000, 5, 5, 3, 5);
+      rep.set_objective(mean);
+      return mean;
+    };
     table.AddRow(
-        {name,
-         tdg::util::FormatDouble(
-             tdg::bench::PolicyGain("DyGroups-Star", *gain, 1000, 5, 5, 3,
-                                    5),
-             2),
-         tdg::util::FormatDouble(
-             tdg::bench::PolicyGain("LPA", *gain, 1000, 5, 5, 3, 5), 2),
-         tdg::util::FormatDouble(
-             tdg::bench::PolicyGain("Random-Assignment", *gain, 1000, 5, 5,
-                                    3, 5),
-             2)});
+        {name, tdg::util::FormatDouble(timed_gain("DyGroups-Star"), 2),
+         tdg::util::FormatDouble(timed_gain("LPA"), 2),
+         tdg::util::FormatDouble(timed_gain("Random-Assignment"), 2)});
   }
   std::printf("%s\n", table.ToString().c_str());
 
@@ -117,5 +114,6 @@ int main(int argc, char** argv) {
   std::printf("%s", gap_table.ToString().c_str());
   std::printf("(expected: zero gap for linear; possibly nonzero for the "
               "concave families — the paper's §VII observation)\n");
+  tdg::bench::EmitReport(argc, argv);
   return 0;
 }

@@ -55,8 +55,6 @@ double DyGroupsGain(InteractionMode mode, int runs) {
 }  // namespace tdg::bench
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
   tdg::bench::PrintHeader(
       "Ablation: Percentile-Partitions percentile parameter p",
       "The paper fixes p = 0.75 (per [8]); n=2000, k=5, alpha=5, r=0.5, "
@@ -65,13 +63,24 @@ int main(int argc, char** argv) {
   constexpr int kRuns = 5;
   for (tdg::InteractionMode mode :
        {tdg::InteractionMode::kStar, tdg::InteractionMode::kClique}) {
-    double dygroups = tdg::bench::DyGroupsGain(mode, kRuns);
+    const std::string mode_name(tdg::InteractionModeName(mode));
+    double dygroups;
+    {
+      tdg::obs::ScopedBenchRep rep(tdg::obs::GlobalBenchReporter(),
+                                   mode_name + "/dygroups");
+      dygroups = tdg::bench::DyGroupsGain(mode, kRuns);
+      rep.set_objective(dygroups);
+    }
     tdg::util::TablePrinter table(
         {std::string("p (") + std::string(tdg::InteractionModeName(mode)) +
              ")",
          "Percentile-Partitions gain", "fraction of DyGroups"});
     for (double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+      tdg::obs::ScopedBenchRep rep(
+          tdg::obs::GlobalBenchReporter(),
+          mode_name + "/p=" + tdg::util::FormatDouble(p, 2));
       double gain = tdg::bench::PercentileGain(p, mode, kRuns);
+      rep.set_objective(gain);
       table.AddRow({tdg::util::FormatDouble(p, 2),
                     tdg::util::FormatDouble(gain, 1),
                     tdg::util::FormatDouble(gain / dygroups, 4)});
@@ -83,5 +92,6 @@ int main(int argc, char** argv) {
   std::printf("(expected: performance varies smoothly in p and stays below "
               "the matching DyGroups policy; p = 0.75 is a reasonable but "
               "not special choice)\n");
+  tdg::bench::EmitReport(argc, argv);
   return 0;
 }

@@ -40,8 +40,6 @@ double RunSized(const SkillVector& skills, const std::vector<int>& sizes,
 }  // namespace tdg::bench
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
   tdg::bench::PrintHeader(
       "Ablation: variable group sizes",
       "Paper §VII extension; n=600, 5 rounds, r=0.5, log-normal skills, "
@@ -65,6 +63,10 @@ int main(int argc, char** argv) {
              std::string(tdg::InteractionModeName(mode)) + ")",
          "DyGroups-sized", "Random-sized", "ratio"});
     for (const Profile& profile : profiles) {
+      tdg::obs::ScopedBenchRep rep(
+          tdg::obs::GlobalBenchReporter(),
+          std::string(tdg::InteractionModeName(mode)) + "/" +
+              profile.label);
       double dygroups_total = 0.0;
       double random_total = 0.0;
       constexpr int kRuns = 5;
@@ -77,6 +79,7 @@ int main(int argc, char** argv) {
         random_total += tdg::bench::RunSized(skills, profile.sizes, mode,
                                              false, 7 + run);
       }
+      rep.set_objective(dygroups_total / kRuns);
       table.AddRow({profile.label,
                     tdg::util::FormatDouble(dygroups_total / kRuns, 1),
                     tdg::util::FormatDouble(random_total / kRuns, 1),
@@ -88,5 +91,6 @@ int main(int argc, char** argv) {
   std::printf("(expected: DyGroups-sized >= random for every profile; the "
               "advantage grows with skew in star mode because matching "
               "strong teachers to large groups matters more)\n");
+  tdg::bench::EmitReport(argc, argv);
   return 0;
 }

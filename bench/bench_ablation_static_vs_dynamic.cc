@@ -46,8 +46,6 @@ double GainWithPolicy(bool dynamic, const std::string& policy_name, int n,
 }  // namespace tdg::bench
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
   tdg::bench::PrintHeader(
       "Ablation: dynamic re-grouping vs static groups",
       "The TDG hypothesis (paper §I): changing group composition across "
@@ -61,10 +59,23 @@ int main(int argc, char** argv) {
     tdg::util::TablePrinter table(
         {"alpha", "dynamic " + policy, "static " + policy, "dynamic/static"});
     for (double alpha : alphas) {
-      double dynamic = tdg::bench::GainWithPolicy(
-          true, policy, 1000, 5, static_cast<int>(alpha), 5, 5);
-      double static_gain = tdg::bench::GainWithPolicy(
-          false, policy, 1000, 5, static_cast<int>(alpha), 5, 5);
+      const std::string case_prefix =
+          policy + "/alpha=" + std::to_string(static_cast<int>(alpha));
+      double dynamic, static_gain;
+      {
+        tdg::obs::ScopedBenchRep rep(tdg::obs::GlobalBenchReporter(),
+                                     case_prefix + "/dynamic");
+        dynamic = tdg::bench::GainWithPolicy(
+            true, policy, 1000, 5, static_cast<int>(alpha), 5, 5);
+        rep.set_objective(dynamic);
+      }
+      {
+        tdg::obs::ScopedBenchRep rep(tdg::obs::GlobalBenchReporter(),
+                                     case_prefix + "/static");
+        static_gain = tdg::bench::GainWithPolicy(
+            false, policy, 1000, 5, static_cast<int>(alpha), 5, 5);
+        rep.set_objective(static_gain);
+      }
       table.AddNumericRow({alpha, dynamic, static_gain,
                            dynamic / static_gain},
                           3);
@@ -72,5 +83,6 @@ int main(int argc, char** argv) {
     std::printf("%s\n", table.ToString().c_str());
   }
   std::printf("(expected: ratio = 1 at alpha = 1, then > 1 and growing)\n");
+  tdg::bench::EmitReport(argc, argv);
   return 0;
 }

@@ -14,8 +14,6 @@
 #include "util/table_printer.h"
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
   tdg::bench::PrintHeader(
       "Simulated annealing vs DyGroups-Local (one round), full vs delta "
       "objective",
@@ -45,20 +43,27 @@ int main(int argc, char** argv) {
       tdg::baselines::SimulatedAnnealingOptions options;
       options.iterations = iterations;
 
+      const std::string case_prefix =
+          "n=" + std::to_string(shape.n) + " k=" + std::to_string(shape.k) +
+          " iters=" + std::to_string(iterations);
       options.delta_evaluation = false;
       tdg::baselines::SimulatedAnnealingPolicy sa_full(
           tdg::InteractionMode::kStar, gain, 7, options);
-      tdg::util::Stopwatch full_watch;
+      tdg::obs::ScopedBenchRep full_rep(tdg::obs::GlobalBenchReporter(),
+                                        case_prefix + "/sa_full");
       auto grouping_full = sa_full.FormGroups(skills, shape.k);
-      double full_ms = full_watch.ElapsedMillis();
+      double full_ms = full_rep.watch().ElapsedMillis();
+      full_rep.watch().Pause();
       TDG_CHECK(grouping_full.ok());
 
       options.delta_evaluation = true;
       tdg::baselines::SimulatedAnnealingPolicy sa_delta(
           tdg::InteractionMode::kStar, gain, 7, options);
-      tdg::util::Stopwatch delta_watch;
+      tdg::obs::ScopedBenchRep delta_rep(tdg::obs::GlobalBenchReporter(),
+                                         case_prefix + "/sa_delta");
       auto grouping_delta = sa_delta.FormGroups(skills, shape.k);
-      double delta_ms = delta_watch.ElapsedMillis();
+      double delta_ms = delta_rep.watch().ElapsedMillis();
+      delta_rep.watch().Pause();
       TDG_CHECK(grouping_delta.ok());
 
       // Bitwise-identical trajectory: the returned groupings must match
@@ -69,6 +74,8 @@ int main(int argc, char** argv) {
           tdg::EvaluateRoundGain(tdg::InteractionMode::kStar,
                                  grouping_delta.value(), gain, skills)
               .value();
+      full_rep.set_objective(sa_gain);
+      delta_rep.set_objective(sa_gain);
       table.AddRow(
           {std::to_string(shape.n), std::to_string(shape.k),
            std::to_string(iterations),
@@ -87,5 +94,6 @@ int main(int argc, char** argv) {
       "grouping; the delta objective re-scores only the two groups a swap "
       "touches, so its speedup over full re-evaluation grows ~k/2 with "
       "the group count)\n");
+  tdg::bench::EmitReport(argc, argv);
   return 0;
 }

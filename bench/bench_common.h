@@ -1,6 +1,9 @@
 // Shared helpers for the per-figure bench binaries. Each binary reproduces
 // one table/figure of the paper (see DESIGN.md §2) and prints its series as
-// an aligned table; pass --csv=<path> to also dump plottable CSV.
+// an aligned table; pass --csv=<path> to also dump plottable CSV, and
+// --report_out=<path> to emit a machine-readable tdg.bench_report.v1 JSON
+// artifact (per-case wall times + objectives + solver counter deltas, with
+// a RunManifest) that `tdg_perfdiff` can gate against a baseline.
 #ifndef TDG_BENCH_BENCH_COMMON_H_
 #define TDG_BENCH_BENCH_COMMON_H_
 
@@ -11,6 +14,7 @@
 #include "core/dygroups.h"
 #include "core/process.h"
 #include "io/series_io.h"
+#include "obs/obs.h"
 #include "random/distributions.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
@@ -69,7 +73,11 @@ inline void PrintHeader(const std::string& title,
 }
 
 /// Builds an ExperimentSeries sweeping one policy set over `x_values`,
-/// where `evaluate(policy_name, x)` returns the y value.
+/// where `evaluate(policy_name, x)` returns the y value. Every evaluation
+/// is also recorded into the process-wide obs::BenchReporter as one
+/// repetition of case "<policy>/<x_label>=<x>" (wall micros, y as the
+/// objective, and the deltas of every obs counter it bumped), so a later
+/// EmitSeries(--report_out=...) can write the telemetry artifact.
 template <typename Evaluate>
 io::ExperimentSeries SweepSeries(const std::string& x_label,
                                  const std::vector<double>& x_values,
@@ -83,13 +91,38 @@ io::ExperimentSeries SweepSeries(const std::string& x_label,
   for (size_t p = 0; p < policies.size(); ++p) {
     series.values[p].reserve(x_values.size());
     for (double x : x_values) {
-      series.values[p].push_back(evaluate(policies[p], x));
+      double y;
+      {
+        obs::ScopedBenchRep rep(
+            obs::GlobalBenchReporter(),
+            policies[p] + "/" + x_label + "=" + util::FormatDouble(x, 6));
+        y = evaluate(policies[p], x);
+        rep.set_objective(y);
+      }
+      series.values[p].push_back(y);
     }
   }
   return series;
 }
 
-/// Prints the series and optionally writes `--csv=<path>`.
+/// Honors `--report_out=<path>`: writes a tdg.bench_report.v1 JSON artifact
+/// built from every case recorded so far in the global BenchReporter. Call
+/// once at the end of main; EmitSeries does it for the sweep binaries.
+inline void EmitReport(int argc, char** argv) {
+  obs::BenchReporter& reporter = obs::GlobalBenchReporter();
+  if (reporter.ParseReportFlag(argc, argv)) {
+    auto status = reporter.WriteIfRequested();
+    if (status.ok()) {
+      std::printf("wrote %s\n", reporter.output_path().c_str());
+    } else {
+      std::printf("report write failed: %s\n", status.ToString().c_str());
+    }
+  }
+}
+
+/// Prints the series, and honors `--csv=<path>` (plottable CSV) and
+/// `--report_out=<path>` (tdg.bench_report.v1 JSON built from every case
+/// recorded so far in the global BenchReporter).
 inline void EmitSeries(const io::ExperimentSeries& series, int argc,
                        char** argv, int digits = 4) {
   std::printf("%s\n", series.ToTable(digits).c_str());
@@ -105,6 +138,7 @@ inline void EmitSeries(const io::ExperimentSeries& series, int argc,
       }
     }
   }
+  EmitReport(argc, argv);
 }
 
 }  // namespace tdg::bench

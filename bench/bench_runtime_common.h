@@ -39,6 +39,10 @@ inline void RunPolicyBenchmark(benchmark::State& state,
           "bench/process_micros/" + policy_name);
   const obs::Histogram::Totals before = process_micros.GetTotals();
 
+  const std::string case_key =
+      "vary/" + std::string(InteractionModeName(mode)) + "/" + policy_name +
+      "/n=" + std::to_string(n) + "/k=" + std::to_string(k);
+  obs::BenchReporter& reporter = obs::GlobalBenchReporter();
   uint64_t seed = 1;
   for (auto _ : state) {
     auto policy = baselines::MakePolicy(policy_name, seed++);
@@ -48,6 +52,11 @@ inline void RunPolicyBenchmark(benchmark::State& state,
     timer.watch().Pause();
     TDG_CHECK(result.ok()) << result.status();
     benchmark::DoNotOptimize(result->total_gain);
+    if (reporter.enabled()) {
+      reporter.RecordRep(case_key,
+                         static_cast<double>(timer.watch().TotalMicros()),
+                         result->total_gain);
+    }
   }
 
   const obs::Histogram::Totals after = process_micros.GetTotals();
@@ -61,6 +70,37 @@ inline void RunPolicyBenchmark(benchmark::State& state,
         benchmark::Counter(process_micros.Quantile(0.95));
   }
   state.SetLabel(policy_name);
+}
+
+/// Enables `--report_out=<path>` for the google-benchmark runtime binaries:
+/// configures the global BenchReporter and strips the flag from argv so
+/// benchmark::Initialize never sees it. Call before benchmark::Initialize.
+inline void SetupRuntimeReport(int* argc, char** argv) {
+  obs::GlobalBenchReporter().ParseReportFlag(*argc, argv);
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg == "--report_out" && i + 1 < *argc) {
+      ++i;
+      continue;
+    }
+    if (arg.rfind("--report_out=", 0) == 0) continue;
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+}
+
+/// Writes the accumulated report when --report_out was given. Call after
+/// benchmark::Shutdown.
+inline void FinishRuntimeReport() {
+  obs::BenchReporter& reporter = obs::GlobalBenchReporter();
+  if (!reporter.enabled()) return;
+  auto status = reporter.WriteIfRequested();
+  if (status.ok()) {
+    std::printf("wrote %s\n", reporter.output_path().c_str());
+  } else {
+    std::printf("report write failed: %s\n", status.ToString().c_str());
+  }
 }
 
 /// Registers the paper's two sweeps for `mode`:

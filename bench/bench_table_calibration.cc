@@ -8,16 +8,18 @@
 #include "util/table_printer.h"
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
   tdg::bench::PrintHeader(
       "Pre-deployment calibration study (simulated AMT)",
       "ICDE'21 §V-A parameter justification: choose r and the group size");
 
   tdg::sim::CalibrationConfig config;
   config.deployments = 50;
+  tdg::util::Stopwatch watch;
   auto result = tdg::sim::RunCalibration(config);
   TDG_CHECK(result.ok()) << result.status();
+  tdg::obs::GlobalBenchReporter().RecordRep(
+      "calibration/deployments=50",
+      static_cast<double>(watch.TotalMicros()), result->recommended_rate);
 
   tdg::util::TablePrinter table({"group size", "implied r",
                                  "mean observed gain", "retention",
@@ -33,5 +35,6 @@ int main(int argc, char** argv) {
   std::printf("recommended group size: %d   implied learning rate: %.3f\n",
               result->recommended_group_size, result->recommended_rate);
   std::printf("(paper conclusion: groups of 4-5, r = 0.5)\n");
+  tdg::bench::EmitReport(argc, argv);
   return 0;
 }

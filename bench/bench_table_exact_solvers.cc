@@ -6,7 +6,9 @@
 // to the serial one on every instance (the determinism contract of
 // DESIGN.md).
 //
-// Flags: --solver_threads=N (default 4) picks the parallel worker count.
+// Flags: --solver_threads=N (default 4) picks the parallel worker count;
+// --reps=N (default 1) repeats every case N times so --report_out=<path>
+// captures enough repetitions for tdg_perfdiff's statistical gate.
 // Speedup tracks the machine's available cores: on a single-core container
 // the parallel search only demonstrates correctness, not speed.
 
@@ -34,6 +36,11 @@ int main(int argc, char** argv) {
   TDG_CHECK(flags.Parse(argc, argv).ok());
   const int threads =
       static_cast<int>(flags.GetInt("solver_threads", 4));
+  const int reps = static_cast<int>(flags.GetInt("reps", 1));
+  TDG_CHECK(reps >= 1);
+  // Route work-stealing queue drain totals into the obs registry so the
+  // report's per-case counters include pops/steals/exhausts.
+  tdg::obs::InstallWorkStealQueueInstrumentation();
   tdg::bench::PrintHeader(
       "Exact solvers: brute force vs branch-and-bound, serial vs parallel",
       "Infrastructure behind §V-B3 / Theorem 5 validation");
@@ -54,59 +61,90 @@ int main(int argc, char** argv) {
     for (double& s : skills) s += 1e-9;
     tdg::LinearGain gain(0.5);
 
-    tdg::util::Stopwatch brute_watch;
-    auto brute = tdg::SolveTdgBruteForce(skills, c.k, c.alpha,
-                                         tdg::InteractionMode::kStar, gain,
-                                         {.max_sequences = 5e8});
-    double brute_ms = brute_watch.ElapsedMillis();
-    tdg::util::Stopwatch brute_par_watch;
-    auto brute_par = tdg::SolveTdgBruteForce(
-        skills, c.k, c.alpha, tdg::InteractionMode::kStar, gain,
-        {.max_sequences = 5e8, .num_threads = threads});
-    double brute_par_ms = brute_par_watch.ElapsedMillis();
+    // Every solver variant is one telemetry case: the key pairs reports
+    // across runs in tdg_perfdiff, the objective is the solver's optimum.
+    const std::string case_prefix = "n=" + std::to_string(c.n) +
+                                    " k=" + std::to_string(c.k) +
+                                    " a=" + std::to_string(c.alpha);
+    auto timed = [&case_prefix](const char* variant, auto&& solve,
+                                double* out_ms) {
+      tdg::obs::ScopedBenchRep rep(tdg::obs::GlobalBenchReporter(),
+                                   case_prefix + "/" + variant);
+      auto result = solve();
+      *out_ms = rep.watch().ElapsedMillis();
+      if (result.ok()) rep.set_objective(result->best_total_gain);
+      return result;
+    };
 
-    tdg::util::Stopwatch bb_watch;
-    auto bounded = tdg::SolveTdgBranchBound(
-        skills, c.k, c.alpha, tdg::InteractionMode::kStar, gain);
-    double bb_ms = bb_watch.ElapsedMillis();
-    tdg::util::Stopwatch bb_par_watch;
-    auto bounded_par = tdg::SolveTdgBranchBound(
-        skills, c.k, c.alpha, tdg::InteractionMode::kStar, gain,
-        {.num_threads = threads});
-    double bb_par_ms = bb_par_watch.ElapsedMillis();
+    for (int rep = 0; rep < reps; ++rep) {
+      double brute_ms, brute_par_ms, bb_ms, bb_par_ms;
+      auto brute = timed(
+          "bf_serial",
+          [&] {
+            return tdg::SolveTdgBruteForce(skills, c.k, c.alpha,
+                                           tdg::InteractionMode::kStar, gain,
+                                           {.max_sequences = 5e8});
+          },
+          &brute_ms);
+      auto brute_par = timed(
+          "bf_par",
+          [&] {
+            return tdg::SolveTdgBruteForce(
+                skills, c.k, c.alpha, tdg::InteractionMode::kStar, gain,
+                {.max_sequences = 5e8, .num_threads = threads});
+          },
+          &brute_par_ms);
+      auto bounded = timed(
+          "bb_serial",
+          [&] {
+            return tdg::SolveTdgBranchBound(
+                skills, c.k, c.alpha, tdg::InteractionMode::kStar, gain);
+          },
+          &bb_ms);
+      auto bounded_par = timed(
+          "bb_par",
+          [&] {
+            return tdg::SolveTdgBranchBound(
+                skills, c.k, c.alpha, tdg::InteractionMode::kStar, gain,
+                {.num_threads = threads});
+          },
+          &bb_par_ms);
 
-    TDG_CHECK(brute.ok()) << brute.status();
-    TDG_CHECK(brute_par.ok()) << brute_par.status();
-    TDG_CHECK(bounded.ok()) << bounded.status();
-    TDG_CHECK(bounded_par.ok()) << bounded_par.status();
-    // Determinism contract: the parallel optimum is bitwise equal to the
-    // serial one — value AND grouping sequence.
-    TDG_CHECK(brute_par->best_total_gain == brute->best_total_gain);
-    TDG_CHECK(Key(brute_par->best_sequence) == Key(brute->best_sequence));
-    TDG_CHECK(bounded_par->best_total_gain == bounded->best_total_gain);
-    TDG_CHECK(Key(bounded_par->best_sequence) ==
-              Key(bounded->best_sequence));
-    bool agree = std::abs(brute->best_total_gain -
-                          bounded->best_total_gain) < 1e-9;
-    auto groupings = tdg::CountEquiSizedGroupings(c.n, c.k);
-    table.AddRow({std::to_string(c.n), std::to_string(c.k),
-                  std::to_string(c.alpha),
-                  tdg::util::FormatDouble(groupings.value(), 0),
-                  tdg::util::FormatDouble(brute->sequences_explored, 0),
-                  std::to_string(bounded->nodes_explored),
-                  std::to_string(bounded->nodes_pruned),
-                  agree ? "yes" : "NO",
-                  tdg::util::FormatDouble(brute_ms, 2),
-                  tdg::util::FormatDouble(brute_par_ms, 2),
-                  tdg::util::FormatDouble(
-                      brute_par_ms > 0 ? brute_ms / brute_par_ms : 0.0, 2),
-                  tdg::util::FormatDouble(bb_ms, 2),
-                  tdg::util::FormatDouble(bb_par_ms, 2),
-                  tdg::util::FormatDouble(
-                      bb_par_ms > 0 ? bb_ms / bb_par_ms : 0.0, 2),
-                  std::to_string(brute_par->steal_count +
-                                 bounded_par->steal_count)});
-    TDG_CHECK(agree);
+      TDG_CHECK(brute.ok()) << brute.status();
+      TDG_CHECK(brute_par.ok()) << brute_par.status();
+      TDG_CHECK(bounded.ok()) << bounded.status();
+      TDG_CHECK(bounded_par.ok()) << bounded_par.status();
+      // Determinism contract: the parallel optimum is bitwise equal to the
+      // serial one — value AND grouping sequence.
+      TDG_CHECK(brute_par->best_total_gain == brute->best_total_gain);
+      TDG_CHECK(Key(brute_par->best_sequence) == Key(brute->best_sequence));
+      TDG_CHECK(bounded_par->best_total_gain == bounded->best_total_gain);
+      TDG_CHECK(Key(bounded_par->best_sequence) ==
+                Key(bounded->best_sequence));
+      bool agree = std::abs(brute->best_total_gain -
+                            bounded->best_total_gain) < 1e-9;
+      TDG_CHECK(agree);
+      if (rep + 1 < reps) continue;  // table shows the last repetition
+
+      auto groupings = tdg::CountEquiSizedGroupings(c.n, c.k);
+      table.AddRow({std::to_string(c.n), std::to_string(c.k),
+                    std::to_string(c.alpha),
+                    tdg::util::FormatDouble(groupings.value(), 0),
+                    tdg::util::FormatDouble(brute->sequences_explored, 0),
+                    std::to_string(bounded->nodes_explored),
+                    std::to_string(bounded->nodes_pruned),
+                    agree ? "yes" : "NO",
+                    tdg::util::FormatDouble(brute_ms, 2),
+                    tdg::util::FormatDouble(brute_par_ms, 2),
+                    tdg::util::FormatDouble(
+                        brute_par_ms > 0 ? brute_ms / brute_par_ms : 0.0, 2),
+                    tdg::util::FormatDouble(bb_ms, 2),
+                    tdg::util::FormatDouble(bb_par_ms, 2),
+                    tdg::util::FormatDouble(
+                        bb_par_ms > 0 ? bb_ms / bb_par_ms : 0.0, 2),
+                    std::to_string(brute_par->steal_count +
+                                   bounded_par->steal_count)});
+    }
   }
   std::printf("%s", table.ToString().c_str());
   std::printf(
@@ -118,5 +156,6 @@ int main(int argc, char** argv) {
       "machines, with brute force scaling best since it has no shared "
       "bound contention)\n",
       threads);
+  tdg::bench::EmitReport(argc, argv);
   return 0;
 }

@@ -7,8 +7,6 @@
 #include "util/table_printer.h"
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
   tdg::bench::PrintHeader("Rate-one saturation rounds",
                           "ICDE'21 §V-B2 note: r = 1 star mode saturates in "
                           "ceil(log_{n/k}(n)) rounds");
@@ -24,10 +22,15 @@ int main(int argc, char** argv) {
     tdg::random::Rng rng(42);
     tdg::SkillVector skills = tdg::random::GenerateSkills(
         rng, tdg::random::SkillDistribution::kLogNormal, shape.n);
+    tdg::obs::ScopedBenchRep rep(
+        tdg::obs::GlobalBenchReporter(),
+        "saturation/n=" + std::to_string(shape.n) +
+            "/k=" + std::to_string(shape.k));
     auto predicted =
         tdg::PredictedRateOneSaturationRounds(shape.n, shape.k);
     auto simulated = tdg::SimulateRateOneStarSaturation(skills, shape.k);
     TDG_CHECK(predicted.ok() && simulated.ok());
+    rep.set_objective(static_cast<double>(simulated.value()));
     table.AddRow({std::to_string(shape.n), std::to_string(shape.k),
                   std::to_string(shape.n / shape.k),
                   std::to_string(predicted.value()),
@@ -36,5 +39,6 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", table.ToString().c_str());
   std::printf("(prediction and simulation agree on every shape)\n");
+  tdg::bench::EmitReport(argc, argv);
   return 0;
 }

@@ -38,8 +38,6 @@ void PrintTrace(const char* title, const tdg::ProcessResult& result) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  (void)argc;
-  (void)argv;
   tdg::bench::PrintHeader("Toy example traces",
                           "ICDE'21 §II/§III worked example (n=9, k=3, "
                           "r=0.5, 3 rounds)");
@@ -50,19 +48,30 @@ int main(int argc, char** argv) {
 
   config.mode = tdg::InteractionMode::kStar;
   tdg::DyGroupsStarPolicy star;
+  tdg::util::Stopwatch star_watch;
   auto star_result = tdg::RunProcess(ToySkills(), config, gain, star);
+  star_watch.Pause();
   TDG_CHECK(star_result.ok());
+  tdg::obs::GlobalBenchReporter().RecordRep(
+      "trace/star", static_cast<double>(star_watch.TotalMicros()),
+      star_result->total_gain);
   PrintTrace("DyGroups-Star (paper total: 2.55):", star_result.value());
 
   config.mode = tdg::InteractionMode::kClique;
   tdg::DyGroupsCliquePolicy clique;
+  tdg::util::Stopwatch clique_watch;
   auto clique_result = tdg::RunProcess(ToySkills(), config, gain, clique);
+  clique_watch.Pause();
   TDG_CHECK(clique_result.ok());
+  tdg::obs::GlobalBenchReporter().RecordRep(
+      "trace/clique", static_cast<double>(clique_watch.TotalMicros()),
+      clique_result->total_gain);
   PrintTrace("DyGroups-Clique (paper total: 2.334375):",
              clique_result.value());
 
   TDG_CHECK(std::abs(star_result->total_gain - 2.55) < 1e-12);
   TDG_CHECK(std::abs(clique_result->total_gain - 2.334375) < 1e-12);
   std::printf("both totals match the paper exactly.\n");
+  tdg::bench::EmitReport(argc, argv);
   return 0;
 }

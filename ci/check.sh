@@ -13,6 +13,11 @@
 #   obs-off  -DTDG_OBS_DISABLED=ON build, full ctest suite — proves the
 #            compiled-out observability path builds and leaves every result
 #            unchanged
+#   bench-smoke  plain build of two fast bench binaries + tdg_perfdiff;
+#            runs them with --report_out, self-checks the emitted
+#            tdg.bench_report.v1 artifacts, and diffs each report against
+#            itself expecting a clean all-unchanged pass — the end-to-end
+#            smoke test of the perf telemetry pipeline
 #
 # Build trees live under build-ci/<config> so they never disturb ./build.
 
@@ -40,14 +45,53 @@ ctest_args() {
     # TSan is ~10x slower; run the suites that actually exercise
     # cross-thread interleavings.
     tsan)
-      echo "-R ThreadPool|ParallelFor|Obs|Trace|Sweep|Logging|ParallelSolver|ParserFuzz|BranchBound|BruteForce|SimulatedAnnealing"
+      echo "-R ThreadPool|ParallelFor|Obs|Trace|Sweep|Logging|ParallelSolver|ParserFuzz|BranchBound|BruteForce|SimulatedAnnealing|EventLog|WorkStealQueue"
       ;;
     *) echo "" ;;
   esac
 }
 
+run_bench_smoke() {
+  local build_dir="build-ci/bench-smoke"
+  echo "==> [bench-smoke] configure"
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "==> [bench-smoke] build"
+  cmake --build "${build_dir}" -j "${JOBS}" \
+    --target bench_table_toy_example bench_table_rate_one tdg_perfdiff \
+    >/dev/null
+  echo "==> [bench-smoke] run benches with --report_out"
+  local reports_dir="${build_dir}/reports"
+  mkdir -p "${reports_dir}"
+  "${build_dir}/bench/bench_table_toy_example" \
+    --report_out="${reports_dir}/BENCH_toy_example.json" >/dev/null
+  "${build_dir}/bench/bench_table_rate_one" \
+    --report_out="${reports_dir}/BENCH_rate_one.json" >/dev/null
+  echo "==> [bench-smoke] self-check report schemas"
+  "${build_dir}/examples/tdg_perfdiff" \
+    --self-check="${reports_dir}/BENCH_toy_example.json"
+  "${build_dir}/examples/tdg_perfdiff" \
+    --self-check="${reports_dir}/BENCH_rate_one.json"
+  echo "==> [bench-smoke] self-diff must pass clean"
+  for report in BENCH_toy_example BENCH_rate_one; do
+    "${build_dir}/examples/tdg_perfdiff" \
+      --baseline="${reports_dir}/${report}.json" \
+      --candidate="${reports_dir}/${report}.json" \
+      --json_out="${reports_dir}/${report}_selfdiff.json"
+    if ! grep -q '"verdict": "pass"' \
+        "${reports_dir}/${report}_selfdiff.json"; then
+      echo "self-diff of ${report} did not report a pass verdict" >&2
+      exit 1
+    fi
+  done
+  echo "==> [bench-smoke] OK"
+}
+
 run_config() {
   local config="$1"
+  if [[ "${config}" == "bench-smoke" ]]; then
+    run_bench_smoke
+    return
+  fi
   local build_dir="build-ci/${config}"
   echo "==> [${config}] configure"
   cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -64,7 +108,9 @@ run_config() {
 if [[ $# -gt 0 ]]; then
   for config in "$@"; do run_config "${config}"; done
 else
-  for config in asan ubsan tsan obs-off; do run_config "${config}"; done
+  for config in asan ubsan tsan obs-off bench-smoke; do
+    run_config "${config}"
+  done
 fi
 
 echo "all checks passed"

@@ -35,6 +35,12 @@
 //                          p50/p95/p99) at the end of the run.
 //   --print_metrics        Print the end-of-run metrics table to stdout
 //                          (implied by --metrics_out).
+//   --events_out=<file>    Stream structured JSONL progress events (sweep
+//                          start/cell/end, run provenance) for the whole
+//                          run; summarize with `tdg_perfdiff --events=`.
+//   --manifest_out=<file>  Write the run's provenance manifest
+//                          (tdg.run_manifest.v1: git sha, compiler, host,
+//                          seed, args) as JSON.
 
 #include <cstdio>
 #include <fstream>
@@ -239,7 +245,7 @@ void PrintUsage() {
       "commands: policies | run | sweep | config-template | exact | "
       "human-sim\n"
       "observability (any command): --trace_out=<file> --metrics_out=<file> "
-      "--print_metrics\n"
+      "--print_metrics --events_out=<file> --manifest_out=<file>\n"
       "see the header comment of examples/tdg_cli.cc for per-command "
       "flags\n");
 }
@@ -268,11 +274,42 @@ int main(int argc, char** argv) {
   }
   const std::string trace_out = flags.GetString("trace_out", "");
   const std::string metrics_out = flags.GetString("metrics_out", "");
+  const std::string events_out = flags.GetString("events_out", "");
+  const std::string manifest_out = flags.GetString("manifest_out", "");
   const bool print_metrics =
       flags.GetBool("print_metrics", false) || !metrics_out.empty();
   if (!trace_out.empty()) tdg::obs::StartTracing();
+  if (!events_out.empty()) {
+    auto status = tdg::obs::EventLog::Global().Open(events_out);
+    if (!status.ok()) return Fail(status);
+    TDG_OBS_EVENT("cli/start",
+                  (tdg::util::JsonValue::Object{
+                      {"command", flags.positional().front()},
+                  }));
+  }
 
   int exit_code = Dispatch(flags.positional().front(), flags);
+
+  if (!manifest_out.empty()) {
+    const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+    tdg::obs::RunManifest manifest =
+        tdg::obs::RunManifest::Capture(seed, argc, argv);
+    std::ofstream out(manifest_out, std::ios::trunc);
+    if (!out) {
+      return Fail(tdg::util::Status::IOError("cannot open " + manifest_out));
+    }
+    out << manifest.ToJson().SerializePretty() << "\n";
+    std::printf("wrote manifest to %s\n", manifest_out.c_str());
+  }
+  if (!events_out.empty()) {
+    TDG_OBS_EVENT("cli/end", (tdg::util::JsonValue::Object{
+                                 {"exit_code", exit_code},
+                             }));
+    tdg::obs::EventLog& log = tdg::obs::EventLog::Global();
+    const long long events = log.events_written();
+    log.Close();
+    std::printf("wrote %lld events to %s\n", events, events_out.c_str());
+  }
 
   if (!trace_out.empty()) {
     tdg::obs::StopTracing();

@@ -1,0 +1,186 @@
+// Statistically-gated perf regression detector over tdg.bench_report.v1
+// artifacts (the --report_out output of every bench binary).
+//
+//   tdg_perfdiff --baseline=BENCH_old.json --candidate=BENCH_new.json
+//       [--threshold=1.10] [--alpha=0.05] [--confidence=0.95]
+//       [--resamples=2000] [--gate_case_set] [--json_out=<path>]
+//   tdg_perfdiff --self-check=BENCH.json   # schema/structure validation
+//   tdg_perfdiff --events=run.jsonl        # summarize an event stream
+//
+// Pairs cases by key; a case regresses only when the mean wall-time ratio
+// exceeds the threshold AND Welch's one-sided t-test plus a bootstrap CI on
+// the ratio both back the slowdown (single-rep reports fall back to the
+// ratio alone). Exit codes: 0 = gate passed, 1 = regression (or, with
+// --gate_case_set, a case appeared/vanished), 2 = usage or input error.
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/obs.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  tdg_perfdiff --baseline=<report.json> --candidate=<report.json>\n"
+      "      [--threshold=1.10] [--alpha=0.05] [--confidence=0.95]\n"
+      "      [--resamples=2000] [--gate_case_set] [--json_out=<path>]\n"
+      "  tdg_perfdiff --self-check=<report.json>\n"
+      "  tdg_perfdiff --events=<events.jsonl>\n");
+  return 2;
+}
+
+int SelfCheck(const std::string& path) {
+  auto report = tdg::obs::BenchReport::ReadFile(path);
+  if (!report.ok()) {
+    std::fprintf(stderr, "tdg_perfdiff: %s\n",
+                 report.status().ToString().c_str());
+    return 2;
+  }
+  auto valid = report->Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "tdg_perfdiff: %s: %s\n", path.c_str(),
+                 valid.ToString().c_str());
+    return 2;
+  }
+  size_t reps = 0;
+  for (const tdg::obs::BenchCase& bench_case : report->cases) {
+    reps += bench_case.wall_micros.size();
+  }
+  std::printf("%s: ok (%s, bench \"%s\", %zu cases, %zu repetitions, git "
+              "%s)\n",
+              path.c_str(), report->schema.c_str(),
+              report->bench_name.c_str(), report->cases.size(), reps,
+              report->manifest.git_sha.c_str());
+  return 0;
+}
+
+int SummarizeEvents(const std::string& path) {
+  auto events = tdg::obs::ParseEventLogFile(path);
+  if (!events.ok()) {
+    std::fprintf(stderr, "tdg_perfdiff: %s\n",
+                 events.status().ToString().c_str());
+    return 2;
+  }
+  if (events->empty()) {
+    std::printf("%s: empty event stream\n", path.c_str());
+    return 0;
+  }
+  struct PerEvent {
+    int64_t count = 0;
+    int64_t first_ts = 0;
+    int64_t last_ts = 0;
+  };
+  std::map<std::string, PerEvent> by_name;
+  std::map<int, int64_t> by_tid;
+  int64_t min_ts = events->front().ts_micros;
+  int64_t max_ts = events->front().ts_micros;
+  for (const tdg::obs::EventRecord& record : *events) {
+    PerEvent& stats = by_name[record.event];
+    if (stats.count == 0) stats.first_ts = record.ts_micros;
+    ++stats.count;
+    stats.last_ts = record.ts_micros;
+    ++by_tid[record.tid];
+    min_ts = std::min(min_ts, record.ts_micros);
+    max_ts = std::max(max_ts, record.ts_micros);
+  }
+  std::printf("%s: %zu events, %zu kinds, %zu threads, span %.3f ms\n",
+              path.c_str(), events->size(), by_name.size(), by_tid.size(),
+              static_cast<double>(max_ts - min_ts) / 1000.0);
+  for (const auto& [name, stats] : by_name) {
+    std::printf("  %-32s x%-8lld [%.3f ms .. %.3f ms]\n", name.c_str(),
+                static_cast<long long>(stats.count),
+                static_cast<double>(stats.first_ts - min_ts) / 1000.0,
+                static_cast<double>(stats.last_ts - min_ts) / 1000.0);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tdg::util::FlagParser flags;
+  auto parsed = flags.Parse(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "tdg_perfdiff: %s\n", parsed.ToString().c_str());
+    return Usage();
+  }
+
+  std::string self_check = flags.GetString("self-check", "");
+  if (self_check.empty()) self_check = flags.GetString("self_check", "");
+  if (!self_check.empty()) return SelfCheck(self_check);
+
+  const std::string events = flags.GetString("events", "");
+  if (!events.empty()) return SummarizeEvents(events);
+
+  const std::string baseline_path = flags.GetString("baseline", "");
+  const std::string candidate_path = flags.GetString("candidate", "");
+  if (baseline_path.empty() || candidate_path.empty()) return Usage();
+
+  auto baseline = tdg::obs::BenchReport::ReadFile(baseline_path);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "tdg_perfdiff: baseline: %s\n",
+                 baseline.status().ToString().c_str());
+    return 2;
+  }
+  auto candidate = tdg::obs::BenchReport::ReadFile(candidate_path);
+  if (!candidate.ok()) {
+    std::fprintf(stderr, "tdg_perfdiff: candidate: %s\n",
+                 candidate.status().ToString().c_str());
+    return 2;
+  }
+
+  tdg::obs::PerfGateOptions options;
+  options.threshold_ratio = flags.GetDouble("threshold", 1.10);
+  options.alpha = flags.GetDouble("alpha", 0.05);
+  options.confidence = flags.GetDouble("confidence", 0.95);
+  options.bootstrap_resamples =
+      static_cast<int>(flags.GetInt("resamples", 2000));
+  options.gate_case_set = flags.GetBool("gate_case_set", false);
+
+  auto diff = tdg::obs::DiffBenchReports(baseline.value(), candidate.value(),
+                                         options);
+  if (!diff.ok()) {
+    std::fprintf(stderr, "tdg_perfdiff: %s\n",
+                 diff.status().ToString().c_str());
+    return 2;
+  }
+
+  std::printf("baseline:  %s (%s, git %s)\n", baseline_path.c_str(),
+              baseline->bench_name.c_str(),
+              baseline->manifest.git_sha.c_str());
+  std::printf("candidate: %s (%s, git %s)\n", candidate_path.c_str(),
+              candidate->bench_name.c_str(),
+              candidate->manifest.git_sha.c_str());
+  std::printf("%s", diff->ToTable().c_str());
+  std::printf(
+      "%d regression(s), %d improvement(s), %d unchanged, %d new, %d "
+      "missing -> %s\n",
+      diff->CountVerdict(tdg::obs::PerfVerdict::kRegression),
+      diff->CountVerdict(tdg::obs::PerfVerdict::kImprovement),
+      diff->CountVerdict(tdg::obs::PerfVerdict::kUnchanged),
+      diff->CountVerdict(tdg::obs::PerfVerdict::kNewCase),
+      diff->CountVerdict(tdg::obs::PerfVerdict::kMissingCase),
+      diff->Failed() ? "FAIL" : "PASS");
+
+  const std::string json_out = flags.GetString("json_out", "");
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "tdg_perfdiff: cannot open %s\n",
+                   json_out.c_str());
+      return 2;
+    }
+    out << diff->ToJson().SerializePretty() << "\n";
+    std::printf("wrote %s\n", json_out.c_str());
+  }
+  return diff->Failed() ? 1 : 0;
+}

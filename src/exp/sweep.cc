@@ -110,6 +110,13 @@ util::StatusOr<SweepCell> RunCell(const SweepPoint& point,
       timed_runs > 0
           ? (micros_after.sum - micros_before.sum) / timed_runs
           : 0.0;
+  TDG_OBS_EVENT("sweep/cell", (util::JsonValue::Object{
+                                  {"point", PointLabel(point)},
+                                  {"policy", policy_name},
+                                  {"runs", runs},
+                                  {"mean_gain", cell.mean_gain},
+                                  {"mean_micros", cell.mean_micros},
+                              }));
   return cell;
 }
 
@@ -126,6 +133,13 @@ util::StatusOr<SweepResult> RunSweep(const SweepConfig& config) {
   SweepResult result;
   result.name = config.name;
   result.cells.resize(points.size() * policies.size());
+  TDG_OBS_EVENT("sweep/start",
+                (util::JsonValue::Object{
+                    {"name", config.name},
+                    {"points", static_cast<long long>(points.size())},
+                    {"policies", static_cast<long long>(policies.size())},
+                    {"cells", static_cast<long long>(result.cells.size())},
+                }));
 
   std::atomic<bool> failed{false};
   util::Status first_error;
@@ -152,6 +166,10 @@ util::StatusOr<SweepResult> RunSweep(const SweepConfig& config) {
         }
         result.cells[index] = std::move(cell).value();
       });
+  TDG_OBS_EVENT("sweep/end", (util::JsonValue::Object{
+                                 {"name", config.name},
+                                 {"ok", !failed.load()},
+                             }));
   if (failed.load()) return first_error;
   return result;
 }

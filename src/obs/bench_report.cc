@@ -1,0 +1,305 @@
+#include "obs/bench_report.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace tdg::obs {
+namespace {
+
+std::string Basename(std::string_view path) {
+  size_t slash = path.find_last_of('/');
+  if (slash != std::string_view::npos) path.remove_prefix(slash + 1);
+  return std::string(path);
+}
+
+}  // namespace
+
+double BenchCase::MeanWallMicros() const {
+  if (wall_micros.empty()) return 0;
+  double sum = 0;
+  for (double v : wall_micros) sum += v;
+  return sum / static_cast<double>(wall_micros.size());
+}
+
+util::JsonValue BenchReport::ToJson() const {
+  util::JsonValue cases_json = util::JsonValue::MakeArray();
+  for (const BenchCase& bench_case : cases) {
+    util::JsonValue entry = util::JsonValue::MakeObject();
+    entry.Set("key", bench_case.key);
+    util::JsonValue wall = util::JsonValue::MakeArray();
+    for (double v : bench_case.wall_micros) wall.Append(v);
+    entry.Set("wall_micros", std::move(wall));
+    util::JsonValue objective = util::JsonValue::MakeArray();
+    for (double v : bench_case.objective) objective.Append(v);
+    entry.Set("objective", std::move(objective));
+    util::JsonValue counters = util::JsonValue::MakeObject();
+    for (const auto& [name, value] : bench_case.counters) {
+      counters.Set(name, value);
+    }
+    entry.Set("counters", std::move(counters));
+    cases_json.Append(std::move(entry));
+  }
+  util::JsonValue json = util::JsonValue::MakeObject();
+  json.Set("schema", schema);
+  json.Set("bench", bench_name);
+  json.Set("manifest", manifest.ToJson());
+  json.Set("cases", std::move(cases_json));
+  return json;
+}
+
+util::StatusOr<BenchReport> BenchReport::FromJson(
+    const util::JsonValue& json) {
+  if (!json.is_object()) {
+    return util::Status::InvalidArgument("bench report must be an object");
+  }
+  auto schema = json.GetField("schema");
+  if (!schema.ok() || !schema->is_string() ||
+      schema->AsString() != kSchema) {
+    return util::Status::InvalidArgument(
+        "bench report missing or unsupported \"schema\" (want " +
+        std::string(kSchema) + ")");
+  }
+  BenchReport report;
+  auto bench = json.GetField("bench");
+  if (bench.ok() && bench->is_string()) report.bench_name = bench->AsString();
+  auto manifest = json.GetField("manifest");
+  if (!manifest.ok()) {
+    return util::Status::InvalidArgument("bench report missing \"manifest\"");
+  }
+  auto parsed_manifest = RunManifest::FromJson(manifest.value());
+  if (!parsed_manifest.ok()) return parsed_manifest.status();
+  report.manifest = std::move(parsed_manifest).value();
+  auto cases = json.GetField("cases");
+  if (!cases.ok() || !cases->is_array()) {
+    return util::Status::InvalidArgument(
+        "bench report missing \"cases\" array");
+  }
+  for (const util::JsonValue& entry : cases->AsArray()) {
+    if (!entry.is_object()) {
+      return util::Status::InvalidArgument("bench case must be an object");
+    }
+    BenchCase bench_case;
+    auto key = entry.GetField("key");
+    if (!key.ok() || !key->is_string()) {
+      return util::Status::InvalidArgument("bench case missing \"key\"");
+    }
+    bench_case.key = key->AsString();
+    auto read_array = [&entry](std::string_view field,
+                               std::vector<double>& out) -> util::Status {
+      auto array = entry.GetField(field);
+      if (!array.ok() || !array->is_array()) {
+        return util::Status::InvalidArgument(
+            "bench case missing \"" + std::string(field) + "\" array");
+      }
+      for (const util::JsonValue& v : array->AsArray()) {
+        if (!v.is_number()) {
+          return util::Status::InvalidArgument(
+              "bench case \"" + std::string(field) + "\" must be numeric");
+        }
+        out.push_back(v.AsNumber());
+      }
+      return util::Status::OK();
+    };
+    TDG_RETURN_IF_ERROR(read_array("wall_micros", bench_case.wall_micros));
+    TDG_RETURN_IF_ERROR(read_array("objective", bench_case.objective));
+    auto counters = entry.GetField("counters");
+    if (counters.ok() && counters->is_object()) {
+      for (const auto& [name, value] : counters->AsObject()) {
+        if (!value.is_number()) {
+          return util::Status::InvalidArgument(
+              "bench case counter \"" + name + "\" must be numeric");
+        }
+        bench_case.counters[name] = value.AsNumber();
+      }
+    }
+    report.cases.push_back(std::move(bench_case));
+  }
+  return report;
+}
+
+util::Status BenchReport::Validate() const {
+  if (schema != kSchema) {
+    return util::Status::InvalidArgument("unexpected schema: " + schema);
+  }
+  if (bench_name.empty()) {
+    return util::Status::InvalidArgument("empty bench name");
+  }
+  if (manifest.schema != RunManifest::kSchema) {
+    return util::Status::InvalidArgument("unexpected manifest schema: " +
+                                         manifest.schema);
+  }
+  if (cases.empty()) {
+    return util::Status::InvalidArgument("report has no cases");
+  }
+  std::map<std::string, int> seen;
+  for (const BenchCase& bench_case : cases) {
+    if (bench_case.key.empty()) {
+      return util::Status::InvalidArgument("case with empty key");
+    }
+    if (++seen[bench_case.key] > 1) {
+      return util::Status::InvalidArgument("duplicate case key: " +
+                                           bench_case.key);
+    }
+    if (bench_case.wall_micros.empty()) {
+      return util::Status::InvalidArgument("case \"" + bench_case.key +
+                                           "\" has no repetitions");
+    }
+    if (bench_case.wall_micros.size() != bench_case.objective.size()) {
+      return util::Status::InvalidArgument(
+          "case \"" + bench_case.key +
+          "\" wall_micros/objective length mismatch");
+    }
+    for (double v : bench_case.wall_micros) {
+      if (!std::isfinite(v) || v < 0) {
+        return util::Status::InvalidArgument(
+            "case \"" + bench_case.key + "\" has a non-finite or negative "
+            "wall time");
+      }
+    }
+    for (double v : bench_case.objective) {
+      if (!std::isfinite(v)) {
+        return util::Status::InvalidArgument(
+            "case \"" + bench_case.key + "\" has a non-finite objective");
+      }
+    }
+    for (const auto& [name, value] : bench_case.counters) {
+      if (!std::isfinite(value)) {
+        return util::Status::InvalidArgument("case \"" + bench_case.key +
+                                             "\" counter \"" + name +
+                                             "\" is non-finite");
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status BenchReport::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return util::Status::IOError("cannot open bench report: " + path);
+  }
+  out << ToJson().SerializePretty() << "\n";
+  if (!out) {
+    return util::Status::IOError("failed writing bench report: " + path);
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<BenchReport> BenchReport::ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Status::IOError("cannot open bench report: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto json = util::JsonValue::Parse(buffer.str());
+  if (!json.ok()) {
+    return util::Status::InvalidArgument(path + ": " +
+                                         json.status().ToString());
+  }
+  return FromJson(json.value());
+}
+
+BenchReporter::BenchReporter(std::string bench_name)
+    : bench_name_(std::move(bench_name)) {}
+
+void BenchReporter::set_bench_name(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  bench_name_ = name;
+}
+
+bool BenchReporter::ParseReportFlag(int argc, const char* const* argv) {
+  if (bench_name_.empty() && argc > 0) bench_name_ = Basename(argv[0]);
+  args_.clear();
+  for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (util::StartsWith(arg, "--report_out=")) {
+      output_path_ = std::string(arg.substr(std::string_view(
+          "--report_out=").size()));
+    } else if (arg == "--report_out" && i + 1 < argc) {
+      output_path_ = argv[i + 1];
+    } else if (util::StartsWith(arg, "--seed=")) {
+      auto seed = util::ParseInt(arg.substr(std::string_view("--seed=")
+                                                .size()));
+      if (seed.ok()) seed_ = static_cast<uint64_t>(seed.value());
+    }
+  }
+  return enabled();
+}
+
+BenchCase& BenchReporter::CaseLocked(const std::string& case_key) {
+  auto it = case_index_.find(case_key);
+  if (it == case_index_.end()) {
+    it = case_index_.emplace(case_key, cases_.size()).first;
+    cases_.emplace_back();
+    cases_.back().key = case_key;
+  }
+  return cases_[it->second];
+}
+
+void BenchReporter::RecordRep(const std::string& case_key,
+                              double wall_micros, double objective) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BenchCase& bench_case = CaseLocked(case_key);
+  bench_case.wall_micros.push_back(wall_micros);
+  bench_case.objective.push_back(objective);
+}
+
+void BenchReporter::AddCounter(const std::string& case_key,
+                               const std::string& counter, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CaseLocked(case_key).counters[counter] += delta;
+}
+
+BenchReport BenchReporter::Build() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BenchReport report;
+  report.bench_name = bench_name_.empty() ? "unnamed" : bench_name_;
+  report.manifest = RunManifest::Capture(seed_);
+  report.manifest.args = args_;
+  report.cases = cases_;
+  return report;
+}
+
+util::Status BenchReporter::WriteIfRequested() const {
+  if (!enabled()) return util::Status::OK();
+  return Build().WriteFile(output_path_);
+}
+
+void BenchReporter::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cases_.clear();
+  case_index_.clear();
+}
+
+BenchReporter& GlobalBenchReporter() {
+  static BenchReporter* const kReporter = new BenchReporter();
+  return *kReporter;
+}
+
+ScopedBenchRep::ScopedBenchRep(BenchReporter& reporter, std::string case_key)
+    : reporter_(reporter), case_key_(std::move(case_key)) {
+  counters_before_ = MetricsRegistry::Global().Snapshot().counters;
+}
+
+ScopedBenchRep::~ScopedBenchRep() {
+  const double micros = static_cast<double>(watch_.TotalMicros());
+  const std::map<std::string, int64_t> counters_after =
+      MetricsRegistry::Global().Snapshot().counters;
+  reporter_.RecordRep(case_key_, micros, objective_);
+  for (const auto& [name, after] : counters_after) {
+    auto before = counters_before_.find(name);
+    const int64_t delta =
+        after - (before == counters_before_.end() ? 0 : before->second);
+    if (delta != 0) {
+      reporter_.AddCounter(case_key_, name, static_cast<double>(delta));
+    }
+  }
+}
+
+}  // namespace tdg::obs

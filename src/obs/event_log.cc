@@ -1,0 +1,94 @@
+#include "obs/event_log.h"
+
+#include <utility>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace tdg::obs {
+
+EventLog& EventLog::Global() {
+  static EventLog* const kLog = new EventLog();
+  return *kLog;
+}
+
+util::Status EventLog::Open(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (out_.is_open()) out_.close();
+  out_.open(path, std::ios::trunc);
+  if (!out_) {
+    active_.store(false, std::memory_order_relaxed);
+    return util::Status::IOError("cannot open event log: " + path);
+  }
+  events_written_.store(0, std::memory_order_relaxed);
+  active_.store(true, std::memory_order_relaxed);
+  return util::Status::OK();
+}
+
+void EventLog::Close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  active_.store(false, std::memory_order_relaxed);
+  if (out_.is_open()) out_.close();
+}
+
+void EventLog::Emit(std::string_view event, util::JsonValue::Object fields) {
+  if (!active()) return;
+  // The log's own stamps win over caller-supplied keys.
+  fields["ts_micros"] =
+      util::JsonValue(static_cast<long long>(util::MonotonicMicros()));
+  fields["tid"] = util::JsonValue(util::CurrentThreadId());
+  fields["event"] = util::JsonValue(std::string(event));
+  const std::string line =
+      util::JsonValue(std::move(fields)).Serialize();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!out_.is_open()) return;  // closed between the check and the lock
+  out_ << line << "\n";
+  events_written_.fetch_add(1, std::memory_order_relaxed);
+}
+
+util::StatusOr<std::vector<EventRecord>> ParseEventLogFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::IOError("cannot open event log: " + path);
+  }
+  std::vector<EventRecord> records;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (util::Trim(line).empty()) continue;
+    auto json = util::JsonValue::Parse(line);
+    if (!json.ok()) {
+      return util::Status::InvalidArgument(
+          util::StrFormat("%s:%d: %s", path.c_str(), line_number,
+                          json.status().ToString().c_str()));
+    }
+    if (!json->is_object()) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "%s:%d: event line is not a JSON object", path.c_str(),
+          line_number));
+    }
+    EventRecord record;
+    auto ts = json->GetField("ts_micros");
+    if (ts.ok() && ts->is_number()) {
+      record.ts_micros = static_cast<int64_t>(ts->AsNumber());
+    }
+    auto tid = json->GetField("tid");
+    if (tid.ok() && tid->is_number()) {
+      record.tid = static_cast<int>(tid->AsNumber());
+    }
+    auto event = json->GetField("event");
+    if (!event.ok() || !event->is_string()) {
+      return util::Status::InvalidArgument(util::StrFormat(
+          "%s:%d: event line missing \"event\"", path.c_str(), line_number));
+    }
+    record.event = event->AsString();
+    record.fields = std::move(json).value();
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace tdg::obs

@@ -1,0 +1,99 @@
+#ifndef TDG_OBS_EVENT_LOG_H_
+#define TDG_OBS_EVENT_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/json.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace tdg::obs {
+
+/// A structured JSONL event stream: one JSON object per line, flushed
+/// whole-line under a mutex so concurrent sweep workers never interleave.
+/// Each line carries {"ts_micros": <monotonic>, "tid": <thread>, "event":
+/// <name>, ...caller fields}. Inactive (no Open) emits are free apart from
+/// one relaxed atomic load; the TDG_OBS_EVENT macro additionally compiles
+/// out — fields unevaluated — under TDG_OBS_DISABLED.
+///
+/// The global instance backs `--events_out=<file>` in the CLI and the
+/// sweep's per-cell progress events; `tdg_perfdiff --events=<file>`
+/// summarizes the resulting stream.
+class EventLog {
+ public:
+  EventLog() = default;
+  ~EventLog() { Close(); }
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  static EventLog& Global();
+
+  /// Opens (truncating) `path` and starts accepting Emit calls. Reopening
+  /// closes the previous stream first.
+  util::Status Open(const std::string& path);
+
+  /// Flushes and stops accepting events. Idempotent.
+  void Close();
+
+  bool active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// Events written since Open (resets on Open).
+  int64_t events_written() const {
+    return events_written_.load(std::memory_order_relaxed);
+  }
+
+  /// Appends one event line. `fields` may override nothing: "ts_micros",
+  /// "tid" and "event" keys from the caller are dropped in favor of the
+  /// log's own stamps. No-op when inactive.
+  void Emit(std::string_view event,
+            util::JsonValue::Object fields = {});
+
+ private:
+  std::atomic<bool> active_{false};
+  std::atomic<int64_t> events_written_{0};
+  std::mutex mutex_;
+  std::ofstream out_;
+};
+
+/// One parsed line of an event stream.
+struct EventRecord {
+  int64_t ts_micros = 0;
+  int tid = 0;
+  std::string event;
+  util::JsonValue fields;  // the full line object (stamps included)
+};
+
+/// Parses a JSONL event stream produced by EventLog. Blank lines are
+/// skipped; a malformed line is an error naming its line number.
+util::StatusOr<std::vector<EventRecord>> ParseEventLogFile(
+    const std::string& path);
+
+}  // namespace tdg::obs
+
+/// Emits a structured event into the global log. `...` is an optional
+/// util::JsonValue::Object expression with the event's fields; it is only
+/// evaluated when the log is active, and the whole statement compiles out
+/// under TDG_OBS_DISABLED.
+#if defined(TDG_OBS_DISABLED)
+#define TDG_OBS_EVENT(event, ...) \
+  do {                            \
+    (void)sizeof(event);          \
+  } while (0)
+#else
+#define TDG_OBS_EVENT(event, ...)                                  \
+  do {                                                             \
+    ::tdg::obs::EventLog& tdg_obs_event_log =                      \
+        ::tdg::obs::EventLog::Global();                            \
+    if (tdg_obs_event_log.active()) {                              \
+      tdg_obs_event_log.Emit((event)__VA_OPT__(, ) __VA_ARGS__);   \
+    }                                                              \
+  } while (0)
+#endif
+
+#endif  // TDG_OBS_EVENT_LOG_H_

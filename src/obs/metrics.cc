@@ -100,11 +100,20 @@ double Histogram::Quantile(double q) const {
   q = std::clamp(q, 0.0, 1.0);
   std::array<int64_t, kNumBuckets> counts;
   int64_t total = 0;
+  int first_nonempty = -1;
+  int last_nonempty = -1;
   for (int i = 0; i < kNumBuckets; ++i) {
     counts[i] = buckets_[i].load(std::memory_order_relaxed);
     total += counts[i];
+    if (counts[i] > 0) {
+      if (first_nonempty < 0) first_nonempty = i;
+      last_nonempty = i;
+    }
   }
   if (total == 0) return 0.0;
+  // A single sample has no within-bucket spread to interpolate: every
+  // quantile is the sample itself, which min_ tracks exactly.
+  if (total == 1) return Min();
 
   double target = q * static_cast<double>(total);
   if (target < 1.0) target = 1.0;
@@ -112,12 +121,19 @@ double Histogram::Quantile(double q) const {
   for (int i = 0; i < kNumBuckets; ++i) {
     if (counts[i] == 0) continue;
     if (static_cast<double>(cumulative + counts[i]) >= target) {
-      double fraction = (target - static_cast<double>(cumulative)) /
-                        static_cast<double>(counts[i]);
       double lo = BucketLowerBound(i);
       double hi = BucketLowerBound(i + 1);
+      // The exact extrema tighten the interpolation range at the histogram
+      // edges: the first populated bucket holds no mass below Min() and the
+      // last none above Max(). With every sample in one bucket this
+      // interpolates across [Min(), Max()] instead of the (much wider)
+      // bucket bounds — and when Min() == Max() it returns that value
+      // exactly for every q.
+      if (i == first_nonempty) lo = std::max(lo, Min());
+      if (i == last_nonempty) hi = std::min(hi, Max());
+      double fraction = (target - static_cast<double>(cumulative)) /
+                        static_cast<double>(counts[i]);
       double estimate = lo + fraction * (hi - lo);
-      // The exact extrema tighten the bucket-resolution estimate.
       return std::clamp(estimate, Min(), Max());
     }
     cumulative += counts[i];

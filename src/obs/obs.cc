@@ -3,6 +3,7 @@
 #include <fstream>
 
 #include "util/thread_pool.h"
+#include "util/work_steal_queue.h"
 
 namespace tdg::obs {
 
@@ -19,6 +20,27 @@ void InstallThreadPoolInstrumentation() {
     histogram.Record(static_cast<double>(micros));
   };
   util::SetThreadPoolObserver(std::move(observer));
+}
+
+void InstallWorkStealQueueInstrumentation() {
+  util::WorkStealQueueObserver observer;
+  observer.on_drained = [](long long pops, long long steals,
+                           long long exhausts) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static Counter& pop_counter =
+        registry.GetCounter("work_steal_queue/pops");
+    static Counter& steal_counter =
+        registry.GetCounter("work_steal_queue/steals");
+    static Counter& exhaust_counter =
+        registry.GetCounter("work_steal_queue/exhausts");
+    static Counter& drained_counter =
+        registry.GetCounter("work_steal_queue/queues_drained");
+    pop_counter.Add(pops);
+    steal_counter.Add(steals);
+    exhaust_counter.Add(exhausts);
+    drained_counter.Add(1);
+  };
+  util::SetWorkStealQueueObserver(std::move(observer));
 }
 
 util::Status WriteMetricsJsonFile(const std::string& path) {

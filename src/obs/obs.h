@@ -20,7 +20,11 @@
 ///     is off unless StartTracing() was called. With both off, instrumented
 ///     hot paths cost one relaxed atomic load per site.
 
+#include "obs/bench_report.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/perf_diff.h"
+#include "obs/run_manifest.h"
 #include "obs/trace.h"
 #include "util/status.h"
 
@@ -31,6 +35,15 @@ namespace tdg::obs {
 ///   histogram "thread_pool/task_micros"  (per-task run latency)
 /// Idempotent; replaces any previously installed observer.
 void InstallThreadPoolInstrumentation();
+
+/// Routes util::WorkStealingIndexQueue's drain totals into the global
+/// registry:
+///   counter "work_steal_queue/pops"      (own-deque takes)
+///   counter "work_steal_queue/steals"    (victim-deque takes)
+///   counter "work_steal_queue/exhausts"  (empty-everywhere scans)
+///   counter "work_steal_queue/queues_drained"
+/// Idempotent; replaces any previously installed observer.
+void InstallWorkStealQueueInstrumentation();
 
 /// Writes MetricsRegistry::Global().Snapshot() to `path`.
 util::Status WriteMetricsJsonFile(const std::string& path);

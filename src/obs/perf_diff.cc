@@ -1,0 +1,243 @@
+#include "obs/perf_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "random/rng.h"
+#include "stats/bootstrap.h"
+#include "stats/hypothesis.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace tdg::obs {
+namespace {
+
+// Below this mean wall time the 1µs stopwatch resolution dominates any real
+// effect; such cases are never gated.
+constexpr double kResolutionFloorMicros = 1.0;
+
+// FNV-1a, so per-case bootstrap streams are reproducible across runs and
+// platforms (std::hash makes no such promise).
+uint64_t StableHash(std::string_view text) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+PerfCaseDiff DiffCase(const BenchCase& baseline, const BenchCase& candidate,
+                      const PerfGateOptions& options) {
+  PerfCaseDiff diff;
+  diff.key = baseline.key;
+  diff.baseline_reps = static_cast<int>(baseline.wall_micros.size());
+  diff.candidate_reps = static_cast<int>(candidate.wall_micros.size());
+  diff.baseline_mean_micros = baseline.MeanWallMicros();
+  diff.candidate_mean_micros = candidate.MeanWallMicros();
+
+  // Sub-resolution cases: both sides faster than the stopwatch can see.
+  if (diff.baseline_mean_micros < kResolutionFloorMicros &&
+      diff.candidate_mean_micros < kResolutionFloorMicros) {
+    diff.ratio = 1.0;
+    diff.verdict = PerfVerdict::kUnchanged;
+    return diff;
+  }
+  diff.ratio =
+      diff.baseline_mean_micros > 0
+          ? diff.candidate_mean_micros / diff.baseline_mean_micros
+          : std::numeric_limits<double>::infinity();
+
+  // Statistical backing needs >= 2 repetitions per side and some variance;
+  // WelchTTest rejects the degenerate shapes, in which case the ratio
+  // threshold alone decides (single-rep reports stay usable, just weaker).
+  auto welch = stats::WelchTTest(candidate.wall_micros,
+                                 baseline.wall_micros);
+  if (welch.ok()) {
+    diff.statistical = true;
+    diff.p_value_slower = welch->p_value_one_sided_greater;
+    random::Rng rng(options.bootstrap_seed ^ StableHash(baseline.key));
+    auto ci = stats::BootstrapMeanRatio(
+        candidate.wall_micros, baseline.wall_micros, options.confidence,
+        options.bootstrap_resamples, rng);
+    if (ci.ok()) {
+      diff.ratio_ci_lower = ci->lower;
+      diff.ratio_ci_upper = ci->upper;
+    } else {
+      diff.ratio_ci_lower = diff.ratio_ci_upper = diff.ratio;
+    }
+  }
+
+  const bool slower_than_threshold = diff.ratio >= options.threshold_ratio;
+  const bool faster_than_threshold =
+      diff.ratio <= 1.0 / options.threshold_ratio;
+  if (slower_than_threshold &&
+      (!diff.statistical || (diff.p_value_slower < options.alpha &&
+                             diff.ratio_ci_lower > 1.0))) {
+    diff.verdict = PerfVerdict::kRegression;
+  } else if (faster_than_threshold &&
+             (!diff.statistical ||
+              (1.0 - diff.p_value_slower < options.alpha &&
+               diff.ratio_ci_upper < 1.0))) {
+    diff.verdict = PerfVerdict::kImprovement;
+  } else {
+    diff.verdict = PerfVerdict::kUnchanged;
+  }
+  return diff;
+}
+
+}  // namespace
+
+std::string_view PerfVerdictName(PerfVerdict verdict) {
+  switch (verdict) {
+    case PerfVerdict::kUnchanged:
+      return "unchanged";
+    case PerfVerdict::kRegression:
+      return "regression";
+    case PerfVerdict::kImprovement:
+      return "improvement";
+    case PerfVerdict::kNewCase:
+      return "new-case";
+    case PerfVerdict::kMissingCase:
+      return "missing-case";
+  }
+  return "unknown";
+}
+
+int PerfDiffResult::CountVerdict(PerfVerdict verdict) const {
+  return static_cast<int>(
+      std::count_if(cases.begin(), cases.end(),
+                    [verdict](const PerfCaseDiff& diff) {
+                      return diff.verdict == verdict;
+                    }));
+}
+
+bool PerfDiffResult::Failed() const {
+  if (CountVerdict(PerfVerdict::kRegression) > 0) return true;
+  if (options.gate_case_set &&
+      (CountVerdict(PerfVerdict::kNewCase) > 0 ||
+       CountVerdict(PerfVerdict::kMissingCase) > 0)) {
+    return true;
+  }
+  return false;
+}
+
+std::string PerfDiffResult::ToTable(int digits) const {
+  util::TablePrinter printer({"case", "verdict", "base us", "cand us",
+                              "ratio", "reps", "p(slower)",
+                              "ratio 95% CI"});
+  for (const PerfCaseDiff& diff : cases) {
+    const bool paired = diff.verdict != PerfVerdict::kNewCase &&
+                        diff.verdict != PerfVerdict::kMissingCase;
+    printer.AddRow(
+        {diff.key, std::string(PerfVerdictName(diff.verdict)),
+         paired || diff.verdict == PerfVerdict::kMissingCase
+             ? util::FormatDouble(diff.baseline_mean_micros, digits)
+             : "-",
+         paired || diff.verdict == PerfVerdict::kNewCase
+             ? util::FormatDouble(diff.candidate_mean_micros, digits)
+             : "-",
+         paired ? util::FormatDouble(diff.ratio, 3) : "-",
+         util::StrFormat("%d/%d", diff.baseline_reps, diff.candidate_reps),
+         diff.statistical ? util::FormatDouble(diff.p_value_slower, 4) : "-",
+         diff.statistical
+             ? util::StrFormat("[%s, %s]",
+                               util::FormatDouble(diff.ratio_ci_lower, 3)
+                                   .c_str(),
+                               util::FormatDouble(diff.ratio_ci_upper, 3)
+                                   .c_str())
+             : "-"});
+  }
+  return printer.ToString();
+}
+
+util::JsonValue PerfDiffResult::ToJson() const {
+  util::JsonValue cases_json = util::JsonValue::MakeArray();
+  for (const PerfCaseDiff& diff : cases) {
+    util::JsonValue entry = util::JsonValue::MakeObject();
+    entry.Set("key", diff.key);
+    entry.Set("verdict", std::string(PerfVerdictName(diff.verdict)));
+    entry.Set("baseline_reps", diff.baseline_reps);
+    entry.Set("candidate_reps", diff.candidate_reps);
+    entry.Set("baseline_mean_micros", diff.baseline_mean_micros);
+    entry.Set("candidate_mean_micros", diff.candidate_mean_micros);
+    entry.Set("ratio", std::isfinite(diff.ratio) ? diff.ratio : -1.0);
+    entry.Set("statistical", diff.statistical);
+    if (diff.statistical) {
+      entry.Set("p_value_slower", diff.p_value_slower);
+      entry.Set("ratio_ci_lower", diff.ratio_ci_lower);
+      entry.Set("ratio_ci_upper", diff.ratio_ci_upper);
+    }
+    cases_json.Append(std::move(entry));
+  }
+  util::JsonValue json = util::JsonValue::MakeObject();
+  json.Set("schema", "tdg.perf_diff.v1");
+  json.Set("verdict", Failed() ? "fail" : "pass");
+  json.Set("baseline_bench", baseline_bench);
+  json.Set("candidate_bench", candidate_bench);
+  json.Set("threshold_ratio", options.threshold_ratio);
+  json.Set("alpha", options.alpha);
+  json.Set("confidence", options.confidence);
+  json.Set("regressions", CountVerdict(PerfVerdict::kRegression));
+  json.Set("improvements", CountVerdict(PerfVerdict::kImprovement));
+  json.Set("unchanged", CountVerdict(PerfVerdict::kUnchanged));
+  json.Set("new_cases", CountVerdict(PerfVerdict::kNewCase));
+  json.Set("missing_cases", CountVerdict(PerfVerdict::kMissingCase));
+  json.Set("cases", std::move(cases_json));
+  return json;
+}
+
+util::StatusOr<PerfDiffResult> DiffBenchReports(
+    const BenchReport& baseline, const BenchReport& candidate,
+    const PerfGateOptions& options) {
+  TDG_RETURN_IF_ERROR(baseline.Validate());
+  TDG_RETURN_IF_ERROR(candidate.Validate());
+  if (options.threshold_ratio <= 1.0) {
+    return util::Status::InvalidArgument(
+        "threshold_ratio must be > 1 (it is a slowdown factor)");
+  }
+  if (options.alpha <= 0.0 || options.alpha >= 1.0) {
+    return util::Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+
+  std::map<std::string, const BenchCase*> candidate_cases;
+  for (const BenchCase& bench_case : candidate.cases) {
+    candidate_cases[bench_case.key] = &bench_case;
+  }
+
+  PerfDiffResult result;
+  result.baseline_bench = baseline.bench_name;
+  result.candidate_bench = candidate.bench_name;
+  result.options = options;
+  for (const BenchCase& base_case : baseline.cases) {
+    auto it = candidate_cases.find(base_case.key);
+    if (it == candidate_cases.end()) {
+      PerfCaseDiff diff;
+      diff.key = base_case.key;
+      diff.verdict = PerfVerdict::kMissingCase;
+      diff.baseline_reps = static_cast<int>(base_case.wall_micros.size());
+      diff.baseline_mean_micros = base_case.MeanWallMicros();
+      result.cases.push_back(std::move(diff));
+      continue;
+    }
+    result.cases.push_back(DiffCase(base_case, *it->second, options));
+    candidate_cases.erase(it);
+  }
+  for (const BenchCase& cand_case : candidate.cases) {
+    if (candidate_cases.find(cand_case.key) == candidate_cases.end()) {
+      continue;  // paired above
+    }
+    PerfCaseDiff diff;
+    diff.key = cand_case.key;
+    diff.verdict = PerfVerdict::kNewCase;
+    diff.candidate_reps = static_cast<int>(cand_case.wall_micros.size());
+    diff.candidate_mean_micros = cand_case.MeanWallMicros();
+    result.cases.push_back(std::move(diff));
+  }
+  return result;
+}
+
+}  // namespace tdg::obs

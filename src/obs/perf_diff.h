@@ -1,0 +1,83 @@
+#ifndef TDG_OBS_PERF_DIFF_H_
+#define TDG_OBS_PERF_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/bench_report.h"
+#include "util/json.h"
+#include "util/statusor.h"
+
+namespace tdg::obs {
+
+/// Verdict for one paired benchmark case.
+enum class PerfVerdict {
+  kUnchanged,     // no statistically supported change beyond the threshold
+  kRegression,    // candidate slower beyond threshold, statistically backed
+  kImprovement,   // candidate faster beyond threshold, statistically backed
+  kNewCase,       // present only in the candidate report
+  kMissingCase,   // present only in the baseline report
+};
+
+std::string_view PerfVerdictName(PerfVerdict verdict);
+
+/// Gate configuration. A case regresses when ALL of:
+///   * mean ratio (candidate / baseline) >= threshold_ratio;
+///   * Welch's one-sided t-test says candidate > baseline at `alpha`
+///     (skipped when either side has < 2 repetitions or zero variance —
+///     then the ratio alone decides, which keeps single-rep reports usable);
+///   * the bootstrap CI of the ratio at `confidence` lies entirely above 1
+///     (same skip rule).
+/// Improvements mirror the rule with ratio <= 1 / threshold_ratio.
+struct PerfGateOptions {
+  double threshold_ratio = 1.10;
+  double alpha = 0.05;
+  double confidence = 0.95;
+  int bootstrap_resamples = 2000;
+  uint64_t bootstrap_seed = 42;
+  /// When true, a case present in only one report fails the gate too.
+  bool gate_case_set = false;
+};
+
+/// One paired case's statistics. p_value / CI fields are only meaningful
+/// when `statistical` is true (enough repetitions on both sides).
+struct PerfCaseDiff {
+  std::string key;
+  PerfVerdict verdict = PerfVerdict::kUnchanged;
+  int baseline_reps = 0;
+  int candidate_reps = 0;
+  double baseline_mean_micros = 0;
+  double candidate_mean_micros = 0;
+  double ratio = 1.0;  // candidate / baseline mean wall time
+  bool statistical = false;
+  double p_value_slower = 1.0;  // Welch one-sided, H1: candidate slower
+  double ratio_ci_lower = 1.0;  // bootstrap CI of the ratio
+  double ratio_ci_upper = 1.0;
+};
+
+struct PerfDiffResult {
+  std::string baseline_bench;
+  std::string candidate_bench;
+  PerfGateOptions options;
+  std::vector<PerfCaseDiff> cases;  // baseline order, then new cases
+
+  int CountVerdict(PerfVerdict verdict) const;
+  /// True when the gate fails: any regression, or (with gate_case_set) any
+  /// new/missing case.
+  bool Failed() const;
+
+  /// Fixed-width verdict table for terminal output.
+  std::string ToTable(int digits = 2) const;
+  /// Machine-readable verdict ({"verdict": "pass"|"fail", "cases": [...]}).
+  util::JsonValue ToJson() const;
+};
+
+/// Pairs cases by key and applies the gate. Errors only on structurally
+/// invalid reports (both inputs are Validate()d first).
+util::StatusOr<PerfDiffResult> DiffBenchReports(
+    const BenchReport& baseline, const BenchReport& candidate,
+    const PerfGateOptions& options = {});
+
+}  // namespace tdg::obs
+
+#endif  // TDG_OBS_PERF_DIFF_H_

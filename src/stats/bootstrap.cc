@@ -77,4 +77,37 @@ util::StatusOr<ConfidenceInterval> BootstrapMeanDifference(
   return FromSamples(std::move(samples), Mean(a) - Mean(b), confidence);
 }
 
+util::StatusOr<ConfidenceInterval> BootstrapMeanRatio(
+    std::span<const double> a, std::span<const double> b, double confidence,
+    int num_resamples, random::Rng& rng) {
+  if (a.empty() || b.empty()) {
+    return util::Status::InvalidArgument("bootstrap requires data");
+  }
+  if (confidence <= 0.0 || confidence >= 1.0) {
+    return util::Status::InvalidArgument(
+        "confidence level must be in (0, 1)");
+  }
+  if (num_resamples < 1) {
+    return util::Status::InvalidArgument("need at least 1 resample");
+  }
+  if (Mean(b) == 0.0) {
+    return util::Status::InvalidArgument(
+        "ratio bootstrap requires a non-zero denominator mean");
+  }
+  std::vector<double> samples;
+  samples.reserve(num_resamples);
+  for (int i = 0; i < num_resamples; ++i) {
+    std::vector<double> ra = Resample(a, rng);
+    std::vector<double> rb = Resample(b, rng);
+    double denominator = Mean(rb);
+    if (denominator == 0.0) continue;  // only possible with zero samples
+    samples.push_back(Mean(ra) / denominator);
+  }
+  if (samples.empty()) {
+    return util::Status::InvalidArgument(
+        "every ratio resample had a zero denominator");
+  }
+  return FromSamples(std::move(samples), Mean(a) / Mean(b), confidence);
+}
+
 }  // namespace tdg::stats

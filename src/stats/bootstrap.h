@@ -24,6 +24,15 @@ util::StatusOr<ConfidenceInterval> BootstrapMeanDifference(
     std::span<const double> a, std::span<const double> b, double confidence,
     int num_resamples, random::Rng& rng);
 
+/// Bootstrap CI for the ratio of means mean(a) / mean(b); resamples both
+/// groups independently. Requires mean(b) != 0 (and skips resamples whose
+/// denominator mean is 0 — degenerate for all-zero data, which is rejected).
+/// Used by the perf gate: a = candidate wall times, b = baseline wall times,
+/// so ratio > 1 means the candidate is slower.
+util::StatusOr<ConfidenceInterval> BootstrapMeanRatio(
+    std::span<const double> a, std::span<const double> b, double confidence,
+    int num_resamples, random::Rng& rng);
+
 }  // namespace tdg::stats
 
 #endif  // TDG_STATS_BOOTSTRAP_H_

@@ -1,8 +1,34 @@
 #include "util/work_steal_queue.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace tdg::util {
+namespace {
+
+// Shared-ptr handoff so a replaced observer stays alive while a draining
+// queue reports to it (same scheme as the ThreadPool observer).
+std::mutex g_observer_mutex;
+std::shared_ptr<const WorkStealQueueObserver> g_observer;
+std::atomic<bool> g_observer_present{false};
+
+std::shared_ptr<const WorkStealQueueObserver> GetObserver() {
+  if (!g_observer_present.load(std::memory_order_acquire)) return nullptr;
+  std::lock_guard<std::mutex> lock(g_observer_mutex);
+  return g_observer;
+}
+
+}  // namespace
+
+void SetWorkStealQueueObserver(WorkStealQueueObserver observer) {
+  auto shared =
+      std::make_shared<const WorkStealQueueObserver>(std::move(observer));
+  {
+    std::lock_guard<std::mutex> lock(g_observer_mutex);
+    g_observer = std::move(shared);
+  }
+  g_observer_present.store(true, std::memory_order_release);
+}
 
 WorkStealingIndexQueue::WorkStealingIndexQueue(int num_tasks,
                                                int num_workers) {
@@ -16,6 +42,12 @@ WorkStealingIndexQueue::WorkStealingIndexQueue(int num_tasks,
   }
 }
 
+WorkStealingIndexQueue::~WorkStealingIndexQueue() {
+  if (auto observer = GetObserver(); observer && observer->on_drained) {
+    observer->on_drained(pop_count(), steal_count(), exhaust_count());
+  }
+}
+
 int WorkStealingIndexQueue::Next(int worker) {
   {
     WorkerDeque& own = *deques_[worker];
@@ -23,6 +55,7 @@ int WorkStealingIndexQueue::Next(int worker) {
     if (!own.tasks.empty()) {
       int task = own.tasks.front();
       own.tasks.pop_front();
+      pops_.fetch_add(1, std::memory_order_relaxed);
       return task;
     }
   }
@@ -37,6 +70,7 @@ int WorkStealingIndexQueue::Next(int worker) {
       return task;
     }
   }
+  exhausts_.fetch_add(1, std::memory_order_relaxed);
   return -1;
 }
 

@@ -3,11 +3,30 @@
 
 #include <atomic>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
 
 namespace tdg::util {
+
+/// Process-wide instrumentation hook for WorkStealingIndexQueue. The
+/// callback runs once per queue, from the destructor of the draining
+/// queue, with its lifetime totals; it must be cheap and must not throw.
+/// Installed by tdg::obs to feed the metrics registry; absent by default
+/// (the uninstalled path is one relaxed atomic load per queue teardown).
+struct WorkStealQueueObserver {
+  /// `pops`: tasks a worker took from its own deque; `steals`: tasks taken
+  /// from a victim's deque; `exhausts`: Next() calls that found every deque
+  /// empty (each worker's exit, plus failed mid-run scans).
+  std::function<void(long long pops, long long steals, long long exhausts)>
+      on_drained;
+};
+
+/// Installs (replacing any previous) the global observer. Thread-safe;
+/// queues destroyed mid-replacement may report to the observer they loaded
+/// first.
+void SetWorkStealQueueObserver(WorkStealQueueObserver observer);
 
 /// A fixed task set {0, ..., num_tasks-1} distributed round-robin across
 /// per-worker deques. Each worker pops its own deque from the front (so it
@@ -26,6 +45,10 @@ class WorkStealingIndexQueue {
   /// `num_workers` >= 1; tasks i are seeded to deque i % num_workers.
   WorkStealingIndexQueue(int num_tasks, int num_workers);
 
+  /// Reports lifetime pop/steal/exhaust totals to the installed
+  /// WorkStealQueueObserver, if any.
+  ~WorkStealingIndexQueue();
+
   WorkStealingIndexQueue(const WorkStealingIndexQueue&) = delete;
   WorkStealingIndexQueue& operator=(const WorkStealingIndexQueue&) = delete;
 
@@ -33,9 +56,19 @@ class WorkStealingIndexQueue {
   /// is empty. Thread-safe: each worker must pass its own distinct id.
   int Next(int worker);
 
+  /// Tasks obtained from the worker's own deque.
+  long long pop_count() const {
+    return pops_.load(std::memory_order_relaxed);
+  }
+
   /// Tasks obtained by stealing (for solver metrics).
   long long steal_count() const {
     return steals_.load(std::memory_order_relaxed);
+  }
+
+  /// Next() calls that returned -1 (every deque was empty).
+  long long exhaust_count() const {
+    return exhausts_.load(std::memory_order_relaxed);
   }
 
   int num_workers() const { return static_cast<int>(deques_.size()); }
@@ -47,7 +80,9 @@ class WorkStealingIndexQueue {
   };
 
   std::vector<std::unique_ptr<WorkerDeque>> deques_;
+  std::atomic<long long> pops_{0};
   std::atomic<long long> steals_{0};
+  std::atomic<long long> exhausts_{0};
 };
 
 }  // namespace tdg::util

@@ -1,0 +1,238 @@
+// Tests for obs::BenchReport / BenchReporter (the --report_out telemetry
+// artifact every bench binary emits) and the obs::EventLog JSONL stream:
+// accumulation semantics, flag parsing, JSON round-trips, structural
+// validation, counter-delta capture via ScopedBenchRep, and thread safety
+// of concurrent event emission.
+
+#include "obs/bench_report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.h"
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace tdg::obs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+TEST(BenchReporterTest, ParseReportFlagFormsAndBenchName) {
+  {
+    BenchReporter reporter;
+    const char* argv[] = {"/usr/bin/bench_fig05", "--report_out=/tmp/r.json",
+                          "--seed=99"};
+    EXPECT_TRUE(reporter.ParseReportFlag(3, argv));
+    EXPECT_EQ(reporter.bench_name(), "bench_fig05");
+    EXPECT_EQ(reporter.output_path(), "/tmp/r.json");
+    BenchReport report = reporter.Build();
+    EXPECT_EQ(report.manifest.seed, 99u);
+    ASSERT_EQ(report.manifest.args.size(), 2u);
+    EXPECT_EQ(report.manifest.args[0], "--report_out=/tmp/r.json");
+  }
+  {
+    BenchReporter reporter;
+    const char* argv[] = {"bench", "--report_out", "/tmp/r2.json"};
+    EXPECT_TRUE(reporter.ParseReportFlag(3, argv));
+    EXPECT_EQ(reporter.output_path(), "/tmp/r2.json");
+  }
+  {
+    BenchReporter reporter;
+    const char* argv[] = {"bench", "--csv=/tmp/x.csv"};
+    EXPECT_FALSE(reporter.ParseReportFlag(2, argv));
+    EXPECT_FALSE(reporter.enabled());
+  }
+}
+
+TEST(BenchReporterTest, AccumulatesRepsInInsertionOrder) {
+  BenchReporter reporter("unit");
+  reporter.RecordRep("case/b", 10.0, 1.0);
+  reporter.RecordRep("case/a", 20.0, 2.0);
+  reporter.RecordRep("case/b", 12.0, 1.5);
+  reporter.AddCounter("case/a", "nodes", 100.0);
+  reporter.AddCounter("case/a", "nodes", 50.0);
+
+  BenchReport report = reporter.Build();
+  ASSERT_EQ(report.cases.size(), 2u);
+  EXPECT_EQ(report.cases[0].key, "case/b");  // first-recorded first
+  EXPECT_EQ(report.cases[1].key, "case/a");
+  ASSERT_EQ(report.cases[0].wall_micros.size(), 2u);
+  EXPECT_DOUBLE_EQ(report.cases[0].MeanWallMicros(), 11.0);
+  EXPECT_DOUBLE_EQ(report.cases[1].counters.at("nodes"), 150.0);
+
+  reporter.Reset();
+  EXPECT_TRUE(reporter.Build().cases.empty());
+}
+
+TEST(BenchReportTest, JsonRoundTripAndFileIo) {
+  BenchReporter reporter("roundtrip");
+  reporter.RecordRep("k1", 100.0, 3.25);
+  reporter.RecordRep("k1", 120.0, 3.25);
+  reporter.RecordRep("k2", 5.5, -1.0);
+  reporter.AddCounter("k2", "steals", 7.0);
+  BenchReport report = reporter.Build();
+  ASSERT_TRUE(report.Validate().ok()) << report.Validate();
+
+  auto parsed = BenchReport::FromJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->bench_name, "roundtrip");
+  ASSERT_EQ(parsed->cases.size(), 2u);
+  EXPECT_EQ(parsed->cases[0].key, "k1");
+  EXPECT_EQ(parsed->cases[0].wall_micros,
+            (std::vector<double>{100.0, 120.0}));
+  EXPECT_DOUBLE_EQ(parsed->cases[1].counters.at("steals"), 7.0);
+  EXPECT_TRUE(parsed->Validate().ok());
+
+  const std::string path = TempPath("tdg_bench_report_test.json");
+  ASSERT_TRUE(report.WriteFile(path).ok());
+  auto from_file = BenchReport::ReadFile(path);
+  ASSERT_TRUE(from_file.ok()) << from_file.status();
+  EXPECT_EQ(from_file->ToJson().Serialize(), report.ToJson().Serialize());
+  std::remove(path.c_str());
+}
+
+TEST(BenchReportTest, ValidateCatchesStructuralDefects) {
+  BenchReporter reporter("validate");
+  reporter.RecordRep("ok", 1.0, 2.0);
+  BenchReport good = reporter.Build();
+  EXPECT_TRUE(good.Validate().ok());
+
+  BenchReport no_cases = good;
+  no_cases.cases.clear();
+  EXPECT_FALSE(no_cases.Validate().ok());
+
+  BenchReport dup = good;
+  dup.cases.push_back(dup.cases[0]);
+  EXPECT_FALSE(dup.Validate().ok());
+
+  BenchReport mismatched = good;
+  mismatched.cases[0].objective.push_back(1.0);
+  EXPECT_FALSE(mismatched.Validate().ok());
+
+  BenchReport negative = good;
+  negative.cases[0].wall_micros[0] = -1.0;
+  EXPECT_FALSE(negative.Validate().ok());
+
+  BenchReport bad_schema = good;
+  bad_schema.schema = "tdg.bench_report.v0";
+  EXPECT_FALSE(bad_schema.Validate().ok());
+}
+
+TEST(BenchReportTest, FromJsonRejectsMalformedDocuments) {
+  EXPECT_FALSE(BenchReport::FromJson(util::JsonValue(1.0)).ok());
+  util::JsonValue wrong_schema = util::JsonValue::MakeObject();
+  wrong_schema.Set("schema", "nope");
+  EXPECT_FALSE(BenchReport::FromJson(wrong_schema).ok());
+}
+
+TEST(ScopedBenchRepTest, RecordsWallTimeObjectiveAndCounterDeltas) {
+  const bool metrics_were_enabled = MetricsEnabled();
+  SetMetricsEnabled(true);
+  Counter& counter =
+      MetricsRegistry::Global().GetCounter("bench_report_test/work");
+  counter.Reset();
+
+  BenchReporter reporter("scoped");
+  {
+    ScopedBenchRep rep(reporter, "case");
+    counter.Add(17);
+    rep.set_objective(2.5);
+  }
+  // A second scope that bumps nothing must not attach the counter again.
+  { ScopedBenchRep rep(reporter, "case"); }
+
+  BenchReport report = reporter.Build();
+  ASSERT_EQ(report.cases.size(), 1u);
+  const BenchCase& bench_case = report.cases[0];
+  ASSERT_EQ(bench_case.wall_micros.size(), 2u);
+  EXPECT_GE(bench_case.wall_micros[0], 0.0);
+  EXPECT_DOUBLE_EQ(bench_case.objective[0], 2.5);
+  EXPECT_DOUBLE_EQ(bench_case.objective[1], 0.0);
+  EXPECT_DOUBLE_EQ(bench_case.counters.at("bench_report_test/work"), 17.0);
+
+  counter.Reset();
+  SetMetricsEnabled(metrics_were_enabled);
+}
+
+TEST(EventLogTest, EmitWritesParseableJsonlWithStamps) {
+  const std::string path = TempPath("tdg_event_log_test.jsonl");
+  EventLog log;
+  ASSERT_TRUE(log.Open(path).ok());
+  EXPECT_TRUE(log.active());
+  log.Emit("unit/start");
+  log.Emit("unit/cell", util::JsonValue::Object{
+                            {"policy", "DyGroups-Star"},
+                            {"mean_gain", 12.5},
+                        });
+  log.Close();
+  EXPECT_FALSE(log.active());
+  EXPECT_EQ(log.events_written(), 2);
+
+  auto events = ParseEventLogFile(path);
+  ASSERT_TRUE(events.ok()) << events.status();
+  ASSERT_EQ(events->size(), 2u);
+  EXPECT_EQ((*events)[0].event, "unit/start");
+  EXPECT_EQ((*events)[1].event, "unit/cell");
+  EXPECT_GE((*events)[1].ts_micros, (*events)[0].ts_micros);
+  auto policy = (*events)[1].fields.GetField("policy");
+  ASSERT_TRUE(policy.ok());
+  EXPECT_EQ(policy->AsString(), "DyGroups-Star");
+  std::remove(path.c_str());
+}
+
+TEST(EventLogTest, InactiveEmitIsANoOpAndParseReportsBadLines) {
+  EventLog log;
+  log.Emit("dropped");  // never opened: must not crash, must not count
+  EXPECT_EQ(log.events_written(), 0);
+
+  const std::string path = TempPath("tdg_event_log_bad.jsonl");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"event\": \"ok\", \"ts_micros\": 1, \"tid\": 0}\n";
+    out << "this is not json\n";
+  }
+  auto events = ParseEventLogFile(path);
+  EXPECT_FALSE(events.ok());
+  // The error names the offending line.
+  EXPECT_NE(events.status().ToString().find(":2:"), std::string::npos)
+      << events.status();
+  std::remove(path.c_str());
+}
+
+TEST(EventLogTest, ConcurrentEmitsNeverInterleave) {
+  const std::string path = TempPath("tdg_event_log_mt.jsonl");
+  EventLog log;
+  ASSERT_TRUE(log.Open(path).ok());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  util::ThreadPool pool(kThreads);
+  util::ParallelFor(pool, kThreads * kPerThread, [&](int i) {
+    log.Emit("mt/event", util::JsonValue::Object{{"i", i}});
+  });
+  log.Close();
+  EXPECT_EQ(log.events_written(), kThreads * kPerThread);
+
+  auto events = ParseEventLogFile(path);
+  ASSERT_TRUE(events.ok()) << events.status();  // every line parses whole
+  ASSERT_EQ(events->size(),
+            static_cast<size_t>(kThreads * kPerThread));
+  std::set<int> seen;
+  for (const EventRecord& record : *events) {
+    auto i = record.fields.GetField("i");
+    ASSERT_TRUE(i.ok());
+    seen.insert(static_cast<int>(i->AsNumber()));
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(kThreads * kPerThread));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tdg::obs

@@ -79,6 +79,65 @@ TEST(HistogramTest, ExactMomentsAndBucketedQuantiles) {
   EXPECT_DOUBLE_EQ(histogram.Quantile(0.5), 0.0);
 }
 
+TEST(HistogramTest, SingleSampleQuantilesAreExact) {
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("obs_test/histogram_single");
+  histogram.Reset();
+  histogram.Record(137.0);
+  // One sample has no spread: every quantile is the sample itself, not a
+  // point interpolated inside its (geometric, ~15.5% wide) bucket.
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(histogram.Quantile(q), 137.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, AllSamplesEqualQuantilesAreExact) {
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("obs_test/histogram_equal");
+  histogram.Reset();
+  for (int i = 0; i < 100; ++i) histogram.Record(42.0);
+  // Min == Max pins the interpolation range to the exact value even though
+  // all mass sits in one bucket.
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(histogram.Quantile(q), 42.0) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, AllSamplesInOneBucketInterpolateWithinMinMax) {
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("obs_test/histogram_bucket");
+  histogram.Reset();
+  // 100.0 and 110.0 share a log10 bucket (bucket width ~15.5%) but differ;
+  // quantiles must stay inside the exact observed range and be monotone.
+  ASSERT_EQ(Histogram::BucketIndex(100.0), Histogram::BucketIndex(110.0));
+  for (int i = 0; i < 50; ++i) {
+    histogram.Record(100.0);
+    histogram.Record(110.0);
+  }
+  double previous = histogram.Quantile(0.0);
+  for (double q : {0.5, 0.95, 0.99, 1.0}) {
+    double value = histogram.Quantile(q);
+    EXPECT_GE(value, 100.0) << "q=" << q;
+    EXPECT_LE(value, 110.0) << "q=" << q;
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 110.0);
+}
+
+TEST(HistogramTest, TwoBucketEdgeQuantilesUseExactExtrema) {
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("obs_test/histogram_two");
+  histogram.Reset();
+  histogram.Record(1.0);
+  histogram.Record(1000.0);
+  // The first populated bucket holds no mass below Min() and the last none
+  // above Max(): p99 may not overshoot the largest observation's bucket.
+  EXPECT_GE(histogram.Quantile(0.01), 1.0);
+  EXPECT_LE(histogram.Quantile(0.99), 1000.0);
+  EXPECT_DOUBLE_EQ(histogram.Quantile(1.0), 1000.0);
+}
+
 TEST(HistogramTest, BucketGeometryCoversEightDecades) {
   EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
   EXPECT_DOUBLE_EQ(Histogram::BucketLowerBound(0), 0.0);
