@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Sanitizer + configuration matrix for the tdg repo.
 #
-#   ci/check.sh            run the full matrix (asan, ubsan, tsan, obs-off)
+#   ci/check.sh            run the full matrix (asan, ubsan, tsan, obs-off,
+#                          bench-smoke, crash-resume)
 #   ci/check.sh asan       run one configuration
 #
 # Configurations:
@@ -18,6 +19,12 @@
 #            tdg.bench_report.v1 artifacts, and diffs each report against
 #            itself expecting a clean all-unchanged pass — the end-to-end
 #            smoke test of the perf telemetry pipeline
+#   crash-resume  AddressSanitizer build with the fault-injection hooks
+#            compiled in; runs the crash/torn-write/shard-planner/death
+#            suites, then a CLI-level e2e: kill a sweep shard mid-run via
+#            TDG_TEST_CRASH_AFTER_CELLS, resume it, run the sibling shard,
+#            tdg_sweepmerge the checkpoints, and require the merged
+#            CSV/JSON to be byte-identical to an uninterrupted run
 #
 # Build trees live under build-ci/<config> so they never disturb ./build.
 
@@ -43,9 +50,15 @@ configure_flags() {
 ctest_args() {
   case "$1" in
     # TSan is ~10x slower; run the suites that actually exercise
-    # cross-thread interleavings.
+    # cross-thread interleavings. `Sweep` also pulls in the sharded
+    # checkpoint writer (SweepShard/SweepCrash/SweepTornWrite), whose
+    # mutex-guarded fsync'd appends race worker threads by design;
+    # FileUtil covers the durable-append primitive underneath it.
     tsan)
-      echo "-R ThreadPool|ParallelFor|Obs|Trace|Sweep|Logging|ParallelSolver|ParserFuzz|BranchBound|BruteForce|SimulatedAnnealing|EventLog|WorkStealQueue"
+      echo "-R ThreadPool|ParallelFor|Obs|Trace|Sweep|Logging|ParallelSolver|ParserFuzz|BranchBound|BruteForce|SimulatedAnnealing|EventLog|WorkStealQueue|FileUtil"
+      ;;
+    crash-resume)
+      echo "-R SweepShard|SweepCrash|SweepTornWrite|FileUtil|CheckDeathTest|LoggingDeathTest"
       ;;
     *) echo "" ;;
   esac
@@ -86,10 +99,78 @@ run_bench_smoke() {
   echo "==> [bench-smoke] OK"
 }
 
+run_crash_resume() {
+  local build_dir="build-ci/crash-resume"
+  echo "==> [crash-resume] configure"
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTDG_SANITIZE=address -DTDG_TEST_HOOKS=ON >/dev/null
+  echo "==> [crash-resume] build"
+  cmake --build "${build_dir}" -j "${JOBS}" \
+    --target tdg_tests tdg_sweep_shard_child example_tdg_cli tdg_sweepmerge \
+    >/dev/null
+  echo "==> [crash-resume] fault-injection suites"
+  # shellcheck disable=SC2046
+  (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}" \
+    $(ctest_args crash-resume))
+
+  echo "==> [crash-resume] CLI crash / resume / merge e2e"
+  local work="${build_dir}/e2e"
+  rm -rf "${work}"
+  mkdir -p "${work}"
+  # --no_metrics keeps mean_micros deterministically zero so the merged
+  # output can be byte-compared against the uninterrupted run.
+  cat > "${work}/sweep.cfg" <<'EOF'
+name = ci-crash-resume
+policies = DyGroups-Star, Random-Assignment
+n = 12, 24
+k = 3
+alpha = 2
+r = 0.25, 0.5
+mode = star, clique
+distribution = log-normal
+runs = 2
+seed = 7
+threads = 2
+EOF
+  local cli="${build_dir}/examples/example_tdg_cli"
+  local merge="${build_dir}/examples/tdg_sweepmerge"
+
+  "${cli}" sweep --config="${work}/sweep.cfg" --no_metrics \
+    --csv="${work}/mono.csv" --json="${work}/mono.json" >/dev/null
+
+  # Shard 0 of 2 is killed by the fault hook after two cells (exit 42 =
+  # kCrashHookExitCode), then resumed to completion.
+  local status=0
+  TDG_TEST_CRASH_AFTER_CELLS=2 "${cli}" sweep \
+    --config="${work}/sweep.cfg" --no_metrics \
+    --checkpoint="${work}/shard0.ckpt" --shard_index=0 --shard_count=2 \
+    >/dev/null || status=$?
+  if [[ "${status}" -ne 42 ]]; then
+    echo "fault hook should have exited 42, got ${status}" >&2
+    exit 1
+  fi
+  "${cli}" sweep --config="${work}/sweep.cfg" --no_metrics \
+    --checkpoint="${work}/shard0.ckpt" --shard_index=0 --shard_count=2 \
+    --resume >/dev/null
+  "${cli}" sweep --config="${work}/sweep.cfg" --no_metrics \
+    --checkpoint="${work}/shard1.ckpt" --shard_index=1 --shard_count=2 \
+    >/dev/null
+  "${merge}" --csv="${work}/merged.csv" --json="${work}/merged.json" \
+    "${work}/shard0.ckpt" "${work}/shard1.ckpt" >/dev/null
+
+  cmp "${work}/mono.csv" "${work}/merged.csv"
+  cmp "${work}/mono.json" "${work}/merged.json"
+  echo "==> [crash-resume] OK"
+}
+
 run_config() {
   local config="$1"
   if [[ "${config}" == "bench-smoke" ]]; then
     run_bench_smoke
+    return
+  fi
+  if [[ "${config}" == "crash-resume" ]]; then
+    run_crash_resume
     return
   fi
   local build_dir="build-ci/${config}"
@@ -108,7 +189,7 @@ run_config() {
 if [[ $# -gt 0 ]]; then
   for config in "$@"; do run_config "${config}"; done
 else
-  for config in asan ubsan tsan obs-off bench-smoke; do
+  for config in asan ubsan tsan obs-off bench-smoke crash-resume; do
     run_config "${config}"
   done
 fi

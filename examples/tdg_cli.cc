@@ -11,7 +11,16 @@
 //
 //   example_tdg_cli sweep --config=<file> [--csv=<out.csv>]
 //                         [--json=<out.json>]
+//                         [--checkpoint=<file>] [--resume]
+//                         [--shard_index=<i> --shard_count=<s>]
 //       Run a declarative sweep (see config-template) and print the grid.
+//       With --checkpoint, execution is crash-safe: every completed cell
+//       is appended (fsync'd) to the tdg.sweep_checkpoint.v1 JSONL file,
+//       and --resume replays it, re-running only the missing tail.
+//       --shard_index/--shard_count run one deterministic slice of the
+//       grid; merge the N shard checkpoints back into the monolithic
+//       CSV/JSON with `tdg_sweepmerge` (byte-identical to an
+//       uninterrupted single-process run).
 //
 //   example_tdg_cli config-template
 //       Print a commented sweep config to adapt.
@@ -41,6 +50,10 @@
 //   --manifest_out=<file>  Write the run's provenance manifest
 //                          (tdg.run_manifest.v1: git sha, compiler, host,
 //                          seed, args) as JSON.
+//   --no_metrics           Disable the tdg::obs metrics registry at
+//                          runtime. Sweep outputs then report
+//                          mean_micros=0, making CSV/JSON byte-comparable
+//                          across runs (used by ci/check.sh crash-resume).
 
 #include <cstdio>
 #include <fstream>
@@ -50,6 +63,7 @@
 #include "core/dygroups.h"
 #include "core/process.h"
 #include "exp/sweep.h"
+#include "exp/sweep_shard.h"
 #include "obs/obs.h"
 #include "random/distributions.h"
 #include "sim/amt_experiment.h"
@@ -120,6 +134,26 @@ int CmdRun(const tdg::util::FlagParser& flags) {
   return 0;
 }
 
+int WriteSweepOutputs(const tdg::exp::SweepResult& result,
+                      const tdg::util::FlagParser& flags) {
+  std::string csv_path = flags.GetString("csv", "");
+  if (!csv_path.empty()) {
+    auto status = result.ToCsv().WriteToFile(csv_path);
+    if (!status.ok()) return Fail(status);
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  std::string json_path = flags.GetString("json", "");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      return Fail(tdg::util::Status::IOError("cannot open " + json_path));
+    }
+    out << result.ToJson().SerializePretty() << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}
+
 int CmdSweep(const tdg::util::FlagParser& flags) {
   std::string config_path = flags.GetString("config", "");
   tdg::util::StatusOr<tdg::exp::SweepConfig> config =
@@ -132,28 +166,44 @@ int CmdSweep(const tdg::util::FlagParser& flags) {
     std::printf("(no --config given; running the default paper grid)\n");
   }
 
+  tdg::exp::SweepShardOptions shard;
+  shard.shard_index = static_cast<int>(flags.GetInt("shard_index", 0));
+  shard.shard_count = static_cast<int>(flags.GetInt("shard_count", 1));
+  shard.checkpoint_path = flags.GetString("checkpoint", "");
+  shard.resume = flags.GetBool("resume", false);
+  if (shard.shard_count > 1 && shard.checkpoint_path.empty()) {
+    return Fail(tdg::util::Status::InvalidArgument(
+        "--shard_count > 1 requires --checkpoint (each shard must persist "
+        "its cells for tdg_sweepmerge)"));
+  }
+
+  if (!shard.checkpoint_path.empty()) {
+    // Crash-safe path: one fsync'd checkpoint record per completed cell.
+    auto result = tdg::exp::RunSweepShard(config.value(), shard);
+    if (!result.ok()) return Fail(result.status());
+    std::printf(
+        "sweep '%s' shard %d/%d: %zu cells (%d restored from checkpoint, "
+        "%d run)%s\n",
+        result->result.name.c_str(), shard.shard_index, shard.shard_count,
+        result->result.cells.size(), result->cells_restored,
+        result->cells_run,
+        result->torn_tail_dropped ? " [torn final record re-run]" : "");
+    if (shard.shard_count == 1) {
+      std::printf("\n%s", result->result.ToTable().c_str());
+      return WriteSweepOutputs(result->result, flags);
+    }
+    std::printf(
+        "merge the shard checkpoints into CSV/JSON with: tdg_sweepmerge "
+        "<checkpoints...>\n");
+    return 0;
+  }
+
   auto result = tdg::exp::RunSweep(config.value());
   if (!result.ok()) return Fail(result.status());
   std::printf("sweep '%s': %zu cells\n\n", result->name.c_str(),
               result->cells.size());
   std::printf("%s", result->ToTable().c_str());
-
-  std::string csv_path = flags.GetString("csv", "");
-  if (!csv_path.empty()) {
-    auto status = result->ToCsv().WriteToFile(csv_path);
-    if (!status.ok()) return Fail(status);
-    std::printf("wrote %s\n", csv_path.c_str());
-  }
-  std::string json_path = flags.GetString("json", "");
-  if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    if (!out) {
-      return Fail(tdg::util::Status::IOError("cannot open " + json_path));
-    }
-    out << result->ToJson().SerializePretty() << "\n";
-    std::printf("wrote %s\n", json_path.c_str());
-  }
-  return 0;
+  return WriteSweepOutputs(result.value(), flags);
 }
 
 int CmdConfigTemplate() {
@@ -245,7 +295,10 @@ void PrintUsage() {
       "commands: policies | run | sweep | config-template | exact | "
       "human-sim\n"
       "observability (any command): --trace_out=<file> --metrics_out=<file> "
-      "--print_metrics --events_out=<file> --manifest_out=<file>\n"
+      "--print_metrics --events_out=<file> --manifest_out=<file> "
+      "--no_metrics\n"
+      "crash-safe sweeps: sweep --checkpoint=<file> [--resume] "
+      "[--shard_index=I --shard_count=S]; merge with tdg_sweepmerge\n"
       "see the header comment of examples/tdg_cli.cc for per-command "
       "flags\n");
 }
@@ -278,6 +331,9 @@ int main(int argc, char** argv) {
   const std::string manifest_out = flags.GetString("manifest_out", "");
   const bool print_metrics =
       flags.GetBool("print_metrics", false) || !metrics_out.empty();
+  if (flags.GetBool("no_metrics", false)) {
+    tdg::obs::SetMetricsEnabled(false);
+  }
   if (!trace_out.empty()) tdg::obs::StartTracing();
   if (!events_out.empty()) {
     auto status = tdg::obs::EventLog::Global().Open(events_out);

@@ -41,8 +41,6 @@ std::vector<SweepPoint> GridPoints(const SweepConfig& config) {
   return points;
 }
 
-namespace {
-
 std::string PointLabel(const SweepPoint& point) {
   return util::StrFormat(
       "%s/%s n=%d k=%d a=%d r=%s",
@@ -51,15 +49,28 @@ std::string PointLabel(const SweepPoint& point) {
       point.k, point.alpha, util::FormatDouble(point.r, 3).c_str());
 }
 
-// Runs one cell: `runs` fresh populations through the α-round process.
+CellSeeds SeedsForCell(uint64_t config_seed, long long cell_index,
+                       size_t num_policies) {
+  TDG_CHECK_GT(num_policies, 0u);
+  uint64_t point_index =
+      static_cast<uint64_t>(cell_index) / num_policies;
+  CellSeeds seeds;
+  seeds.point_seed = config_seed + 0x9e3779b9ULL * (point_index + 1);
+  seeds.policy_seed =
+      config_seed ^
+      (0xc2b2ae3dULL * (static_cast<uint64_t>(cell_index) + 1));
+  return seeds;
+}
+
 // `point_seed` drives the population draws so that every policy in the
 // sweep sees the *same* populations (heavy-tailed skill distributions make
 // cross-population gain comparisons meaningless); `policy_seed` only feeds
 // the randomized policies.
-util::StatusOr<SweepCell> RunCell(const SweepPoint& point,
-                                  const std::string& policy_name,
-                                  int runs, uint64_t point_seed,
-                                  uint64_t policy_seed) {
+util::StatusOr<SweepCell> RunSweepCell(const SweepPoint& point,
+                                       const std::string& policy_name,
+                                       int runs, uint64_t point_seed,
+                                       uint64_t policy_seed,
+                                       std::vector<double>* run_gains) {
   TDG_TRACE_SPAN("sweep/cell");
   std::vector<double> gains;
   gains.reserve(runs);
@@ -117,10 +128,11 @@ util::StatusOr<SweepCell> RunCell(const SweepPoint& point,
                                   {"mean_gain", cell.mean_gain},
                                   {"mean_micros", cell.mean_micros},
                               }));
+  if (run_gains != nullptr) {
+    run_gains->insert(run_gains->end(), gains.begin(), gains.end());
+  }
   return cell;
 }
-
-}  // namespace
 
 util::StatusOr<SweepResult> RunSweep(const SweepConfig& config) {
   TDG_RETURN_IF_ERROR(config.Validate());
@@ -152,13 +164,10 @@ util::StatusOr<SweepResult> RunSweep(const SweepConfig& config) {
         size_t point_index = static_cast<size_t>(index) / policies.size();
         size_t policy_index = static_cast<size_t>(index) % policies.size();
         // Seeds depend only on the grid position — thread-schedule free.
-        uint64_t point_seed =
-            config.seed +
-            0x9e3779b9ULL * (static_cast<uint64_t>(point_index) + 1);
-        uint64_t policy_seed =
-            config.seed ^ (0xc2b2ae3dULL * (static_cast<uint64_t>(index) + 1));
-        auto cell = RunCell(points[point_index], policies[policy_index],
-                            config.runs, point_seed, policy_seed);
+        CellSeeds seeds = SeedsForCell(config.seed, index, policies.size());
+        auto cell = RunSweepCell(points[point_index], policies[policy_index],
+                                 config.runs, seeds.point_seed,
+                                 seeds.policy_seed);
         if (!cell.ok()) {
           std::lock_guard<std::mutex> lock(error_mutex);
           if (!failed.exchange(true)) first_error = cell.status();

@@ -52,6 +52,37 @@ struct SweepResult {
 /// outermost, then modes, n, k, alpha, r innermost).
 std::vector<SweepPoint> GridPoints(const SweepConfig& config);
 
+/// Stable human-readable key for a grid point, e.g.
+/// "log-normal/star n=12 k=3 a=2 r=0.25". Doubles as the cell key prefix in
+/// checkpoints and per-cell metric names.
+std::string PointLabel(const SweepPoint& point);
+
+/// RNG streams for one cell. `point_seed` drives the population draws (every
+/// policy sees the same populations); `policy_seed` only feeds randomized
+/// policies.
+struct CellSeeds {
+  uint64_t point_seed = 0;
+  uint64_t policy_seed = 0;
+};
+
+/// Seeds for the cell at `cell_index` in grid order (point-major, policy
+/// minor). Both the monolithic RunSweep and the sharded/resumed execution
+/// paths (sweep_shard.h) derive per-cell RNG streams from here and only
+/// here — grid position in, seeds out, scheduling order never involved.
+CellSeeds SeedsForCell(uint64_t config_seed, long long cell_index,
+                       size_t num_policies);
+
+/// Runs one (point, policy) cell: `runs` fresh seeded populations through
+/// the α-round process. When `run_gains` is non-null the per-run total
+/// gains are appended to it (the sweep checkpoint persists them alongside
+/// the aggregates).
+util::StatusOr<SweepCell> RunSweepCell(const SweepPoint& point,
+                                       const std::string& policy_name,
+                                       int runs, uint64_t point_seed,
+                                       uint64_t policy_seed,
+                                       std::vector<double>* run_gains =
+                                           nullptr);
+
 /// Runs the full sweep: every (point, policy) cell averaged over
 /// `config.runs` seeded populations, parallelized over `config.threads`
 /// worker threads. Deterministic for a fixed config regardless of thread

@@ -20,14 +20,10 @@ namespace {
 constexpr double kResolutionFloorMicros = 1.0;
 
 // FNV-1a, so per-case bootstrap streams are reproducible across runs and
-// platforms (std::hash makes no such promise).
+// platforms. The historical seed predates util::Fnv1a64 — keep it so
+// existing reports re-diff identically.
 uint64_t StableHash(std::string_view text) {
-  uint64_t hash = 1469598103934665603ULL;
-  for (char c : text) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ULL;
-  }
-  return hash;
+  return util::Fnv1a64(text, 1469598103934665603ULL);
 }
 
 PerfCaseDiff DiffCase(const BenchCase& baseline, const BenchCase& candidate,

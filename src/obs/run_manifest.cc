@@ -127,6 +127,21 @@ RunManifest RunManifest::Capture(uint64_t seed, int argc,
   return manifest;
 }
 
+std::string RunManifest::BuildDigest(std::string_view extra) const {
+  // Chain the fields with '\x1f' separators so ("ab","c") and ("a","bc")
+  // digest differently.
+  uint64_t hash = util::Fnv1a64(git_sha);
+  for (std::string_view part :
+       {std::string_view(compiler), std::string_view(compiler_flags),
+        std::string_view(build_type), std::string_view(sanitizer),
+        std::string_view(obs_macros_disabled ? "obs-off" : "obs-on"),
+        extra}) {
+    hash = util::Fnv1a64("\x1f", hash);
+    hash = util::Fnv1a64(part, hash);
+  }
+  return util::StrFormat("%016llx", static_cast<unsigned long long>(hash));
+}
+
 RunManifest RunManifest::Normalized() const {
   RunManifest normalized = *this;
   normalized.git_sha = "<git-sha>";

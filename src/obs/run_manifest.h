@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/json.h"
@@ -45,6 +46,15 @@ struct RunManifest {
   /// `argc`/`argv` (optional) populate `args` with argv[1..].
   static RunManifest Capture(uint64_t seed = 0, int argc = 0,
                              const char* const* argv = nullptr);
+
+  /// Stable 16-hex-char FNV-1a digest over the *build* provenance fields
+  /// (git sha, compiler, flags, build type, sanitizer, obs flag) plus
+  /// `extra` (caller-supplied configuration text). Host and run fields are
+  /// deliberately excluded: the same binary resuming the same experiment on
+  /// another day — or another machine — must digest identically, while a
+  /// rebuilt binary or an edited config must not. The sweep checkpoint
+  /// layer (exp::SweepShard) refuses to resume across a digest change.
+  std::string BuildDigest(std::string_view extra = "") const;
 
   /// Copy with every volatile field (timestamp, hostname, cpu, git sha,
   /// compiler, flags, build type, sanitizer, thread count, os, obs flag)

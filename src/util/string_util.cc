@@ -115,4 +115,13 @@ std::string FormatDouble(double value, int digits) {
   return text;
 }
 
+uint64_t Fnv1a64(std::string_view text, uint64_t seed) {
+  uint64_t hash = seed;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
 }  // namespace tdg::util

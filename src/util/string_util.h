@@ -35,6 +35,13 @@ std::string StrFormat(const char* format, ...)
 /// trailing zeros ("0.5" not "0.500000"). Handy for table output.
 std::string FormatDouble(double value, int digits = 6);
 
+/// FNV-1a 64-bit hash — stable across runs, platforms and compilers
+/// (std::hash makes no such promise). Used wherever a digest must be
+/// reproducible: perf-diff bootstrap streams, sweep checkpoint digests.
+/// `seed` chains multi-part digests: Fnv1a64(b, Fnv1a64(a)).
+uint64_t Fnv1a64(std::string_view text,
+                 uint64_t seed = 14695981039346656037ULL);
+
 }  // namespace tdg::util
 
 #endif  // TDG_UTIL_STRING_UTIL_H_

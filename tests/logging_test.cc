@@ -52,6 +52,40 @@ TEST(CheckDeathTest, FailingCheckAborts) {
   EXPECT_DEATH({ TDG_CHECK_EQ(1, 2); }, "Check failed");
 }
 
+TEST(CheckDeathTest, FailureMessageNamesConditionAndStreamedContext) {
+  // The death message must carry both the stringified condition and the
+  // caller's streamed context — that pairing is what makes a production
+  // CHECK trail actionable.
+  EXPECT_DEATH({ TDG_CHECK(2 + 2 == 5) << "arithmetic drifted"; },
+               "Check failed: 2 \\+ 2 == 5 arithmetic drifted");
+}
+
+TEST(CheckDeathTest, EveryComparisonMacroAborts) {
+  EXPECT_DEATH({ TDG_CHECK_NE(3, 3); }, "Check failed");
+  EXPECT_DEATH({ TDG_CHECK_LT(2, 1); }, "Check failed");
+  EXPECT_DEATH({ TDG_CHECK_LE(2, 1); }, "Check failed");
+  EXPECT_DEATH({ TDG_CHECK_GT(1, 2); }, "Check failed");
+  EXPECT_DEATH({ TDG_CHECK_GE(1, 2); }, "Check failed");
+}
+
+TEST(LoggingDeathTest, FatalLogFlushesMessageThenAborts) {
+  // kFatal must emit the whole prefixed line before aborting — a fatal
+  // message that dies unflushed is worthless in a crash triage.
+  EXPECT_DEATH({ TDG_LOG(Fatal) << "fatal marker 0xf00d"; },
+               "\\[FATAL .*logging_test.cc.*fatal marker 0xf00d");
+}
+
+TEST(LoggingDeathTest, FatalIsEmittedEvenAboveSeverityThreshold) {
+  // SetMinLogSeverity must never be able to swallow a fatal message: the
+  // process is about to die and the reason has to reach stderr.
+  EXPECT_DEATH(
+      {
+        SetMinLogSeverity(LogSeverity::kFatal);
+        TDG_LOG(Fatal) << "still visible";
+      },
+      "still visible");
+}
+
 TEST(LoggingTest, PrefixCarriesMonotonicTimestampAndThreadId) {
   LogSeverity original = MinLogSeverity();
   SetMinLogSeverity(LogSeverity::kInfo);

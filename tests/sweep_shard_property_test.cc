@@ -1,0 +1,88 @@
+// Property test for the shard planner: for randomized grid sizes and shard
+// counts, the shards are pairwise disjoint, cover the grid exactly, are
+// balanced to within one cell, keep grid order within each shard, and are
+// stable under re-planning with the same inputs (a resumed shard must own
+// exactly the cells it owned before the crash).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "exp/sweep_shard.h"
+#include "random/rng.h"
+
+namespace tdg::exp {
+namespace {
+
+TEST(SweepShardPropertyTest, RandomizedPlansAreDisjointCoveringAndStable) {
+  random::Rng rng(20260806);
+  for (int trial = 0; trial < 200; ++trial) {
+    const long long num_cells =
+        static_cast<long long>(rng.NextBounded(601));
+    const int shard_count = 1 + static_cast<int>(rng.NextBounded(24));
+
+    std::vector<long long> all;
+    for (int shard = 0; shard < shard_count; ++shard) {
+      std::vector<long long> indices =
+          ShardCellIndices(num_cells, shard, shard_count);
+
+      // Stable: re-planning with identical inputs yields identical slices.
+      EXPECT_EQ(indices,
+                ShardCellIndices(num_cells, shard, shard_count))
+          << "unstable plan: cells=" << num_cells << " shard=" << shard
+          << "/" << shard_count;
+
+      // Balanced: block partition sizes differ by at most one.
+      const long long base = num_cells / shard_count;
+      EXPECT_GE(static_cast<long long>(indices.size()), base);
+      EXPECT_LE(static_cast<long long>(indices.size()), base + 1);
+
+      // Grid order within the shard (contiguous ascending).
+      EXPECT_TRUE(std::is_sorted(indices.begin(), indices.end()));
+      if (!indices.empty()) {
+        EXPECT_EQ(indices.back() - indices.front() + 1,
+                  static_cast<long long>(indices.size()))
+            << "shard must be one contiguous block";
+      }
+      all.insert(all.end(), indices.begin(), indices.end());
+    }
+
+    // Disjoint + covering: the concatenation is exactly 0..num_cells-1.
+    // (Shards are contiguous ascending blocks, so concatenating them in
+    // shard order must already be sorted — any overlap or gap breaks it.)
+    ASSERT_EQ(static_cast<long long>(all.size()), num_cells)
+        << "cells=" << num_cells << " shards=" << shard_count;
+    for (long long i = 0; i < num_cells; ++i) {
+      ASSERT_EQ(all[static_cast<size_t>(i)], i)
+          << "cells=" << num_cells << " shards=" << shard_count;
+    }
+  }
+}
+
+TEST(SweepShardPropertyTest, MoreShardsThanCellsSpreadsSingletons) {
+  // With fewer cells than shards the floor-block partition hands out
+  // singleton slices and leaves the rest empty; no shard ever gets two.
+  const long long num_cells = 3;
+  const int shard_count = 8;
+  long long covered = 0;
+  int empty_shards = 0;
+  for (int shard = 0; shard < shard_count; ++shard) {
+    const size_t size =
+        ShardCellIndices(num_cells, shard, shard_count).size();
+    EXPECT_LE(size, 1u);
+    covered += static_cast<long long>(size);
+    if (size == 0) ++empty_shards;
+  }
+  EXPECT_EQ(covered, num_cells);
+  EXPECT_EQ(empty_shards, shard_count - static_cast<int>(num_cells));
+}
+
+TEST(SweepShardPropertyDeathTest, RejectsOutOfRangeShardIndex) {
+  EXPECT_DEATH(ShardCellIndices(10, 3, 3), "Check failed");
+  EXPECT_DEATH(ShardCellIndices(10, -1, 3), "Check failed");
+  EXPECT_DEATH(ShardCellIndices(10, 0, 0), "Check failed");
+}
+
+}  // namespace
+}  // namespace tdg::exp

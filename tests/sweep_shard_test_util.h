@@ -1,0 +1,71 @@
+// Shared fixtures for the crash-safe sweep test layer (sweep_shard_test,
+// sweep_torn_write_test, sweep_crash_test). Header-only; included from the
+// *_test.cc files that tests/CMakeLists.txt globs into tdg_tests.
+#ifndef TDG_TESTS_SWEEP_SHARD_TEST_UTIL_H_
+#define TDG_TESTS_SWEEP_SHARD_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "exp/sweep.h"
+#include "exp/sweep_config.h"
+#include "obs/obs.h"
+
+namespace tdg::test {
+
+/// Disables the tdg::obs metrics registry for the test's lifetime so
+/// SweepCell::mean_micros is deterministically 0 — the precondition for
+/// byte-identical output comparisons.
+class MetricsOffGuard {
+ public:
+  MetricsOffGuard() : was_enabled_(obs::MetricsEnabled()) {
+    obs::SetMetricsEnabled(false);
+  }
+  ~MetricsOffGuard() { obs::SetMetricsEnabled(was_enabled_); }
+
+ private:
+  bool was_enabled_;
+};
+
+/// A small but non-trivial sweep: 8 grid points × 2 policies = 16 cells,
+/// fast enough to run dozens of times per test yet wide enough that shards
+/// and crash cut points land in interesting places.
+inline exp::SweepConfig TinyConfig(int threads = 1) {
+  exp::SweepConfig config;
+  config.name = "shard-test";
+  config.policies = {"DyGroups-Star", "Random-Assignment"};
+  config.n_values = {12, 24};
+  config.k_values = {3};
+  config.alpha_values = {2};
+  config.r_values = {0.25, 0.5};
+  config.modes = {InteractionMode::kStar, InteractionMode::kClique};
+  config.distributions = {random::SkillDistribution::kLogNormal};
+  config.runs = 2;
+  config.seed = 7;
+  config.threads = threads;
+  return config;
+}
+
+/// A fresh empty scratch directory under the system temp dir. Leaked on
+/// purpose (tiny files; debuggability beats cleanliness when a crash test
+/// fails).
+inline std::string MakeScratchDir() {
+  std::string tmpl = ::testing::TempDir() + "tdg_sweep_XXXXXX";
+  char* dir = ::mkdtemp(tmpl.data());
+  EXPECT_NE(dir, nullptr) << "mkdtemp failed for " << tmpl;
+  return dir != nullptr ? std::string(dir) : std::string(".");
+}
+
+/// The reference bytes an uninterrupted monolithic run produces.
+inline std::string CsvBytes(const exp::SweepResult& result) {
+  return result.ToCsv().ToString();
+}
+inline std::string JsonBytes(const exp::SweepResult& result) {
+  return result.ToJson().SerializePretty() + "\n";
+}
+
+}  // namespace tdg::test
+
+#endif  // TDG_TESTS_SWEEP_SHARD_TEST_UTIL_H_
