@@ -2,7 +2,7 @@
 # Sanitizer + configuration matrix for the tdg repo.
 #
 #   ci/check.sh            run the full matrix (asan, ubsan, tsan, obs-off,
-#                          bench-smoke, crash-resume)
+#                          bench-smoke, crash-resume, monitor)
 #   ci/check.sh asan       run one configuration
 #
 # Configurations:
@@ -25,6 +25,12 @@
 #            TDG_TEST_CRASH_AFTER_CELLS, resume it, run the sibling shard,
 #            tdg_sweepmerge the checkpoints, and require the merged
 #            CSV/JSON to be byte-identical to an uninterrupted run
+#   monitor  live-monitoring e2e (DESIGN.md §9): run the monitoring test
+#            suites under asan and tsan, then start a sweep with
+#            --stats_port=0 --progress --heartbeat, curl /healthz /metrics
+#            /statusz /progressz mid-run, watch the heartbeat with
+#            tdg_sweepmerge --watch, and require the sweep outputs to be
+#            byte-identical to a server-off run
 #
 # Build trees live under build-ci/<config> so they never disturb ./build.
 
@@ -54,8 +60,10 @@ ctest_args() {
     # checkpoint writer (SweepShard/SweepCrash/SweepTornWrite), whose
     # mutex-guarded fsync'd appends race worker threads by design;
     # FileUtil covers the durable-append primitive underneath it.
+    # The monitoring suites (Net accept loop, StatsServer scrape threads,
+    # Progress/Heartbeat writer threads) are in the tsan net too.
     tsan)
-      echo "-R ThreadPool|ParallelFor|Obs|Trace|Sweep|Logging|ParallelSolver|ParserFuzz|BranchBound|BruteForce|SimulatedAnnealing|EventLog|WorkStealQueue|FileUtil"
+      echo "-R ThreadPool|ParallelFor|Obs|Trace|Sweep|Logging|ParallelSolver|ParserFuzz|BranchBound|BruteForce|SimulatedAnnealing|EventLog|WorkStealQueue|FileUtil|Net|StatsServer|Prometheus|Progress|Heartbeat"
       ;;
     crash-resume)
       echo "-R SweepShard|SweepCrash|SweepTornWrite|FileUtil|CheckDeathTest|LoggingDeathTest"
@@ -163,6 +171,119 @@ EOF
   echo "==> [crash-resume] OK"
 }
 
+run_monitor() {
+  local build_dir="build-ci/monitor"
+  echo "==> [monitor] configure (asan)"
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTDG_SANITIZE=address >/dev/null
+  echo "==> [monitor] build"
+  cmake --build "${build_dir}" -j "${JOBS}" \
+    --target tdg_tests tdg_sweep_shard_child example_tdg_cli tdg_sweepmerge \
+    >/dev/null
+  echo "==> [monitor] monitoring suites (asan)"
+  (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}" \
+    -R "Net|StatsServer|Prometheus|Progress|Heartbeat")
+  echo "==> [monitor] monitoring suites (tsan)"
+  local tsan_dir="build-ci/monitor-tsan"
+  cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTDG_SANITIZE=thread >/dev/null
+  cmake --build "${tsan_dir}" -j "${JOBS}" \
+    --target tdg_tests tdg_sweep_shard_child >/dev/null
+  (cd "${tsan_dir}" && ctest --output-on-failure -j "${JOBS}" \
+    -R "Net|StatsServer|Prometheus|Progress|Heartbeat")
+
+  echo "==> [monitor] live-scrape e2e"
+  command -v curl >/dev/null || { echo "curl not found" >&2; exit 1; }
+  local work="${build_dir}/e2e"
+  rm -rf "${work}"
+  mkdir -p "${work}"
+  # Heavy enough (seconds, not milliseconds, even unsanitized) that the
+  # sweep is still mid-run when the scrapes land; the server binds and
+  # writes the port file before the first cell starts.
+  cat > "${work}/sweep.cfg" <<'EOF'
+name = ci-monitor
+policies = DyGroups-Star, Random-Assignment
+n = 96, 192
+k = 3
+alpha = 2
+r = 0.25, 0.5
+mode = star, clique
+distribution = log-normal
+runs = 20000
+seed = 7
+threads = 2
+EOF
+  local cli="${build_dir}/examples/example_tdg_cli"
+  local merge="${build_dir}/examples/tdg_sweepmerge"
+
+  # Reference: monitoring fully off. --no_metrics keeps mean_micros
+  # deterministically zero so the outputs can be byte-compared.
+  "${cli}" sweep --config="${work}/sweep.cfg" --no_metrics \
+    --checkpoint="${work}/off.ckpt" \
+    --csv="${work}/off.csv" --json="${work}/off.json" >/dev/null
+
+  # Live run: stats server on an ephemeral port + stderr progress +
+  # heartbeat file, scraped from outside while cells execute.
+  "${cli}" sweep --config="${work}/sweep.cfg" --no_metrics \
+    --checkpoint="${work}/on.ckpt" \
+    --csv="${work}/on.csv" --json="${work}/on.json" \
+    --stats_port=0 --stats_port_file="${work}/stats.port" \
+    --progress --heartbeat --heartbeat_period_ms=100 \
+    >/dev/null 2>"${work}/progress.log" &
+  local sweep_pid=$!
+
+  local port=""
+  for _ in $(seq 1 100); do
+    [[ -s "${work}/stats.port" ]] && { port="$(cat "${work}/stats.port")"; break; }
+    sleep 0.1
+  done
+  if [[ -z "${port}" ]]; then
+    echo "stats server never wrote its port file" >&2
+    kill "${sweep_pid}" 2>/dev/null || true
+    exit 1
+  fi
+
+  local base="http://127.0.0.1:${port}"
+  [[ "$(curl -sf "${base}/healthz")" == "ok" ]] || {
+    echo "/healthz did not answer ok" >&2; exit 1; }
+  curl -sf "${base}/metrics" > "${work}/metrics.prom"
+  grep -q '^tdg_build_info{' "${work}/metrics.prom"
+  grep -q '^# TYPE tdg_' "${work}/metrics.prom"
+  grep -q '^tdg_process_uptime_seconds ' "${work}/metrics.prom"
+  curl -sf "${base}/statusz" | grep -q 'tdg.run_manifest.v1'
+  # Mid-run progress: poll until at least one cell completion is visible.
+  local saw_progress=0
+  for _ in $(seq 1 100); do
+    curl -sf "${base}/progressz" > "${work}/progressz.json" || break
+    if grep -q '"cells_done": 0,' "${work}/progressz.json"; then
+      sleep 0.1
+    else
+      saw_progress=1
+      break
+    fi
+  done
+  if [[ "${saw_progress}" -ne 1 ]]; then
+    echo "/progressz never reported a completed cell mid-run" >&2
+    kill "${sweep_pid}" 2>/dev/null || true
+    exit 1
+  fi
+  grep -q '"name": "ci-monitor"' "${work}/progressz.json"
+  # The heartbeat file is live while the shard runs.
+  "${merge}" --watch --watch_iterations=1 "${work}/on.ckpt" \
+    > "${work}/watch_mid.txt"
+  grep -Eq 'running|done' "${work}/watch_mid.txt"
+
+  wait "${sweep_pid}"
+  # After completion the final heartbeat reports done and --watch exits 0.
+  "${merge}" --watch "${work}/on.ckpt" > "${work}/watch_done.txt"
+  grep -q 'done' "${work}/watch_done.txt"
+
+  echo "==> [monitor] outputs byte-identical with the server on"
+  cmp "${work}/off.csv" "${work}/on.csv"
+  cmp "${work}/off.json" "${work}/on.json"
+  echo "==> [monitor] OK"
+}
+
 run_config() {
   local config="$1"
   if [[ "${config}" == "bench-smoke" ]]; then
@@ -171,6 +292,10 @@ run_config() {
   fi
   if [[ "${config}" == "crash-resume" ]]; then
     run_crash_resume
+    return
+  fi
+  if [[ "${config}" == "monitor" ]]; then
+    run_monitor
     return
   fi
   local build_dir="build-ci/${config}"
@@ -189,7 +314,7 @@ run_config() {
 if [[ $# -gt 0 ]]; then
   for config in "$@"; do run_config "${config}"; done
 else
-  for config in asan ubsan tsan obs-off bench-smoke crash-resume; do
+  for config in asan ubsan tsan obs-off bench-smoke crash-resume monitor; do
     run_config "${config}"
   done
 fi

@@ -54,6 +54,23 @@
 //                          runtime. Sweep outputs then report
 //                          mean_micros=0, making CSV/JSON byte-comparable
 //                          across runs (used by ci/check.sh crash-resume).
+//
+// Live monitoring flags (valid with every command; see DESIGN.md §9):
+//
+//   --stats_port=<port>    Serve /metrics (Prometheus text exposition),
+//                          /statusz, /progressz and /healthz over HTTP on
+//                          127.0.0.1:<port> for the duration of the run.
+//                          Port 0 binds an ephemeral port. Off by default;
+//                          pure observation — outputs are byte-identical
+//                          with and without the server.
+//   --stats_port_file=<f>  Write the bound port (atomic replace) so
+//                          scripts can discover an ephemeral --stats_port=0.
+//   --progress             Echo a throttled single-line sweep progress /
+//                          ETA report to stderr.
+//   --heartbeat            (sweep with --checkpoint) Atomically rewrite
+//                          <checkpoint>.heartbeat (tdg.heartbeat.v1 JSON)
+//                          every --heartbeat_period_ms=<ms> [default 1000]
+//                          so `tdg_sweepmerge --watch` can track the fleet.
 
 #include <cstdio>
 #include <fstream>
@@ -176,6 +193,16 @@ int CmdSweep(const tdg::util::FlagParser& flags) {
         "--shard_count > 1 requires --checkpoint (each shard must persist "
         "its cells for tdg_sweepmerge)"));
   }
+  if (flags.GetBool("heartbeat", false)) {
+    if (shard.checkpoint_path.empty()) {
+      return Fail(tdg::util::Status::InvalidArgument(
+          "--heartbeat requires --checkpoint (the heartbeat file lives "
+          "next to it as <checkpoint>.heartbeat)"));
+    }
+    shard.heartbeat_path = shard.checkpoint_path + ".heartbeat";
+    shard.heartbeat_period_ms =
+        static_cast<int>(flags.GetInt("heartbeat_period_ms", 1000));
+  }
 
   if (!shard.checkpoint_path.empty()) {
     // Crash-safe path: one fsync'd checkpoint record per completed cell.
@@ -297,6 +324,9 @@ void PrintUsage() {
       "observability (any command): --trace_out=<file> --metrics_out=<file> "
       "--print_metrics --events_out=<file> --manifest_out=<file> "
       "--no_metrics\n"
+      "live monitoring (any command): --stats_port=<port|0> "
+      "--stats_port_file=<file> --progress; sweep: --heartbeat "
+      "[--heartbeat_period_ms=MS]\n"
       "crash-safe sweeps: sweep --checkpoint=<file> [--resume] "
       "[--shard_index=I --shard_count=S]; merge with tdg_sweepmerge\n"
       "see the header comment of examples/tdg_cli.cc for per-command "
@@ -344,7 +374,34 @@ int main(int argc, char** argv) {
                   }));
   }
 
+  // Live monitoring plane. All of it observes only — outputs are
+  // byte-identical with and without these flags.
+  tdg::obs::InstallBuildInfoMetrics();
+  const int stats_port = static_cast<int>(flags.GetInt("stats_port", -1));
+  const bool progress = flags.GetBool("progress", false);
+  if (progress || stats_port >= 0) {
+    tdg::obs::ProgressTracker::Global().SetEnabled(true);
+    tdg::obs::ProgressTracker::Global().SetStderrReport(progress);
+  }
+  std::unique_ptr<tdg::obs::StatsServer> stats_server;
+  if (stats_port >= 0) {
+    tdg::obs::StatsServer::Options server_options;
+    server_options.port = stats_port;
+    server_options.port_file = flags.GetString("stats_port_file", "");
+    server_options.manifest = tdg::obs::RunManifest::Capture(
+        static_cast<uint64_t>(flags.GetInt("seed", 42)), argc, argv);
+    auto server = tdg::obs::StatsServer::Start(std::move(server_options));
+    if (!server.ok()) return Fail(server.status());
+    stats_server = std::move(server).value();
+    std::fprintf(stderr,
+                 "stats server listening on http://127.0.0.1:%d "
+                 "(/healthz /metrics /statusz /progressz)\n",
+                 stats_server->port());
+  }
+
   int exit_code = Dispatch(flags.positional().front(), flags);
+
+  if (stats_server != nullptr) stats_server->Stop();
 
   if (!manifest_out.empty()) {
     const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));

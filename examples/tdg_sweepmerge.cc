@@ -6,22 +6,43 @@
 //   tdg_sweepmerge [--csv=<out.csv>] [--json=<out.json>] [--table]
 //                  <shard0.ckpt> [<shard1.ckpt> ...]
 //
-// Exit codes: 0 merged cleanly; 1 the checkpoints are inconsistent
-// (digest/coverage/duplicates) or an output could not be written; 2 usage.
+// Watch mode — live fleet progress from the shards' heartbeat files
+// (tdg.heartbeat.v1, written next to each checkpoint by
+// `example_tdg_cli sweep --heartbeat`; see DESIGN.md §9):
+//
+//   tdg_sweepmerge --watch [--watch_interval_ms=2000]
+//                  [--watch_iterations=0] [--stale_after_ms=10000]
+//                  <shard0.ckpt> [<shard1.ckpt> ...]
+//
+// Renders a per-shard progress / straggler table (state: running | done |
+// stale | torn | missing) plus a fleet totals/ETA footer, refreshing every
+// --watch_interval_ms until every shard is done (or --watch_iterations > 0
+// rounds have printed — handy for scripts). Positional arguments are
+// checkpoint paths; each shard's heartbeat is read from
+// <checkpoint>.heartbeat (a path already ending in .heartbeat is used
+// as-is). Read-only: never blocks or perturbs the shards.
+//
+// Exit codes: 0 merged cleanly (or watch finished); 1 the checkpoints are
+// inconsistent (digest/coverage/duplicates) or an output could not be
+// written; 2 usage.
 //
 // A torn final record in a shard file (crash mid-append) is tolerated at
 // read time but surfaces as a missing cell — resume that shard to
 // completion first. Checkpoints from different binaries or configs refuse
 // to merge (digest check, DESIGN.md §8).
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exp/sweep_shard.h"
+#include "obs/heartbeat.h"
 #include "util/flags.h"
 #include "util/status.h"
+#include "util/string_util.h"
 
 namespace {
 
@@ -30,20 +51,69 @@ int Fail(const tdg::util::Status& status) {
   return 1;
 }
 
+int Watch(const std::vector<std::string>& paths,
+          const tdg::util::FlagParser& flags) {
+  std::vector<std::string> heartbeat_paths;
+  heartbeat_paths.reserve(paths.size());
+  for (const std::string& path : paths) {
+    heartbeat_paths.push_back(tdg::util::EndsWith(path, ".heartbeat")
+                                  ? path
+                                  : path + ".heartbeat");
+  }
+  const long long interval_ms = flags.GetInt("watch_interval_ms", 2000);
+  const long long max_iterations = flags.GetInt("watch_iterations", 0);
+  const long long stale_after_ms = flags.GetInt("stale_after_ms", 10000);
+  for (long long iteration = 1;; ++iteration) {
+    const std::vector<tdg::obs::HeartbeatStatus> fleet =
+        tdg::obs::CollectHeartbeats(heartbeat_paths, tdg::obs::UnixMillis(),
+                                    stale_after_ms);
+    std::printf("%s", tdg::obs::RenderHeartbeatTable(fleet).c_str());
+    std::fflush(stdout);
+    bool all_done = true;
+    for (const tdg::obs::HeartbeatStatus& status : fleet) {
+      all_done = all_done && status.state == "done";
+    }
+    if (all_done) {
+      std::printf("all %zu shard(s) done — merge with: tdg_sweepmerge "
+                  "--csv=... <checkpoints...>\n",
+                  fleet.size());
+      return 0;
+    }
+    if (max_iterations > 0 && iteration >= max_iterations) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    std::printf("\n");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --watch and --table are switches that naturally precede the positional
+  // checkpoint paths; rewrite the bare forms to `=true` so FlagParser's
+  // `--name value` rule cannot swallow the first path as a flag value.
+  std::vector<std::string> args(argv, argv + argc);
+  for (std::string& arg : args) {
+    if (arg == "--watch" || arg == "--table") arg += "=true";
+  }
+  std::vector<const char*> arg_ptrs;
+  arg_ptrs.reserve(args.size());
+  for (const std::string& arg : args) arg_ptrs.push_back(arg.c_str());
+
   tdg::util::FlagParser flags;
-  auto parse_status = flags.Parse(argc, argv);
+  auto parse_status = flags.Parse(argc, arg_ptrs.data());
   if (!parse_status.ok()) return Fail(parse_status);
   const std::vector<std::string>& paths = flags.positional();
   if (paths.empty()) {
     std::fprintf(stderr,
                  "usage: tdg_sweepmerge [--csv=<out.csv>] "
                  "[--json=<out.json>] [--table] <shard0.ckpt> "
-                 "[<shard1.ckpt> ...]\n");
+                 "[<shard1.ckpt> ...]\n"
+                 "       tdg_sweepmerge --watch "
+                 "[--watch_interval_ms=MS] [--watch_iterations=N] "
+                 "[--stale_after_ms=MS] <shard0.ckpt> ...\n");
     return 2;
   }
+  if (flags.GetBool("watch", false)) return Watch(paths, flags);
 
   auto merged = tdg::exp::MergeSweepCheckpoints(paths);
   if (!merged.ok()) return Fail(merged.status());

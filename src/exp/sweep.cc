@@ -9,6 +9,7 @@
 #include "obs/obs.h"
 #include "stats/descriptive.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 #include "util/thread_pool.h"
@@ -157,12 +158,21 @@ util::StatusOr<SweepResult> RunSweep(const SweepConfig& config) {
   util::Status first_error;
   std::mutex error_mutex;
 
+  // The tracker only observes: every hook below is one relaxed atomic load
+  // when monitoring is off, and cell results never depend on it.
+  obs::ProgressTracker& progress = obs::ProgressTracker::Global();
+  progress.BeginRun(config.name,
+                    static_cast<long long>(result.cells.size()),
+                    /*cells_restored=*/0);
+
   util::ThreadPool pool(config.threads);
   util::ParallelFor(
       pool, static_cast<int>(result.cells.size()), [&](int index) {
         if (failed.load()) return;
         size_t point_index = static_cast<size_t>(index) / policies.size();
         size_t policy_index = static_cast<size_t>(index) % policies.size();
+        const int64_t cell_start =
+            progress.enabled() ? util::MonotonicMicros() : 0;
         // Seeds depend only on the grid position — thread-schedule free.
         CellSeeds seeds = SeedsForCell(config.seed, index, policies.size());
         auto cell = RunSweepCell(points[point_index], policies[policy_index],
@@ -174,7 +184,14 @@ util::StatusOr<SweepResult> RunSweep(const SweepConfig& config) {
           return;
         }
         result.cells[index] = std::move(cell).value();
+        if (progress.enabled()) {
+          progress.RecordCell(
+              PointLabel(points[point_index]) + "/" +
+                  policies[policy_index],
+              static_cast<double>(util::MonotonicMicros() - cell_start));
+        }
       });
+  progress.EndRun();
   TDG_OBS_EVENT("sweep/end", (util::JsonValue::Object{
                                  {"name", config.name},
                                  {"ok", !failed.load()},

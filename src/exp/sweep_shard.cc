@@ -9,12 +9,15 @@
 #include <mutex>
 #include <set>
 
+#include <unistd.h>
+
 #include "baselines/registry.h"
 #include "obs/event_log.h"
 #include "obs/obs.h"
 #include "obs/run_manifest.h"
 #include "util/file_util.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -431,6 +434,51 @@ util::StatusOr<SweepShardResult> RunSweepShard(
   std::mutex append_mutex;
   int appended_this_run = 0;
 
+  // Monitoring plane — observation only. The tracker hooks cost one relaxed
+  // atomic load when disabled; the heartbeat thread samples two atomics and
+  // never touches cell results or checkpoint bytes.
+  obs::ProgressTracker& progress = obs::ProgressTracker::Global();
+  progress.BeginRun(config.name,
+                    static_cast<long long>(shard_cells.size()),
+                    shard_result.cells_restored);
+
+  const long long hb_restored = shard_result.cells_restored;
+  std::atomic<long long> hb_cells_done{hb_restored};
+  std::atomic<long long> hb_last_cell_unix_ms{0};
+  const long long hb_start_unix_ms = obs::UnixMillis();
+  obs::HeartbeatWriter heartbeat;
+  if (!options.heartbeat_path.empty()) {
+    const long long owned_cells =
+        static_cast<long long>(shard_cells.size());
+    heartbeat.Start(
+        options.heartbeat_path, options.heartbeat_period_ms,
+        [&config, &options, cells_total, owned_cells, hb_restored,
+         hb_start_unix_ms, &hb_cells_done, &hb_last_cell_unix_ms] {
+          obs::Heartbeat beat;
+          beat.name = config.name;
+          beat.shard_index = options.shard_index;
+          beat.shard_count = options.shard_count;
+          beat.cells_total = cells_total;
+          beat.shard_cells = owned_cells;
+          beat.cells_done =
+              hb_cells_done.load(std::memory_order_relaxed);
+          beat.pid = static_cast<long long>(getpid());
+          beat.updated_unix_ms = obs::UnixMillis();
+          beat.last_cell_unix_ms =
+              hb_last_cell_unix_ms.load(std::memory_order_relaxed);
+          const double elapsed_seconds =
+              static_cast<double>(beat.updated_unix_ms -
+                                  hb_start_unix_ms) /
+              1e3;
+          const long long run_cells = beat.cells_done - hb_restored;
+          beat.cells_per_second =
+              elapsed_seconds > 0
+                  ? static_cast<double>(run_cells) / elapsed_seconds
+                  : 0;
+          return beat;
+        });
+  }
+
   util::ThreadPool pool(config.threads);
   util::ParallelFor(
       pool, static_cast<int>(remaining.size()), [&](int i) {
@@ -440,6 +488,8 @@ util::StatusOr<SweepShardResult> RunSweepShard(
             static_cast<size_t>(cell_index) / policies.size();
         const size_t policy_index =
             static_cast<size_t>(cell_index) % policies.size();
+        const int64_t cell_start =
+            progress.enabled() ? util::MonotonicMicros() : 0;
         SweepCheckpointCell record;
         record.cell_index = cell_index;
         const CellSeeds seeds =
@@ -456,6 +506,12 @@ util::StatusOr<SweepShardResult> RunSweepShard(
           return;
         }
         record.cell = std::move(cell).value();
+        if (progress.enabled()) {
+          progress.RecordCell(
+              PointLabel(points[point_index]) + "/" +
+                  policies[policy_index],
+              static_cast<double>(util::MonotonicMicros() - cell_start));
+        }
         const std::string line = CellLine(record, digest);
         std::lock_guard<std::mutex> lock(append_mutex);
         util::Status append_status = checkpoint_file.AppendLine(line);
@@ -467,10 +523,17 @@ util::StatusOr<SweepShardResult> RunSweepShard(
         TDG_OBS_COUNTER_ADD("sweep/checkpoint/cells_written", 1);
         completed.emplace(cell_index, std::move(record));
         ++appended_this_run;
+        if (heartbeat.running()) {
+          hb_cells_done.fetch_add(1, std::memory_order_relaxed);
+          hb_last_cell_unix_ms.store(obs::UnixMillis(),
+                                     std::memory_order_relaxed);
+        }
 #if defined(TDG_TEST_HOOKS)
         MaybeCrashAfterCells(appended_this_run);
 #endif
       });
+  heartbeat.Stop();
+  progress.EndRun();
   TDG_OBS_EVENT("sweep/shard_end",
                 (util::JsonValue::Object{
                     {"name", config.name},

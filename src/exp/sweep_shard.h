@@ -93,6 +93,14 @@ struct SweepShardOptions {
   /// this, an existing checkpoint file is a FailedPrecondition error (never
   /// silently clobber completed work).
   bool resume = false;
+  /// When non-empty, a background obs::HeartbeatWriter atomically rewrites
+  /// this file (tdg.heartbeat.v1 JSON) every `heartbeat_period_ms` for the
+  /// duration of the shard, so `tdg_sweepmerge --watch` can report fleet
+  /// progress and spot stragglers without touching the shard processes.
+  /// Pure observation: cell results and checkpoint bytes are identical with
+  /// or without it. Convention: `<checkpoint_path>.heartbeat`.
+  std::string heartbeat_path;
+  int heartbeat_period_ms = 1000;
 };
 
 struct SweepShardResult {

@@ -1,5 +1,6 @@
 #include "obs/event_log.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "util/logging.h"
@@ -14,6 +15,15 @@ EventLog& EventLog::Global() {
 }
 
 util::Status EventLog::Open(const std::string& path) {
+  // Crash-path flushes, registered once per process: a run that dies on a
+  // fatal (or just forgets Close) must not truncate its event stream to
+  // whatever happened to leave the ofstream buffer.
+  static const bool flush_hooks_registered = [] {
+    std::atexit([] { EventLog::Global().Flush(); });
+    util::AddFatalHandler([] { EventLog::Global().Flush(); });
+    return true;
+  }();
+  (void)flush_hooks_registered;
   std::lock_guard<std::mutex> lock(mutex_);
   if (out_.is_open()) out_.close();
   out_.open(path, std::ios::trunc);
@@ -30,6 +40,11 @@ void EventLog::Close() {
   std::lock_guard<std::mutex> lock(mutex_);
   active_.store(false, std::memory_order_relaxed);
   if (out_.is_open()) out_.close();
+}
+
+void EventLog::Flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (out_.is_open()) out_.flush();
 }
 
 void EventLog::Emit(std::string_view event, util::JsonValue::Object fields) {

@@ -41,6 +41,13 @@ class EventLog {
   /// Flushes and stops accepting events. Idempotent.
   void Close();
 
+  /// Pushes buffered lines to the OS without closing the stream. Safe from
+  /// any thread; no-op when closed. The first Open() registers an atexit
+  /// *and* a util::AddFatalHandler flush, so an --events_out stream loses
+  /// at most the line being formatted when the process dies mid-sweep
+  /// (TDG_CHECK failure, unhandled fatal) instead of a whole buffer.
+  void Flush();
+
   bool active() const { return active_.load(std::memory_order_relaxed); }
 
   /// Events written since Open (resets on Open).

@@ -1,0 +1,118 @@
+#ifndef TDG_OBS_HEARTBEAT_H_
+#define TDG_OBS_HEARTBEAT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/json.h"
+#include "util/statusor.h"
+
+namespace tdg::obs {
+
+/// Shard liveness files (DESIGN.md §9). Each sweep shard periodically
+/// writes a tiny JSON heartbeat next to its checkpoint
+/// (`<checkpoint>.heartbeat` by convention); `tdg_sweepmerge --watch`
+/// aggregates the fleet's heartbeats into a progress / straggler table
+/// without talking to the shard processes at all.
+///
+/// Writes go through util::WriteFileAtomic (tmp + rename), so a reader
+/// never sees a half-written heartbeat from a live writer; a torn file can
+/// only result from an unlucky crash and parses as an error the watcher
+/// reports instead of trusting.
+
+/// Schema identifier; bump on incompatible change.
+inline constexpr const char* kHeartbeatSchema = "tdg.heartbeat.v1";
+
+struct Heartbeat {
+  std::string schema = kHeartbeatSchema;
+  std::string name;             // sweep name
+  int shard_index = 0;
+  int shard_count = 1;
+  long long cells_total = 0;    // full grid size
+  long long shard_cells = 0;    // cells this shard owns
+  long long cells_done = 0;     // completed (restored + run)
+  long long pid = 0;
+  /// Wall-clock milliseconds since the unix epoch. `updated` stamps the
+  /// write; `last_cell` stamps the most recent cell completion (0 before
+  /// the first one) — a shard that is alive but stuck shows a fresh
+  /// `updated` and a stale `last_cell`.
+  long long updated_unix_ms = 0;
+  long long last_cell_unix_ms = 0;
+  /// Completion throughput over this invocation's lifetime (cells/s).
+  double cells_per_second = 0;
+
+  util::JsonValue ToJson() const;
+  static util::StatusOr<Heartbeat> FromJson(const util::JsonValue& json);
+};
+
+/// Milliseconds since the unix epoch (wall clock — heartbeats are compared
+/// across machines, where a monotonic origin means nothing).
+long long UnixMillis();
+
+/// Atomically writes `heartbeat` to `path`.
+util::Status WriteHeartbeat(const std::string& path,
+                            const Heartbeat& heartbeat);
+
+/// Reads a heartbeat file. NotFound when absent; InvalidArgument when the
+/// content does not parse (e.g. a torn write from a crashed host) — the
+/// watcher degrades the shard to "unknown" instead of aborting.
+util::StatusOr<Heartbeat> ReadHeartbeat(const std::string& path);
+
+/// Background writer: samples `sampler` every `period_ms` (plus once at
+/// Start and once at Stop) and atomically rewrites `path`. The sampler is
+/// called on the writer thread and must be thread-safe.
+class HeartbeatWriter {
+ public:
+  HeartbeatWriter() = default;
+  ~HeartbeatWriter() { Stop(); }
+
+  HeartbeatWriter(const HeartbeatWriter&) = delete;
+  HeartbeatWriter& operator=(const HeartbeatWriter&) = delete;
+
+  void Start(std::string path, int period_ms,
+             std::function<Heartbeat()> sampler);
+
+  /// Writes one final heartbeat and joins the thread. Idempotent.
+  void Stop();
+
+  bool running() const { return thread_.joinable(); }
+
+ private:
+  std::string path_;
+  std::function<Heartbeat()> sampler_;
+  std::thread thread_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+};
+
+/// One row of the fleet-wide watch table.
+struct HeartbeatStatus {
+  std::string path;
+  bool present = false;      // file exists
+  bool parseable = false;    // present and parsed cleanly
+  Heartbeat heartbeat;       // valid iff parseable
+  double age_seconds = 0;    // now - updated (parseable only)
+  /// "done" | "running" | "stale" | "torn" | "missing".
+  std::string state;
+};
+
+/// Classifies each heartbeat file against `now_unix_ms` ("stale" once
+/// `updated` is older than `stale_after_ms`).
+std::vector<HeartbeatStatus> CollectHeartbeats(
+    const std::vector<std::string>& paths, long long now_unix_ms,
+    long long stale_after_ms);
+
+/// Renders the fleet table plus a totals/ETA footer — the body of
+/// `tdg_sweepmerge --watch`.
+std::string RenderHeartbeatTable(const std::vector<HeartbeatStatus>& fleet);
+
+}  // namespace tdg::obs
+
+#endif  // TDG_OBS_HEARTBEAT_H_

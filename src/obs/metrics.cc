@@ -141,6 +141,15 @@ double Histogram::Quantile(double q) const {
   return Max();
 }
 
+std::vector<Histogram::BucketCount> Histogram::NonEmptyBuckets() const {
+  std::vector<BucketCount> populated;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const int64_t count = buckets_[i].load(std::memory_order_relaxed);
+    if (count > 0) populated.push_back({i, count});
+  }
+  return populated;
+}
+
 void Histogram::Reset() {
   for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -183,9 +192,16 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
   return *it->second;
 }
 
+void MetricsRegistry::SetBuildInfo(
+    std::map<std::string, std::string> labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  build_info_ = std::move(labels);
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snapshot;
+  snapshot.build_info = build_info_;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->Value();
   }
@@ -202,6 +218,15 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     stats.p50 = histogram->Quantile(0.50);
     stats.p95 = histogram->Quantile(0.95);
     stats.p99 = histogram->Quantile(0.99);
+    // Cumulative bucket counts with Prometheus `le` upper bounds; bucket i
+    // of the fixed geometry covers [LowerBound(i), LowerBound(i + 1)).
+    int64_t cumulative = 0;
+    for (const Histogram::BucketCount& bucket :
+         histogram->NonEmptyBuckets()) {
+      cumulative += bucket.count;
+      stats.buckets.push_back(
+          {Histogram::BucketLowerBound(bucket.index + 1), cumulative});
+    }
     snapshot.histograms[name] = stats;
   }
   return snapshot;
@@ -237,9 +262,23 @@ util::JsonValue MetricsSnapshot::ToJson() const {
     entry.Set("p50", stats.p50);
     entry.Set("p95", stats.p95);
     entry.Set("p99", stats.p99);
+    util::JsonValue buckets = util::JsonValue::MakeArray();
+    for (const HistogramBucketStats& bucket : stats.buckets) {
+      util::JsonValue bucket_json = util::JsonValue::MakeObject();
+      bucket_json.Set("le", bucket.upper_bound);
+      bucket_json.Set("count",
+                      static_cast<long long>(bucket.cumulative_count));
+      buckets.Append(std::move(bucket_json));
+    }
+    entry.Set("buckets", std::move(buckets));
     histograms_json.Set(name, std::move(entry));
   }
   util::JsonValue root = util::JsonValue::MakeObject();
+  if (!build_info.empty()) {
+    util::JsonValue build_json = util::JsonValue::MakeObject();
+    for (const auto& [key, value] : build_info) build_json.Set(key, value);
+    root.Set("build_info", std::move(build_json));
+  }
   root.Set("counters", std::move(counters_json));
   root.Set("gauges", std::move(gauges_json));
   root.Set("histograms", std::move(histograms_json));
@@ -248,24 +287,38 @@ util::JsonValue MetricsSnapshot::ToJson() const {
 
 util::CsvDocument MetricsSnapshot::ToCsv() const {
   util::CsvDocument doc({"kind", "name", "value", "count", "sum", "mean",
-                         "min", "max", "p50", "p95", "p99"});
+                         "min", "max", "p50", "p95", "p99", "buckets"});
   auto fmt = [](double v) { return util::StrFormat("%.17g", v); };
+  for (const auto& [name, value] : build_info) {
+    util::Status status = doc.AddRow({"build_info", name, value, "", "", "",
+                                      "", "", "", "", "", ""});
+    TDG_CHECK(status.ok()) << status;
+  }
   for (const auto& [name, value] : counters) {
     util::Status status = doc.AddRow({"counter", name, std::to_string(value),
-                                      "", "", "", "", "", "", "", ""});
+                                      "", "", "", "", "", "", "", "", ""});
     TDG_CHECK(status.ok()) << status;
   }
   for (const auto& [name, stats] : gauges) {
     util::Status status =
         doc.AddRow({"gauge", name, fmt(stats.value), "", "", "", "",
-                    fmt(stats.max), "", "", ""});
+                    fmt(stats.max), "", "", "", ""});
     TDG_CHECK(status.ok()) << status;
   }
   for (const auto& [name, stats] : histograms) {
+    // Compact "le:cumulative" pairs, '|'-separated, matching the JSON and
+    // Prometheus bucket data so every exporter reads one snapshot.
+    std::string buckets;
+    for (const HistogramBucketStats& bucket : stats.buckets) {
+      if (!buckets.empty()) buckets += '|';
+      buckets += fmt(bucket.upper_bound);
+      buckets += ':';
+      buckets += std::to_string(bucket.cumulative_count);
+    }
     util::Status status = doc.AddRow(
         {"histogram", name, "", std::to_string(stats.count), fmt(stats.sum),
          fmt(stats.mean), fmt(stats.min), fmt(stats.max), fmt(stats.p50),
-         fmt(stats.p95), fmt(stats.p99)});
+         fmt(stats.p95), fmt(stats.p99), buckets});
     TDG_CHECK(status.ok()) << status;
   }
   return doc;

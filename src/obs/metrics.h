@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "util/csv.h"
 #include "util/json.h"
@@ -79,6 +80,16 @@ class Histogram {
   };
   Totals GetTotals() const { return {Count(), Sum()}; }
 
+  /// One populated bucket: `index` into the fixed geometry, `count` samples
+  /// landed in it (non-cumulative).
+  struct BucketCount {
+    int index = 0;
+    int64_t count = 0;
+  };
+  /// The populated buckets in ascending index order. Empty buckets are
+  /// omitted — callers reconstruct bounds via BucketLowerBound().
+  std::vector<BucketCount> NonEmptyBuckets() const;
+
   void Reset();
 
   /// Bucket geometry, exposed for tests: bucket i covers
@@ -119,6 +130,14 @@ struct GaugeStats {
   double max = 0;
 };
 
+/// One cumulative histogram bucket in a snapshot: `count` samples at or
+/// below `upper_bound` (Prometheus `le` semantics). The final implicit
+/// "+Inf" bucket equals HistogramStats::count.
+struct HistogramBucketStats {
+  double upper_bound = 0;
+  int64_t cumulative_count = 0;
+};
+
 struct HistogramStats {
   int64_t count = 0;
   double sum = 0;
@@ -128,6 +147,10 @@ struct HistogramStats {
   double p50 = 0;
   double p95 = 0;
   double p99 = 0;
+  /// Cumulative counts for the *populated* buckets, ascending by bound.
+  /// Shared by every exporter (JSON, CSV, Prometheus /metrics) so a single
+  /// Snapshot() pass feeds them all.
+  std::vector<HistogramBucketStats> buckets;
 };
 
 /// A point-in-time copy of every registered metric, exportable to the
@@ -136,6 +159,10 @@ struct MetricsSnapshot {
   std::map<std::string, int64_t> counters;
   std::map<std::string, GaugeStats> gauges;
   std::map<std::string, HistogramStats> histograms;
+  /// Static build provenance labels (git sha, compiler, build type — see
+  /// MetricsRegistry::SetBuildInfo). Rendered as the `tdg_build_info` gauge
+  /// on /metrics and a "build_info" object in the JSON export.
+  std::map<std::string, std::string> build_info;
 
   bool empty() const {
     return counters.empty() && gauges.empty() && histograms.empty();
@@ -162,6 +189,10 @@ class MetricsRegistry {
   Gauge& GetGauge(std::string_view name);
   Histogram& GetHistogram(std::string_view name);
 
+  /// Attaches static key/value provenance labels to every later Snapshot()
+  /// (the `build_info` convention: git sha, compiler, build type).
+  void SetBuildInfo(std::map<std::string, std::string> labels);
+
   MetricsSnapshot Snapshot() const;
 
   /// Zeroes every metric (handles stay valid). Intended for tests.
@@ -174,6 +205,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::string> build_info_;
 };
 
 }  // namespace tdg::obs

@@ -2,10 +2,20 @@
 
 #include <fstream>
 
+#include "util/stopwatch.h"
 #include "util/thread_pool.h"
 #include "util/work_steal_queue.h"
 
 namespace tdg::obs {
+namespace {
+
+void RefreshUptimeGauge() {
+  MetricsRegistry::Global()
+      .GetGauge("process/uptime_seconds")
+      .Set(static_cast<double>(util::MonotonicMicros()) / 1e6);
+}
+
+}  // namespace
 
 void InstallThreadPoolInstrumentation() {
   util::ThreadPoolObserver observer;
@@ -43,7 +53,19 @@ void InstallWorkStealQueueInstrumentation() {
   util::SetWorkStealQueueObserver(std::move(observer));
 }
 
+void InstallBuildInfoMetrics() {
+  const RunManifest manifest = RunManifest::Capture();
+  MetricsRegistry::Global().SetBuildInfo({
+      {"git_sha", manifest.git_sha},
+      {"compiler", manifest.compiler},
+      {"build_type", manifest.build_type},
+      {"sanitizer", manifest.sanitizer},
+      {"os", manifest.os},
+  });
+}
+
 util::Status WriteMetricsJsonFile(const std::string& path) {
+  RefreshUptimeGauge();
   std::ofstream out(path);
   if (!out) {
     return util::Status::IOError("cannot open metrics file: " + path);
@@ -57,6 +79,7 @@ util::Status WriteMetricsJsonFile(const std::string& path) {
 }
 
 util::Status WriteMetricsCsvFile(const std::string& path) {
+  RefreshUptimeGauge();
   return MetricsRegistry::Global().Snapshot().ToCsv().WriteToFile(path);
 }
 

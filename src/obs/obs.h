@@ -19,12 +19,23 @@
 ///   * runtime — SetMetricsEnabled(false) freezes every metric, and tracing
 ///     is off unless StartTracing() was called. With both off, instrumented
 ///     hot paths cost one relaxed atomic load per site.
+///
+/// A third pillar — the live monitoring plane (stats_server.h, progress.h,
+/// heartbeat.h, prometheus.h) — serves the same registry over loopback HTTP
+/// (/metrics Prometheus exposition, /statusz, /progressz, /healthz), tracks
+/// sweep progress/ETA, and lets crash-safe shards advertise liveness via
+/// atomic heartbeat files. All of it only *reads* experiment state: outputs
+/// are byte-identical with and without the server.
 
 #include "obs/bench_report.h"
 #include "obs/event_log.h"
+#include "obs/heartbeat.h"
 #include "obs/metrics.h"
 #include "obs/perf_diff.h"
+#include "obs/progress.h"
+#include "obs/prometheus.h"
 #include "obs/run_manifest.h"
+#include "obs/stats_server.h"
 #include "obs/trace.h"
 #include "util/status.h"
 
@@ -45,7 +56,15 @@ void InstallThreadPoolInstrumentation();
 /// Idempotent; replaces any previously installed observer.
 void InstallWorkStealQueueInstrumentation();
 
-/// Writes MetricsRegistry::Global().Snapshot() to `path`.
+/// Stamps build provenance (git sha, compiler, build type, sanitizer, os —
+/// from RunManifest::Capture()) into the registry's build_info label set,
+/// rendered as the `tdg_build_info{...} 1` gauge on /metrics and as the
+/// "build_info" object in JSON/CSV exports. Idempotent.
+void InstallBuildInfoMetrics();
+
+/// Writes MetricsRegistry::Global().Snapshot() to `path`. Both refresh the
+/// "process/uptime_seconds" gauge first (a no-op when metrics are frozen)
+/// so file exports and /metrics scrapes agree on what a snapshot carries.
 util::Status WriteMetricsJsonFile(const std::string& path);
 util::Status WriteMetricsCsvFile(const std::string& path);
 

@@ -1,0 +1,114 @@
+#include "obs/prometheus.h"
+
+#include "util/string_util.h"
+
+namespace tdg::obs {
+namespace {
+
+bool IsPrometheusNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+std::string FormatValue(double value) {
+  return util::StrFormat("%.17g", value);
+}
+
+void AppendFamilyHeader(std::string& out, const std::string& family,
+                        const char* type) {
+  out += "# TYPE ";
+  out += family;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void AppendSample(std::string& out, const std::string& name,
+                  const std::string& value) {
+  out += name;
+  out += ' ';
+  out += value;
+  out += '\n';
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(std::string_view name) {
+  std::string folded = "tdg_";
+  for (char c : name) {
+    folded += IsPrometheusNameChar(c) ? c : '_';
+  }
+  return folded;
+}
+
+std::string PrometheusEscapeLabel(std::string_view value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        escaped += "\\\\";
+        break;
+      case '"':
+        escaped += "\\\"";
+        break;
+      case '\n':
+        escaped += "\\n";
+        break;
+      default:
+        escaped += c;
+    }
+  }
+  return escaped;
+}
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  if (!snapshot.build_info.empty()) {
+    AppendFamilyHeader(out, "tdg_build_info", "gauge");
+    out += "tdg_build_info{";
+    bool first = true;
+    for (const auto& [key, value] : snapshot.build_info) {
+      if (!first) out += ',';
+      first = false;
+      out += PrometheusMetricName(key).substr(4);  // fold, drop the prefix
+      out += "=\"";
+      out += PrometheusEscapeLabel(value);
+      out += '"';
+    }
+    out += "} 1\n";
+  }
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string family = PrometheusMetricName(name) + "_total";
+    AppendFamilyHeader(out, family, "counter");
+    AppendSample(out, family, std::to_string(value));
+  }
+  for (const auto& [name, stats] : snapshot.gauges) {
+    const std::string family = PrometheusMetricName(name);
+    AppendFamilyHeader(out, family, "gauge");
+    AppendSample(out, family, FormatValue(stats.value));
+    AppendFamilyHeader(out, family + "_max", "gauge");
+    AppendSample(out, family + "_max", FormatValue(stats.max));
+  }
+  for (const auto& [name, stats] : snapshot.histograms) {
+    const std::string family = PrometheusMetricName(name);
+    AppendFamilyHeader(out, family, "histogram");
+    for (const HistogramBucketStats& bucket : stats.buckets) {
+      out += family;
+      out += "_bucket{le=\"";
+      out += FormatValue(bucket.upper_bound);
+      out += "\"} ";
+      out += std::to_string(bucket.cumulative_count);
+      out += '\n';
+    }
+    out += family;
+    out += "_bucket{le=\"+Inf\"} ";
+    out += std::to_string(stats.count);
+    out += '\n';
+    AppendSample(out, family + "_sum", FormatValue(stats.sum));
+    AppendSample(out, family + "_count", std::to_string(stats.count));
+  }
+  return out;
+}
+
+}  // namespace tdg::obs

@@ -1,0 +1,148 @@
+#include "obs/stats_server.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "util/file_util.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace tdg::obs {
+namespace {
+
+// A request must arrive within this window; loopback clients either send
+// immediately or are gone.
+constexpr int kRequestTimeoutMs = 2000;
+// Poll granularity of the accept loop — the latency ceiling on Stop().
+constexpr int kAcceptPollMs = 100;
+constexpr size_t kMaxRequestBytes = 16 * 1024;
+
+std::string HttpResponse(int code, const char* reason,
+                         const std::string& content_type,
+                         const std::string& body) {
+  std::string response = util::StrFormat(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      code, reason, content_type.c_str(), body.size());
+  response += body;
+  return response;
+}
+
+std::string JsonResponse(const util::JsonValue& json) {
+  return HttpResponse(200, "OK", "application/json",
+                      json.SerializePretty() + "\n");
+}
+
+/// Parses "GET /path HTTP/1.1" into method + path (query string stripped).
+/// False on anything that is not a well-formed request line.
+bool ParseRequestLine(std::string_view head, std::string& method,
+                      std::string& path) {
+  const size_t line_end = head.find("\r\n");
+  if (line_end == std::string_view::npos) return false;
+  const std::string_view line = head.substr(0, line_end);
+  const size_t first_space = line.find(' ');
+  if (first_space == std::string_view::npos || first_space == 0) {
+    return false;
+  }
+  const size_t second_space = line.find(' ', first_space + 1);
+  if (second_space == std::string_view::npos) return false;
+  const std::string_view version = line.substr(second_space + 1);
+  if (!util::StartsWith(version, "HTTP/1.")) return false;
+  method = std::string(line.substr(0, first_space));
+  std::string_view target =
+      line.substr(first_space + 1, second_space - first_space - 1);
+  if (target.empty() || target[0] != '/') return false;
+  const size_t query = target.find('?');
+  if (query != std::string_view::npos) target = target.substr(0, query);
+  path = std::string(target);
+  return true;
+}
+
+}  // namespace
+
+util::StatusOr<std::unique_ptr<StatsServer>> StatsServer::Start(
+    Options options) {
+  if (options.manifest.git_sha.empty()) {
+    options.manifest = RunManifest::Capture();
+  }
+  std::unique_ptr<StatsServer> server(new StatsServer(std::move(options)));
+  TDG_ASSIGN_OR_RETURN(server->listener_,
+                       util::net::ServerSocket::Listen(
+                           server->options_.port));
+  if (!server->options_.port_file.empty()) {
+    TDG_RETURN_IF_ERROR(util::WriteFileAtomic(
+        server->options_.port_file,
+        std::to_string(server->listener_.port()) + "\n"));
+  }
+  server->start_micros_ = util::MonotonicMicros();
+  server->thread_ = std::thread([raw = server.get()] { raw->AcceptLoop(); });
+  return server;
+}
+
+void StatsServer::Stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_relaxed);
+  thread_.join();
+  listener_.Close();
+}
+
+void StatsServer::AcceptLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    auto connection = listener_.AcceptWithTimeout(kAcceptPollMs);
+    if (!connection.ok()) return;  // listener broke; nothing to serve
+    if (!connection->is_open()) continue;  // poll timeout — check stop flag
+    HandleConnection(std::move(connection).value());
+  }
+}
+
+void StatsServer::HandleConnection(util::net::Socket connection) {
+  auto request = connection.ReadUntil("\r\n\r\n", kMaxRequestBytes,
+                                      kRequestTimeoutMs);
+  std::string method;
+  std::string path;
+  std::string response;
+  if (!request.ok() || !ParseRequestLine(request.value(), method, path)) {
+    response = HttpResponse(400, "Bad Request", "text/plain",
+                            "malformed request\n");
+  } else if (method != "GET" && method != "HEAD") {
+    response = HttpResponse(405, "Method Not Allowed", "text/plain",
+                            "only GET is supported\n");
+  } else if (path == "/healthz") {
+    response = HttpResponse(200, "OK", "text/plain", "ok\n");
+  } else if (path == "/metrics") {
+    // Refresh the uptime gauge so every scrape carries it. Gauge::Set is a
+    // no-op under SetMetricsEnabled(false) — exactly the runs that demand
+    // byte-stable outputs.
+    MetricsRegistry::Global()
+        .GetGauge("process/uptime_seconds")
+        .Set(static_cast<double>(util::MonotonicMicros()) / 1e6);
+    response = HttpResponse(
+        200, "OK", kPrometheusContentType,
+        RenderPrometheusText(MetricsRegistry::Global().Snapshot()));
+  } else if (path == "/statusz") {
+    util::JsonValue json = util::JsonValue::MakeObject();
+    json.Set("manifest", options_.manifest.ToJson());
+    json.Set("uptime_seconds",
+             static_cast<double>(util::MonotonicMicros() -
+                                 start_micros_) /
+                 1e6);
+    json.Set("requests_served",
+             static_cast<long long>(requests_served()));
+    json.Set("port", listener_.port());
+    response = JsonResponse(json);
+  } else if (path == "/progressz") {
+    const ProgressTracker* progress =
+        options_.progress != nullptr ? options_.progress
+                                     : &ProgressTracker::Global();
+    response = JsonResponse(progress->Snapshot().ToJson());
+  } else {
+    response = HttpResponse(
+        404, "Not Found", "text/plain",
+        "not found; try /healthz /metrics /statusz /progressz\n");
+  }
+  requests_served_.fetch_add(1, std::memory_order_relaxed);
+  (void)connection.WriteAll(response);  // peer may have hung up; that's fine
+}
+
+}  // namespace tdg::obs

@@ -1,0 +1,84 @@
+#ifndef TDG_OBS_STATS_SERVER_H_
+#define TDG_OBS_STATS_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "obs/progress.h"
+#include "obs/run_manifest.h"
+#include "util/net.h"
+#include "util/statusor.h"
+
+namespace tdg::obs {
+
+/// Embedded HTTP/1.1 stats server (DESIGN.md §9) — the live-monitoring
+/// counterpart of the post-mortem exporters. One dedicated accept-loop
+/// thread, blocking sockets, loopback only, `Connection: close` per
+/// request. Off by default; when not started it costs nothing, and when
+/// started it only *reads* the metrics registry / progress tracker, so
+/// sweep outputs are byte-identical with and without it (asserted by
+/// StatsServerTest.SweepOutputsAreByteIdenticalWithServerOn).
+///
+/// Endpoints:
+///   /healthz    200 "ok" — liveness probe
+///   /metrics    Prometheus text exposition of the metrics registry
+///               (see obs/prometheus.h), plus process_uptime_seconds
+///   /statusz    JSON: run manifest, uptime, requests served
+///   /progressz  JSON: ProgressTracker snapshot (cells done/total, EWMA
+///               latency, ETA, current grid coordinates)
+class StatsServer {
+ public:
+  struct Options {
+    /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (see
+    /// port()).
+    int port = 0;
+    /// When non-empty, the bound port is written here (atomic replace) —
+    /// how scripts discover an ephemeral port.
+    std::string port_file;
+    /// Provenance served on /statusz. Captured at Start when left
+    /// default-constructed (empty git_sha).
+    RunManifest manifest;
+    /// Progress source for /progressz; the global tracker when null.
+    const ProgressTracker* progress = nullptr;
+  };
+
+  /// Binds, writes the port file, and launches the accept loop.
+  static util::StatusOr<std::unique_ptr<StatsServer>> Start(
+      Options options);
+
+  ~StatsServer() { Stop(); }
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+
+  /// The actually bound port (resolves port 0 requests).
+  int port() const { return listener_.port(); }
+
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops the accept loop and joins the thread. Idempotent.
+  void Stop();
+
+ private:
+  explicit StatsServer(Options options)
+      : options_(std::move(options)) {}
+
+  void AcceptLoop();
+  void HandleConnection(util::net::Socket connection);
+
+  Options options_;
+  util::net::ServerSocket listener_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> requests_served_{0};
+  int64_t start_micros_ = 0;
+};
+
+}  // namespace tdg::obs
+
+#endif  // TDG_OBS_STATS_SERVER_H_

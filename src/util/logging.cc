@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <vector>
 
 #include "util/stopwatch.h"
 
@@ -16,6 +17,32 @@ LogSeverity g_min_severity = LogSeverity::kInfo;
 std::mutex& LogMutex() {
   static std::mutex* const kMutex = new std::mutex();
   return *kMutex;
+}
+
+// Fatal handlers (leaked, like the mutexes: they must survive static
+// destruction — a fatal can fire at any point of shutdown).
+std::mutex& FatalHandlerMutex() {
+  static std::mutex* const kMutex = new std::mutex();
+  return *kMutex;
+}
+
+std::vector<void (*)()>& FatalHandlers() {
+  static std::vector<void (*)()>* const kHandlers =
+      new std::vector<void (*)()>();
+  return *kHandlers;
+}
+
+void RunFatalHandlers() {
+  // First fatal in wins; a fatal raised by a handler aborts right away
+  // instead of recursing.
+  static std::atomic<bool> ran{false};
+  if (ran.exchange(true)) return;
+  std::vector<void (*)()> handlers;
+  {
+    std::lock_guard<std::mutex> lock(FatalHandlerMutex());
+    handlers = FatalHandlers();
+  }
+  for (void (*handler)() : handlers) handler();
 }
 
 const char* SeverityName(LogSeverity severity) {
@@ -37,6 +64,11 @@ const char* SeverityName(LogSeverity severity) {
 LogSeverity MinLogSeverity() { return g_min_severity; }
 
 void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+
+void AddFatalHandler(void (*handler)()) {
+  std::lock_guard<std::mutex> lock(FatalHandlerMutex());
+  FatalHandlers().push_back(handler);
+}
 
 int CurrentThreadId() {
   static std::atomic<int> next_id{0};
@@ -67,6 +99,7 @@ LogMessage::~LogMessage() {
     std::cerr << line << std::flush;
   }
   if (severity_ == LogSeverity::kFatal) {
+    RunFatalHandlers();
     std::abort();
   }
 }

@@ -21,6 +21,13 @@ void SetMinLogSeverity(LogSeverity severity);
 /// prefixes and trace events so concurrent output is attributable.
 int CurrentThreadId();
 
+/// Registers a last-gasp callback run after a fatal log line (TDG_LOG(Fatal)
+/// / failed TDG_CHECK) is flushed, before the process aborts. Handlers run
+/// once in registration order and must be async-abort-minded: flush buffers,
+/// nothing clever. A fatal raised *inside* a handler skips the remaining
+/// handlers and aborts immediately. Registration is permanent.
+void AddFatalHandler(void (*handler)());
+
 /// Accumulates one log line and flushes it atomically (whole line, under a
 /// process-wide mutex, so concurrent sweep logs never interleave) with a
 /// `[SEVERITY <monotonic seconds> t<thread-id> file:line]` prefix on

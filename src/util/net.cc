@@ -1,0 +1,230 @@
+#include "util/net.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/string_util.h"
+
+namespace tdg::util::net {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(
+      StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+sockaddr_in LoopbackAddress(int port) {
+  sockaddr_in address = {};
+  address.sin_family = AF_INET;
+  address.sin_port = htons(static_cast<uint16_t>(port));
+  address.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return address;
+}
+
+}  // namespace
+
+StatusOr<bool> PollReadable(int fd, int timeout_ms) {
+  pollfd entry = {};
+  entry.fd = fd;
+  entry.events = POLLIN;
+  for (;;) {
+    const int ready = ::poll(&entry, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    return ready > 0;
+  }
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Socket::WriteAll(std::string_view data) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket is closed");
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n = ::send(fd_, data.data() + written,
+                             data.size() - written, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> Socket::ReadUntil(std::string_view delimiter,
+                                        size_t max_bytes, int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket is closed");
+  std::string buffer;
+  char chunk[1024];
+  while (buffer.find(delimiter) == std::string::npos) {
+    if (buffer.size() >= max_bytes) {
+      return Status::OutOfRange(StrFormat(
+          "no delimiter within %zu bytes", max_bytes));
+    }
+    TDG_ASSIGN_OR_RETURN(bool readable, PollReadable(fd_, timeout_ms));
+    if (!readable) {
+      return Status::FailedPrecondition("read timed out");
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) {
+      return Status::NotFound("peer closed before delimiter");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+  return buffer;
+}
+
+StatusOr<std::string> Socket::ReadToEof(size_t max_bytes, int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("socket is closed");
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    if (buffer.size() >= max_bytes) {
+      return Status::OutOfRange(
+          StrFormat("response exceeds %zu bytes", max_bytes));
+    }
+    TDG_ASSIGN_OR_RETURN(bool readable, PollReadable(fd_, timeout_ms));
+    if (!readable) {
+      return Status::FailedPrecondition("read timed out");
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (n == 0) return buffer;
+    buffer.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+ServerSocket& ServerSocket::operator=(ServerSocket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  return *this;
+}
+
+void ServerSocket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  port_ = 0;
+}
+
+StatusOr<ServerSocket> ServerSocket::Listen(int port, int backlog) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument(
+        StrFormat("port %d outside [0, 65535]", port));
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  const int enable = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in address = LoopbackAddress(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&address),
+             sizeof(address)) != 0) {
+    Status status = Errno("bind");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, backlog) != 0) {
+    Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound = {};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    Status status = Errno("getsockname");
+    ::close(fd);
+    return status;
+  }
+  return ServerSocket(fd, static_cast<int>(ntohs(bound.sin_port)));
+}
+
+StatusOr<Socket> ServerSocket::AcceptWithTimeout(int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("server socket is closed");
+  TDG_ASSIGN_OR_RETURN(bool readable, PollReadable(fd_, timeout_ms));
+  if (!readable) return Socket();  // timeout: no connection pending
+  const int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK) {
+      return Socket();  // transient; treat like a timeout
+    }
+    return Errno("accept");
+  }
+  return Socket(client);
+}
+
+StatusOr<Socket> ConnectLoopback(int port, int timeout_ms) {
+  (void)timeout_ms;  // loopback connects complete or fail immediately
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in address = LoopbackAddress(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&address),
+                   sizeof(address));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    Status status = Errno("connect");
+    ::close(fd);
+    return status;
+  }
+  return Socket(fd);
+}
+
+StatusOr<std::string> HttpGet(int port, const std::string& path,
+                              int timeout_ms) {
+  TDG_ASSIGN_OR_RETURN(Socket socket, ConnectLoopback(port, timeout_ms));
+  const std::string request = StrFormat(
+      "GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n",
+      path.c_str());
+  TDG_RETURN_IF_ERROR(socket.WriteAll(request));
+  // The server closes after responding, so EOF delimits the response.
+  return socket.ReadToEof(/*max_bytes=*/16 << 20, timeout_ms);
+}
+
+StatusOr<std::string> HttpBody(const std::string& response) {
+  const size_t separator = response.find("\r\n\r\n");
+  if (separator == std::string::npos) {
+    return Status::InvalidArgument("response has no header/body separator");
+  }
+  return response.substr(separator + 4);
+}
+
+}  // namespace tdg::util::net

@@ -1,0 +1,106 @@
+#ifndef TDG_UTIL_NET_H_
+#define TDG_UTIL_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace tdg::util::net {
+
+/// Minimal blocking TCP primitives for the embedded stats server
+/// (obs::StatsServer) and its tests. Dependency-free POSIX sockets; the
+/// library targets linux. Everything binds/connects loopback only — the
+/// monitoring endpoints carry no authentication, so they are deliberately
+/// not reachable from other hosts (DESIGN.md §9).
+
+/// Blocks until `fd` is readable, up to `timeout_ms` (-1 = forever).
+/// Returns true when readable, false on timeout; IOError on poll failure.
+StatusOr<bool> PollReadable(int fd, int timeout_ms);
+
+/// RAII wrapper over a connected socket descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool is_open() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  /// Writes all of `data`, retrying partial writes. SIGPIPE is suppressed
+  /// (MSG_NOSIGNAL); a peer that hung up surfaces as IOError.
+  Status WriteAll(std::string_view data);
+
+  /// Reads until `delimiter` appears (returning everything read, delimiter
+  /// included), EOF (NotFound), `max_bytes` (OutOfRange), or `timeout_ms`
+  /// without progress (FailedPrecondition).
+  StatusOr<std::string> ReadUntil(std::string_view delimiter,
+                                  size_t max_bytes, int timeout_ms);
+
+  /// Reads until the peer closes, up to `max_bytes`.
+  StatusOr<std::string> ReadToEof(size_t max_bytes, int timeout_ms);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket bound to 127.0.0.1. Port 0 requests an ephemeral
+/// port; port() reports the one the kernel picked.
+class ServerSocket {
+ public:
+  ServerSocket() = default;
+  ~ServerSocket() { Close(); }
+
+  ServerSocket(ServerSocket&& other) noexcept
+      : fd_(other.fd_), port_(other.port_) {
+    other.fd_ = -1;
+    other.port_ = 0;
+  }
+  ServerSocket& operator=(ServerSocket&& other) noexcept;
+  ServerSocket(const ServerSocket&) = delete;
+  ServerSocket& operator=(const ServerSocket&) = delete;
+
+  /// Binds (SO_REUSEADDR) and listens on 127.0.0.1:`port`.
+  static StatusOr<ServerSocket> Listen(int port, int backlog = 16);
+
+  bool is_open() const { return fd_ >= 0; }
+  int port() const { return port_; }
+  void Close();
+
+  /// Waits up to `timeout_ms` for a connection. An elapsed timeout returns
+  /// a socket with is_open() == false (not an error) so an accept loop can
+  /// poll a stop flag between waits.
+  StatusOr<Socket> AcceptWithTimeout(int timeout_ms);
+
+ private:
+  ServerSocket(int fd, int port) : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  int port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port`.
+StatusOr<Socket> ConnectLoopback(int port, int timeout_ms = 2000);
+
+/// One-shot HTTP/1.1 GET against 127.0.0.1:`port` (the test/scripting
+/// counterpart of the stats server). Returns the raw response — status
+/// line, headers, body.
+StatusOr<std::string> HttpGet(int port, const std::string& path,
+                              int timeout_ms = 5000);
+
+/// Strips the headers off a raw HTTP response, returning only the body.
+/// The response must contain the "\r\n\r\n" separator.
+StatusOr<std::string> HttpBody(const std::string& response);
+
+}  // namespace tdg::util::net
+
+#endif  // TDG_UTIL_NET_H_

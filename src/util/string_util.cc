@@ -53,6 +53,11 @@ bool StartsWith(std::string_view text, std::string_view prefix) {
          text.substr(0, prefix.size()) == prefix;
 }
 
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
 StatusOr<double> ParseDouble(std::string_view text) {
   std::string buffer(Trim(text));
   if (buffer.empty()) {

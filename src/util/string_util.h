@@ -23,6 +23,9 @@ std::string Join(const std::vector<std::string>& parts,
 /// Returns true if `text` begins with `prefix`.
 bool StartsWith(std::string_view text, std::string_view prefix);
 
+/// Returns true if `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
 /// Parses the entire string as a double / int64; errors on trailing junk.
 StatusOr<double> ParseDouble(std::string_view text);
 StatusOr<long long> ParseInt(std::string_view text);

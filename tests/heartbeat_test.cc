@@ -1,0 +1,220 @@
+// Tests for the shard-liveness heartbeat layer: JSON round-trips, atomic
+// write/read, torn-write tolerance (a watcher must degrade, never abort),
+// fleet classification, and the end-to-end wiring through RunSweepShard.
+
+#include "obs/heartbeat.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exp/sweep_shard.h"
+#include "sweep_shard_test_util.h"
+#include "util/file_util.h"
+
+namespace tdg::obs {
+namespace {
+
+Heartbeat MakeBeat() {
+  Heartbeat beat;
+  beat.name = "shard-test";
+  beat.shard_index = 1;
+  beat.shard_count = 4;
+  beat.cells_total = 64;
+  beat.shard_cells = 16;
+  beat.cells_done = 5;
+  beat.pid = 4242;
+  beat.updated_unix_ms = 1754500000000LL;
+  beat.last_cell_unix_ms = 1754499999000LL;
+  beat.cells_per_second = 2.5;
+  return beat;
+}
+
+TEST(HeartbeatTest, WriteThenReadRoundTrips) {
+  const std::string path =
+      test::MakeScratchDir() + "/shard1.ckpt.heartbeat";
+  const Heartbeat beat = MakeBeat();
+  ASSERT_TRUE(WriteHeartbeat(path, beat).ok());
+
+  auto read = ReadHeartbeat(path);
+  ASSERT_TRUE(read.ok()) << read.status();
+  EXPECT_EQ(read->schema, kHeartbeatSchema);
+  EXPECT_EQ(read->name, "shard-test");
+  EXPECT_EQ(read->shard_index, 1);
+  EXPECT_EQ(read->shard_count, 4);
+  EXPECT_EQ(read->cells_total, 64);
+  EXPECT_EQ(read->shard_cells, 16);
+  EXPECT_EQ(read->cells_done, 5);
+  EXPECT_EQ(read->pid, 4242);
+  EXPECT_EQ(read->updated_unix_ms, 1754500000000LL);
+  EXPECT_EQ(read->last_cell_unix_ms, 1754499999000LL);
+  EXPECT_DOUBLE_EQ(read->cells_per_second, 2.5);
+}
+
+TEST(HeartbeatTest, MissingFileIsNotFound) {
+  auto read = ReadHeartbeat(test::MakeScratchDir() + "/nope.heartbeat");
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(HeartbeatTest, TornWriteParsesAsErrorNotAbort) {
+  // A crash can leave a prefix of the JSON on disk (atomic rename protects
+  // against live-writer tears, not against a dying filesystem journal).
+  const std::string dir = test::MakeScratchDir();
+  const std::string path = dir + "/torn.heartbeat";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"schema\": \"tdg.heart";
+  }
+  auto read = ReadHeartbeat(path);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), util::StatusCode::kInvalidArgument);
+
+  // Wrong-schema and non-object files are equally non-fatal.
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "{\"schema\": \"tdg.other.v9\"}";
+  }
+  EXPECT_FALSE(ReadHeartbeat(path).ok());
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "[1, 2, 3]";
+  }
+  EXPECT_FALSE(ReadHeartbeat(path).ok());
+}
+
+TEST(HeartbeatTest, CollectClassifiesFleetStates) {
+  const std::string dir = test::MakeScratchDir();
+  const long long now = 1754500000000LL;
+
+  // running: fresh beat, work remaining.
+  Heartbeat running = MakeBeat();
+  running.shard_index = 0;
+  running.updated_unix_ms = now - 1000;
+  ASSERT_TRUE(WriteHeartbeat(dir + "/s0.heartbeat", running).ok());
+  // done: every owned cell completed (age is irrelevant).
+  Heartbeat done = MakeBeat();
+  done.shard_index = 1;
+  done.cells_done = done.shard_cells;
+  done.updated_unix_ms = now - 60000;
+  ASSERT_TRUE(WriteHeartbeat(dir + "/s1.heartbeat", done).ok());
+  // stale: beat older than the threshold with work remaining.
+  Heartbeat stale = MakeBeat();
+  stale.shard_index = 2;
+  stale.updated_unix_ms = now - 30000;
+  ASSERT_TRUE(WriteHeartbeat(dir + "/s2.heartbeat", stale).ok());
+  // torn: unparseable bytes.
+  {
+    std::ofstream out(dir + "/s3.heartbeat", std::ios::binary);
+    out << "{\"schema";
+  }
+  // missing: no file at all.
+
+  const std::vector<std::string> paths = {
+      dir + "/s0.heartbeat", dir + "/s1.heartbeat", dir + "/s2.heartbeat",
+      dir + "/s3.heartbeat", dir + "/s4.heartbeat"};
+  std::vector<HeartbeatStatus> fleet =
+      CollectHeartbeats(paths, now, /*stale_after_ms=*/10000);
+  ASSERT_EQ(fleet.size(), 5u);
+  EXPECT_EQ(fleet[0].state, "running");
+  EXPECT_EQ(fleet[1].state, "done");
+  EXPECT_EQ(fleet[2].state, "stale");
+  EXPECT_EQ(fleet[3].state, "torn");
+  EXPECT_EQ(fleet[4].state, "missing");
+  EXPECT_DOUBLE_EQ(fleet[0].age_seconds, 1.0);
+  EXPECT_FALSE(fleet[3].parseable);
+  EXPECT_TRUE(fleet[3].present);
+  EXPECT_FALSE(fleet[4].present);
+
+  const std::string table = RenderHeartbeatTable(fleet);
+  EXPECT_NE(table.find("running"), std::string::npos);
+  EXPECT_NE(table.find("stale"), std::string::npos);
+  EXPECT_NE(table.find("torn"), std::string::npos);
+  EXPECT_NE(table.find("missing"), std::string::npos);
+  // Fleet footer totals the three parseable shards: 5 + 16 + 5 of 48.
+  EXPECT_NE(table.find("fleet: 26/48 cells done"), std::string::npos);
+}
+
+TEST(HeartbeatTest, WriterPublishesStartAndFinalBeats) {
+  const std::string path = test::MakeScratchDir() + "/writer.heartbeat";
+  long long samples = 0;
+  {
+    HeartbeatWriter writer;
+    // Long period: only the immediate first beat and the Stop beat fire,
+    // keeping the test fast and schedule-independent.
+    writer.Start(path, /*period_ms=*/60000, [&samples] {
+      Heartbeat beat = MakeBeat();
+      beat.cells_done = ++samples;
+      return beat;
+    });
+    EXPECT_TRUE(writer.running());
+    auto first = ReadHeartbeat(path);
+    ASSERT_TRUE(first.ok()) << first.status();
+    EXPECT_EQ(first->cells_done, 1);
+    writer.Stop();
+    EXPECT_FALSE(writer.running());
+  }
+  auto final_beat = ReadHeartbeat(path);
+  ASSERT_TRUE(final_beat.ok()) << final_beat.status();
+  EXPECT_EQ(final_beat->cells_done, 2);  // start beat + final beat
+}
+
+TEST(HeartbeatTest, SweepShardMaintainsHeartbeatFile) {
+  test::MetricsOffGuard metrics_off;
+  const std::string dir = test::MakeScratchDir();
+  exp::SweepShardOptions options;
+  options.checkpoint_path = dir + "/shard.ckpt";
+  options.heartbeat_path = options.checkpoint_path + ".heartbeat";
+  options.heartbeat_period_ms = 5;
+
+  auto result = exp::RunSweepShard(test::TinyConfig(), options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->cells_run, 16);
+
+  // The final beat (written by HeartbeatWriter::Stop) reports completion.
+  auto beat = ReadHeartbeat(options.heartbeat_path);
+  ASSERT_TRUE(beat.ok()) << beat.status();
+  EXPECT_EQ(beat->name, "shard-test");
+  EXPECT_EQ(beat->shard_index, 0);
+  EXPECT_EQ(beat->shard_count, 1);
+  EXPECT_EQ(beat->cells_total, 16);
+  EXPECT_EQ(beat->shard_cells, 16);
+  EXPECT_EQ(beat->cells_done, 16);
+  EXPECT_GT(beat->pid, 0);
+  EXPECT_GT(beat->updated_unix_ms, 0);
+  EXPECT_GE(beat->updated_unix_ms, beat->last_cell_unix_ms);
+  EXPECT_GT(beat->last_cell_unix_ms, 0);
+
+  std::vector<HeartbeatStatus> fleet = CollectHeartbeats(
+      {options.heartbeat_path}, UnixMillis(), /*stale_after_ms=*/60000);
+  ASSERT_EQ(fleet.size(), 1u);
+  EXPECT_EQ(fleet[0].state, "done");
+}
+
+TEST(HeartbeatTest, SweepResultsAreByteIdenticalWithHeartbeatOn) {
+  test::MetricsOffGuard metrics_off;
+  const std::string dir = test::MakeScratchDir();
+  const exp::SweepConfig config = test::TinyConfig();
+
+  exp::SweepShardOptions plain;
+  plain.checkpoint_path = dir + "/plain.ckpt";
+  auto baseline = exp::RunSweepShard(config, plain);
+  ASSERT_TRUE(baseline.ok()) << baseline.status();
+
+  exp::SweepShardOptions monitored;
+  monitored.checkpoint_path = dir + "/monitored.ckpt";
+  monitored.heartbeat_path = monitored.checkpoint_path + ".heartbeat";
+  monitored.heartbeat_period_ms = 2;
+  auto watched = exp::RunSweepShard(config, monitored);
+  ASSERT_TRUE(watched.ok()) << watched.status();
+
+  EXPECT_EQ(test::CsvBytes(baseline->result),
+            test::CsvBytes(watched->result));
+  EXPECT_EQ(test::JsonBytes(baseline->result),
+            test::JsonBytes(watched->result));
+}
+
+}  // namespace
+}  // namespace tdg::obs

@@ -1,0 +1,100 @@
+// Tests for util::net, the blocking-socket layer under the embedded stats
+// server: ephemeral binds, accept-loop timeout semantics, loopback
+// round-trips, and the HTTP helper parsing.
+
+#include "util/net.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+namespace tdg::util::net {
+namespace {
+
+TEST(NetTest, ListenOnPortZeroBindsAnEphemeralPort) {
+  auto server = ServerSocket::Listen(0);
+  ASSERT_TRUE(server.ok()) << server.status();
+  EXPECT_TRUE(server->is_open());
+  EXPECT_GT(server->port(), 0);
+
+  // A second ephemeral listener coexists on a distinct port.
+  auto second = ServerSocket::Listen(0);
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_NE(server->port(), second->port());
+}
+
+TEST(NetTest, AcceptTimeoutReturnsClosedSocketNotError) {
+  auto server = ServerSocket::Listen(0);
+  ASSERT_TRUE(server.ok()) << server.status();
+  auto connection = server->AcceptWithTimeout(/*timeout_ms=*/20);
+  ASSERT_TRUE(connection.ok()) << connection.status();
+  EXPECT_FALSE(connection->is_open());
+}
+
+TEST(NetTest, LoopbackRoundTripDeliversBytesBothWays) {
+  auto server = ServerSocket::Listen(0);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  std::thread peer([port = server->port()] {
+    auto client = ConnectLoopback(port);
+    ASSERT_TRUE(client.ok()) << client.status();
+    ASSERT_TRUE(client->WriteAll("ping\r\n").ok());
+    auto reply = client->ReadUntil("\n", 1024, /*timeout_ms=*/5000);
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    EXPECT_EQ(reply.value(), "pong\n");
+  });
+
+  auto connection = server->AcceptWithTimeout(/*timeout_ms=*/5000);
+  ASSERT_TRUE(connection.ok()) << connection.status();
+  ASSERT_TRUE(connection->is_open());
+  auto request = connection->ReadUntil("\r\n", 1024, /*timeout_ms=*/5000);
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request.value(), "ping\r\n");
+  EXPECT_TRUE(connection->WriteAll("pong\n").ok());
+  peer.join();
+}
+
+TEST(NetTest, ReadUntilEnforcesMaxBytes) {
+  auto server = ServerSocket::Listen(0);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  std::thread peer([port = server->port()] {
+    auto client = ConnectLoopback(port);
+    ASSERT_TRUE(client.ok()) << client.status();
+    // No delimiter anywhere: the reader must stop at its byte budget.
+    (void)client->WriteAll(std::string(256, 'x'));
+  });
+
+  auto connection = server->AcceptWithTimeout(/*timeout_ms=*/5000);
+  ASSERT_TRUE(connection.ok()) << connection.status();
+  ASSERT_TRUE(connection->is_open());
+  auto request =
+      connection->ReadUntil("\r\n\r\n", /*max_bytes=*/64, /*timeout_ms=*/5000);
+  EXPECT_FALSE(request.ok());
+  peer.join();
+}
+
+TEST(NetTest, ConnectToUnboundPortFails) {
+  // Grab an ephemeral port, then close the listener so nothing is there.
+  int dead_port = 0;
+  {
+    auto server = ServerSocket::Listen(0);
+    ASSERT_TRUE(server.ok()) << server.status();
+    dead_port = server->port();
+  }
+  auto client = ConnectLoopback(dead_port, /*timeout_ms=*/500);
+  EXPECT_FALSE(client.ok());
+}
+
+TEST(NetTest, HttpBodySplitsHeadersFromPayload) {
+  auto body = HttpBody(
+      "HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\n\r\nhello\n");
+  ASSERT_TRUE(body.ok()) << body.status();
+  EXPECT_EQ(body.value(), "hello\n");
+
+  EXPECT_FALSE(HttpBody("no separator here").ok());
+}
+
+}  // namespace
+}  // namespace tdg::util::net

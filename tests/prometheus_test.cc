@@ -1,0 +1,157 @@
+// Tests for the Prometheus text exposition renderer: metric-name folding,
+// label escaping, cumulative bucket rendering, and a golden file pinning
+// the full exposition of a hand-built snapshot.
+//
+// Regenerate the golden after an intentional format change with:
+//   TDG_UPDATE_GOLDEN=1 ./build/tests/tdg_tests \
+//       --gtest_filter=PrometheusGoldenTest.*
+
+#include "obs/prometheus.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace tdg::obs {
+namespace {
+
+TEST(PrometheusTest, MetricNameFoldsInvalidCharactersAndPrefixes) {
+  EXPECT_EQ(PrometheusMetricName("sweep/cells_completed"),
+            "tdg_sweep_cells_completed");
+  EXPECT_EQ(PrometheusMetricName("thread_pool/task_micros"),
+            "tdg_thread_pool_task_micros");
+  EXPECT_EQ(PrometheusMetricName("a b.c-d"), "tdg_a_b_c_d");
+  // Already-valid characters (including colons) survive.
+  EXPECT_EQ(PrometheusMetricName("ns:name_1"), "tdg_ns:name_1");
+}
+
+TEST(PrometheusTest, LabelEscapingCoversBackslashQuoteNewline) {
+  EXPECT_EQ(PrometheusEscapeLabel("plain"), "plain");
+  EXPECT_EQ(PrometheusEscapeLabel("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusEscapeLabel("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(PrometheusEscapeLabel("line\nbreak"), "line\\nbreak");
+}
+
+TEST(PrometheusTest, CountersRenderWithTotalSuffix) {
+  MetricsSnapshot snapshot;
+  snapshot.counters["sweep/cells_completed"] = 16;
+  const std::string text = RenderPrometheusText(snapshot);
+  EXPECT_NE(text.find("# TYPE tdg_sweep_cells_completed_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tdg_sweep_cells_completed_total 16\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, HistogramRendersCumulativeBucketsSumAndCount) {
+  MetricsSnapshot snapshot;
+  HistogramStats stats;
+  stats.count = 7;
+  stats.sum = 350;
+  stats.buckets = {{10.0, 3}, {100.0, 6}};
+  snapshot.histograms["sweep/process_micros"] = stats;
+
+  const std::string text = RenderPrometheusText(snapshot);
+  const std::string family = "tdg_sweep_process_micros";
+  EXPECT_NE(text.find("# TYPE " + family + " histogram\n"),
+            std::string::npos);
+  // Cumulative, ascending, capped by the +Inf bucket == count.
+  const size_t b10 = text.find(family + "_bucket{le=\"10\"} 3\n");
+  const size_t b100 = text.find(family + "_bucket{le=\"100\"} 6\n");
+  const size_t binf = text.find(family + "_bucket{le=\"+Inf\"} 7\n");
+  EXPECT_NE(b10, std::string::npos);
+  EXPECT_NE(b100, std::string::npos);
+  EXPECT_NE(binf, std::string::npos);
+  EXPECT_LT(b10, b100);
+  EXPECT_LT(b100, binf);
+  EXPECT_NE(text.find(family + "_sum 350\n"), std::string::npos);
+  EXPECT_NE(text.find(family + "_count 7\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, BuildInfoRendersAsConstantGaugeWithLabels) {
+  MetricsSnapshot snapshot;
+  snapshot.build_info = {{"git_sha", "abc123"}, {"build type", "Release"}};
+  const std::string text = RenderPrometheusText(snapshot);
+  // Label keys are folded like metric names; values are escaped verbatim.
+  EXPECT_NE(text.find(
+                "tdg_build_info{build_type=\"Release\",git_sha=\"abc123\"}"
+                " 1\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, RegistrySnapshotBucketsMatchRecordedSamples) {
+  // End-to-end through a real histogram: the snapshot's cumulative buckets
+  // must cover every sample, and the renderer must agree with Count().
+  Histogram& histogram =
+      MetricsRegistry::Global().GetHistogram("prometheus_test/histogram");
+  histogram.Reset();
+  for (double v : {1.0, 5.0, 50.0, 50.0, 5000.0}) histogram.Record(v);
+
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const HistogramStats& stats =
+      snapshot.histograms.at("prometheus_test/histogram");
+  ASSERT_FALSE(stats.buckets.empty());
+  EXPECT_EQ(stats.buckets.back().cumulative_count, 5);
+  for (size_t i = 1; i < stats.buckets.size(); ++i) {
+    EXPECT_GT(stats.buckets[i].upper_bound, stats.buckets[i - 1].upper_bound);
+    EXPECT_GE(stats.buckets[i].cumulative_count,
+              stats.buckets[i - 1].cumulative_count);
+  }
+  const std::string text = RenderPrometheusText(snapshot);
+  EXPECT_NE(
+      text.find("tdg_prometheus_test_histogram_bucket{le=\"+Inf\"} 5\n"),
+      std::string::npos);
+  histogram.Reset();
+}
+
+std::string GoldenPath() {
+  return std::string(TDG_TESTS_GOLDEN_DIR) + "/metrics.prom";
+}
+
+TEST(PrometheusGoldenTest, ExpositionMatchesGolden) {
+  // Hand-built snapshot: fully deterministic, covers every family kind.
+  MetricsSnapshot snapshot;
+  snapshot.build_info = {{"git_sha", "deadbeef"},
+                         {"compiler", "GNU 12.0"},
+                         {"build_type", "Release"}};
+  snapshot.counters["sweep/cells_completed"] = 16;
+  snapshot.counters["work_steal_queue/steals"] = 3;
+  snapshot.gauges["thread_pool/queue_depth"] = {2.0, 8.0};
+  HistogramStats histogram;
+  histogram.count = 4;
+  histogram.sum = 1234.5;
+  histogram.min = 10;
+  histogram.max = 1000;
+  histogram.mean = 308.625;
+  histogram.buckets = {{17.782794100389228, 1},
+                       {177.82794100389228, 2},
+                       {1000.0000000000002, 4}};
+  snapshot.histograms["sweep/process_micros"] = histogram;
+
+  const std::string rendered = RenderPrometheusText(snapshot);
+  const std::string path = GoldenPath();
+
+  if (std::getenv("TDG_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write golden file " << path;
+    out << rendered;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "cannot open golden file " << path
+                         << " (regenerate with TDG_UPDATE_GOLDEN=1)";
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(rendered, golden.str())
+      << "Prometheus exposition drifted from tests/golden/metrics.prom; "
+         "if the format change is intentional, regenerate with "
+         "TDG_UPDATE_GOLDEN=1";
+}
+
+}  // namespace
+}  // namespace tdg::obs
