@@ -47,15 +47,27 @@ inline void RunPolicyBenchmark(benchmark::State& state,
   for (auto _ : state) {
     auto policy = baselines::MakePolicy(policy_name, seed++);
     TDG_CHECK(policy.ok());
-    obs::ScopedHistogramTimer timer(process_micros);
-    auto result = RunProcess(skills, config, gain, **policy);
-    timer.watch().Pause();
-    TDG_CHECK(result.ok()) << result.status();
-    benchmark::DoNotOptimize(result->total_gain);
     if (reporter.enabled()) {
-      reporter.RecordRep(case_key,
-                         static_cast<double>(timer.watch().TotalMicros()),
-                         result->total_gain);
+      // ScopedBenchRep records the repetition plus registry counter deltas,
+      // and — under --profile — the per-rep "perf/total/<event>" series.
+      obs::ScopedBenchRep rep(reporter, case_key);
+      auto result = RunProcess(skills, config, gain, **policy);
+      rep.watch().Pause();
+      TDG_CHECK(result.ok()) << result.status();
+      rep.set_objective(result->total_gain);
+      // DoNotOptimize(lvalue) makes its argument an *output* operand of the
+      // asm — this google-benchmark version clobbers the referenced double.
+      // Keep the sink on a copy so the recorded objective stays intact.
+      double sink = result->total_gain;
+      benchmark::DoNotOptimize(sink);
+      process_micros.Record(static_cast<double>(rep.watch().TotalMicros()));
+    } else {
+      obs::ScopedHistogramTimer timer(process_micros);
+      auto result = RunProcess(skills, config, gain, **policy);
+      timer.watch().Pause();
+      TDG_CHECK(result.ok()) << result.status();
+      double sink = result->total_gain;
+      benchmark::DoNotOptimize(sink);
     }
   }
 
@@ -72,9 +84,11 @@ inline void RunPolicyBenchmark(benchmark::State& state,
   state.SetLabel(policy_name);
 }
 
-/// Enables `--report_out=<path>` for the google-benchmark runtime binaries:
-/// configures the global BenchReporter and strips the flag from argv so
-/// benchmark::Initialize never sees it. Call before benchmark::Initialize.
+/// Enables `--report_out=<path>` and `--profile` for the google-benchmark
+/// runtime binaries: configures the global BenchReporter, turns kernel
+/// profiling on when `--profile` is present (equivalent to TDG_PROFILE=1),
+/// and strips both flags from argv so benchmark::Initialize never sees
+/// them. Call before benchmark::Initialize.
 inline void SetupRuntimeReport(int* argc, char** argv) {
   obs::GlobalBenchReporter().ParseReportFlag(*argc, argv);
   int out = 1;
@@ -85,6 +99,10 @@ inline void SetupRuntimeReport(int* argc, char** argv) {
       continue;
     }
     if (arg.rfind("--report_out=", 0) == 0) continue;
+    if (arg == "--profile") {
+      obs::SetProfilingEnabled(true);
+      continue;
+    }
     argv[out++] = argv[i];
   }
   *argc = out;

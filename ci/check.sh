@@ -2,7 +2,7 @@
 # Sanitizer + configuration matrix for the tdg repo.
 #
 #   ci/check.sh            run the full matrix (asan, ubsan, tsan, obs-off,
-#                          bench-smoke, crash-resume, monitor)
+#                          bench-smoke, crash-resume, monitor, profile)
 #   ci/check.sh asan       run one configuration
 #
 # Configurations:
@@ -31,6 +31,13 @@
 #            /statusz /progressz mid-run, watch the heartbeat with
 #            tdg_sweepmerge --watch, and require the sweep outputs to be
 #            byte-identical to a server-off run
+#   profile  kernel-profiling e2e (DESIGN.md §10): run the perf-counter /
+#            attribution / bench-report / perf-diff suites, record a
+#            profiled bench with --profile, gate the artifact with
+#            tdg_profile --check, repeat under the forced rusage fallback
+#            (TDG_PERF_BACKEND=rusage must degrade cleanly, never fail),
+#            and require sweep outputs to be byte-identical with
+#            profiling on vs off
 #
 # Build trees live under build-ci/<config> so they never disturb ./build.
 
@@ -284,6 +291,71 @@ EOF
   echo "==> [monitor] OK"
 }
 
+run_profile() {
+  local build_dir="build-ci/profile"
+  echo "==> [profile] configure"
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "==> [profile] build"
+  cmake --build "${build_dir}" -j "${JOBS}" \
+    --target tdg_tests bench_fig12_runtime_star tdg_profile tdg_perfdiff \
+    example_tdg_cli >/dev/null
+  echo "==> [profile] profiling suites"
+  (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}" \
+    -R "PerfCounters|PerfProfile|BenchReport|ScopedBenchRep|PerfDiff|Prometheus")
+
+  echo "==> [profile] profiled bench + attribution gate"
+  local work="${build_dir}/e2e"
+  rm -rf "${work}"
+  mkdir -p "${work}"
+  local bench="${build_dir}/bench/bench_fig12_runtime_star"
+  local filter='vary_n/star/DyGroups-Star/n=1000/'
+  "${bench}" --profile --report_out="${work}/profiled.json" \
+    --benchmark_filter="${filter}" >/dev/null
+  # The attributed self-time share can never exceed the per-rep totals; the
+  # tool picks the right basis (cycles vs task-clock) for the host backend.
+  "${build_dir}/examples/tdg_profile" --report="${work}/profiled.json" --check
+  # A profiled v2 artifact still diffs cleanly against itself, both on wall
+  # time and on a recorded counter metric.
+  "${build_dir}/examples/tdg_perfdiff" \
+    --baseline="${work}/profiled.json" --candidate="${work}/profiled.json"
+  "${build_dir}/examples/tdg_perfdiff" --metric=task_clock_ns \
+    --baseline="${work}/profiled.json" --candidate="${work}/profiled.json"
+
+  echo "==> [profile] forced rusage fallback degrades cleanly"
+  TDG_PERF_BACKEND=rusage "${bench}" --profile \
+    --report_out="${work}/rusage.json" --benchmark_filter="${filter}" \
+    >/dev/null
+  TDG_PERF_BACKEND=rusage "${build_dir}/examples/tdg_profile" \
+    --report="${work}/rusage.json" --check > "${work}/rusage.txt"
+  grep -q 'backend rusage' "${work}/rusage.txt"
+  grep -q 'task-clock' "${work}/rusage.txt"
+
+  echo "==> [profile] sweep outputs byte-identical with profiling on"
+  cat > "${work}/sweep.cfg" <<'EOF'
+name = ci-profile
+policies = DyGroups-Star, Random-Assignment
+n = 12, 24
+k = 3
+alpha = 2
+r = 0.25, 0.5
+mode = star, clique
+distribution = log-normal
+runs = 2
+seed = 7
+threads = 2
+EOF
+  local cli="${build_dir}/examples/example_tdg_cli"
+  # --no_metrics keeps mean_micros deterministically zero so the outputs
+  # can be byte-compared; --profile must not perturb any result.
+  "${cli}" sweep --config="${work}/sweep.cfg" --no_metrics \
+    --csv="${work}/plain.csv" --json="${work}/plain.json" >/dev/null
+  "${cli}" sweep --config="${work}/sweep.cfg" --no_metrics --profile \
+    --csv="${work}/prof.csv" --json="${work}/prof.json" >/dev/null
+  cmp "${work}/plain.csv" "${work}/prof.csv"
+  cmp "${work}/plain.json" "${work}/prof.json"
+  echo "==> [profile] OK"
+}
+
 run_config() {
   local config="$1"
   if [[ "${config}" == "bench-smoke" ]]; then
@@ -296,6 +368,10 @@ run_config() {
   fi
   if [[ "${config}" == "monitor" ]]; then
     run_monitor
+    return
+  fi
+  if [[ "${config}" == "profile" ]]; then
+    run_profile
     return
   fi
   local build_dir="build-ci/${config}"
@@ -314,7 +390,8 @@ run_config() {
 if [[ $# -gt 0 ]]; then
   for config in "$@"; do run_config "${config}"; done
 else
-  for config in asan ubsan tsan obs-off bench-smoke crash-resume monitor; do
+  for config in asan ubsan tsan obs-off bench-smoke crash-resume monitor \
+      profile; do
     run_config "${config}"
   done
 fi

@@ -54,6 +54,13 @@
 //                          runtime. Sweep outputs then report
 //                          mean_micros=0, making CSV/JSON byte-comparable
 //                          across runs (used by ci/check.sh crash-resume).
+//   --profile              Enable kernel-level profiling (equivalent to
+//                          TDG_PROFILE=1): hardware perf counters (or the
+//                          rusage fallback — see DESIGN.md §10) are read
+//                          around every instrumented kernel and attributed
+//                          per domain as perf/<domain>/<event> counters in
+//                          --metrics_out and /metrics. Pure observation:
+//                          sweep outputs stay byte-identical.
 //
 // Live monitoring flags (valid with every command; see DESIGN.md §9):
 //
@@ -323,7 +330,7 @@ void PrintUsage() {
       "human-sim\n"
       "observability (any command): --trace_out=<file> --metrics_out=<file> "
       "--print_metrics --events_out=<file> --manifest_out=<file> "
-      "--no_metrics\n"
+      "--no_metrics --profile\n"
       "live monitoring (any command): --stats_port=<port|0> "
       "--stats_port_file=<file> --progress; sweep: --heartbeat "
       "[--heartbeat_period_ms=MS]\n"
@@ -363,6 +370,9 @@ int main(int argc, char** argv) {
       flags.GetBool("print_metrics", false) || !metrics_out.empty();
   if (flags.GetBool("no_metrics", false)) {
     tdg::obs::SetMetricsEnabled(false);
+  }
+  if (flags.GetBool("profile", false)) {
+    tdg::obs::SetProfilingEnabled(true);
   }
   if (!trace_out.empty()) tdg::obs::StartTracing();
   if (!events_out.empty()) {

@@ -1,17 +1,22 @@
-// Statistically-gated perf regression detector over tdg.bench_report.v1
+// Statistically-gated perf regression detector over tdg.bench_report.v1/v2
 // artifacts (the --report_out output of every bench binary).
 //
 //   tdg_perfdiff --baseline=BENCH_old.json --candidate=BENCH_new.json
-//       [--threshold=1.10] [--alpha=0.05] [--confidence=0.95]
-//       [--resamples=2000] [--gate_case_set] [--json_out=<path>]
+//       [--metric=wall] [--threshold=1.10] [--alpha=0.05]
+//       [--confidence=0.95] [--resamples=2000] [--gate_case_set]
+//       [--json_out=<path>]
 //   tdg_perfdiff --self-check=BENCH.json   # schema/structure validation
 //   tdg_perfdiff --events=run.jsonl        # summarize an event stream
 //
-// Pairs cases by key; a case regresses only when the mean wall-time ratio
+// Pairs cases by key; a case regresses only when the mean metric ratio
 // exceeds the threshold AND Welch's one-sided t-test plus a bootstrap CI on
 // the ratio both back the slowdown (single-rep reports fall back to the
-// ratio alone). Exit codes: 0 = gate passed, 1 = regression (or, with
-// --gate_case_set, a case appeared/vanished), 2 = usage or input error.
+// ratio alone). --metric selects what is gated: "wall" (default, wall
+// micros) or a perf counter event recorded under --profile — e.g.
+// --metric=instructions gates on retired instructions, a near-noise-free
+// signal that catches work regressions wall-time variance hides. Exit
+// codes: 0 = gate passed, 1 = regression (or, with --gate_case_set, a case
+// appeared/vanished), 2 = usage or input error.
 
 #include <algorithm>
 #include <cstdio>
@@ -31,8 +36,9 @@ int Usage() {
       stderr,
       "usage:\n"
       "  tdg_perfdiff --baseline=<report.json> --candidate=<report.json>\n"
-      "      [--threshold=1.10] [--alpha=0.05] [--confidence=0.95]\n"
-      "      [--resamples=2000] [--gate_case_set] [--json_out=<path>]\n"
+      "      [--metric=wall|instructions|cycles|...] [--threshold=1.10]\n"
+      "      [--alpha=0.05] [--confidence=0.95] [--resamples=2000]\n"
+      "      [--gate_case_set] [--json_out=<path>]\n"
       "  tdg_perfdiff --self-check=<report.json>\n"
       "  tdg_perfdiff --events=<events.jsonl>\n");
   return 2;
@@ -139,6 +145,7 @@ int main(int argc, char** argv) {
   }
 
   tdg::obs::PerfGateOptions options;
+  options.metric = flags.GetString("metric", "wall");
   options.threshold_ratio = flags.GetDouble("threshold", 1.10);
   options.alpha = flags.GetDouble("alpha", 0.05);
   options.confidence = flags.GetDouble("confidence", 0.95);

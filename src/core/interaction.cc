@@ -125,6 +125,21 @@ util::StatusOr<double> ApplyRoundImpl(InteractionMode mode,
       grouping.ValidatePartition(static_cast<int>(skills.size())));
   TDG_TRACE_SPAN(mode == InteractionMode::kStar ? "interaction/star_round"
                                                 : "interaction/clique_round");
+#if !defined(TDG_OBS_DISABLED)
+  // Attribute the round to the kernel that actually runs: star update,
+  // Theorem-3 linear-clique prefix sums, or the naive O(t^2) clique path.
+  static obs::PerfDomain& star_domain =
+      obs::PerfDomain::Get("core/learning_gain/star");
+  static obs::PerfDomain& prefix_domain =
+      obs::PerfDomain::Get("core/theory/clique_prefix");
+  static obs::PerfDomain& naive_domain =
+      obs::PerfDomain::Get("core/learning_gain/clique_naive");
+  obs::ScopedPerfDomain perf_scope(
+      mode == InteractionMode::kStar
+          ? star_domain
+          : (allow_fast_path && gain.is_linear() ? prefix_domain
+                                                 : naive_domain));
+#endif
   double round_gain = 0.0;
   int64_t updated_groups = 0;
   for (const auto& members : grouping.groups) {

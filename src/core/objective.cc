@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/skills.h"
+#include "obs/perf_profile.h"
 #include "util/string_util.h"
 
 namespace tdg {
@@ -32,6 +33,7 @@ util::StatusOr<SwapGainDelta> EvaluateRoundGainDelta(
         "swap member indices (%d, %d) out of range", index_a, index_b));
   }
 
+  TDG_PERF_SCOPE("core/objective/swap_delta");
   SwapGainDelta result;
   if (known_old_gain_a != nullptr) {
     result.old_gain_a = *known_old_gain_a;

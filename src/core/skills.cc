@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/perf_profile.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -23,6 +24,7 @@ util::Status ValidateSkills(std::span<const double> skills) {
 }
 
 std::vector<int> SortedByskillDescending(std::span<const double> skills) {
+  TDG_PERF_SCOPE("core/skills/sort");
   std::vector<int> ids(skills.size());
   std::iota(ids.begin(), ids.end(), 0);
   std::stable_sort(ids.begin(), ids.end(), [&skills](int a, int b) {
@@ -46,6 +48,7 @@ double AggregateGain(std::span<const double> before,
 }
 
 std::vector<double> SkillDeficits(std::span<const double> skills) {
+  TDG_PERF_SCOPE("core/skills/deficits");
   std::vector<double> deficits(skills.size(), 0.0);
   if (skills.empty()) return deficits;
   double top = *std::max_element(skills.begin(), skills.end());

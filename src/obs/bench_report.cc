@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/perf_profile.h"
 #include "util/string_util.h"
 
 namespace tdg::obs {
@@ -41,12 +42,22 @@ util::JsonValue BenchReport::ToJson() const {
       counters.Set(name, value);
     }
     entry.Set("counters", std::move(counters));
+    if (!bench_case.counter_series.empty()) {
+      util::JsonValue series_json = util::JsonValue::MakeObject();
+      for (const auto& [name, samples] : bench_case.counter_series) {
+        util::JsonValue values = util::JsonValue::MakeArray();
+        for (double v : samples) values.Append(v);
+        series_json.Set(name, std::move(values));
+      }
+      entry.Set("counter_series", std::move(series_json));
+    }
     cases_json.Append(std::move(entry));
   }
   util::JsonValue json = util::JsonValue::MakeObject();
   json.Set("schema", schema);
   json.Set("bench", bench_name);
   json.Set("manifest", manifest.ToJson());
+  if (!perf_backend.empty()) json.Set("perf_backend", perf_backend);
   json.Set("cases", std::move(cases_json));
   return json;
 }
@@ -58,14 +69,19 @@ util::StatusOr<BenchReport> BenchReport::FromJson(
   }
   auto schema = json.GetField("schema");
   if (!schema.ok() || !schema->is_string() ||
-      schema->AsString() != kSchema) {
+      (schema->AsString() != kSchema && schema->AsString() != kSchemaV1)) {
     return util::Status::InvalidArgument(
         "bench report missing or unsupported \"schema\" (want " +
-        std::string(kSchema) + ")");
+        std::string(kSchema) + " or " + std::string(kSchemaV1) + ")");
   }
   BenchReport report;
+  report.schema = schema->AsString();
   auto bench = json.GetField("bench");
   if (bench.ok() && bench->is_string()) report.bench_name = bench->AsString();
+  auto backend = json.GetField("perf_backend");
+  if (backend.ok() && backend->is_string()) {
+    report.perf_backend = backend->AsString();
+  }
   auto manifest = json.GetField("manifest");
   if (!manifest.ok()) {
     return util::Status::InvalidArgument("bench report missing \"manifest\"");
@@ -116,13 +132,31 @@ util::StatusOr<BenchReport> BenchReport::FromJson(
         bench_case.counters[name] = value.AsNumber();
       }
     }
+    auto series = entry.GetField("counter_series");
+    if (series.ok() && series->is_object()) {
+      for (const auto& [name, values] : series->AsObject()) {
+        if (!values.is_array()) {
+          return util::Status::InvalidArgument(
+              "bench case counter series \"" + name + "\" must be an array");
+        }
+        std::vector<double>& out = bench_case.counter_series[name];
+        for (const util::JsonValue& v : values.AsArray()) {
+          if (!v.is_number()) {
+            return util::Status::InvalidArgument(
+                "bench case counter series \"" + name +
+                "\" must be numeric");
+          }
+          out.push_back(v.AsNumber());
+        }
+      }
+    }
     report.cases.push_back(std::move(bench_case));
   }
   return report;
 }
 
 util::Status BenchReport::Validate() const {
-  if (schema != kSchema) {
+  if (schema != kSchema && schema != kSchemaV1) {
     return util::Status::InvalidArgument("unexpected schema: " + schema);
   }
   if (bench_name.empty()) {
@@ -171,6 +205,20 @@ util::Status BenchReport::Validate() const {
         return util::Status::InvalidArgument("case \"" + bench_case.key +
                                              "\" counter \"" + name +
                                              "\" is non-finite");
+      }
+    }
+    for (const auto& [name, samples] : bench_case.counter_series) {
+      if (samples.size() != bench_case.wall_micros.size()) {
+        return util::Status::InvalidArgument(
+            "case \"" + bench_case.key + "\" counter series \"" + name +
+            "\" length does not match the repetition count");
+      }
+      for (double v : samples) {
+        if (!std::isfinite(v)) {
+          return util::Status::InvalidArgument(
+              "case \"" + bench_case.key + "\" counter series \"" + name +
+              "\" has a non-finite sample");
+        }
       }
     }
   }
@@ -256,12 +304,25 @@ void BenchReporter::AddCounter(const std::string& case_key,
   CaseLocked(case_key).counters[counter] += delta;
 }
 
+void BenchReporter::RecordSeriesValue(const std::string& case_key,
+                                      const std::string& series,
+                                      double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CaseLocked(case_key).counter_series[series].push_back(value);
+}
+
+void BenchReporter::set_perf_backend(const std::string& backend) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  perf_backend_ = backend;
+}
+
 BenchReport BenchReporter::Build() const {
   std::lock_guard<std::mutex> lock(mutex_);
   BenchReport report;
   report.bench_name = bench_name_.empty() ? "unnamed" : bench_name_;
   report.manifest = RunManifest::Capture(seed_);
   report.manifest.args = args_;
+  report.perf_backend = perf_backend_;
   report.cases = cases_;
   return report;
 }
@@ -284,21 +345,48 @@ BenchReporter& GlobalBenchReporter() {
 
 ScopedBenchRep::ScopedBenchRep(BenchReporter& reporter, std::string case_key)
     : reporter_(reporter), case_key_(std::move(case_key)) {
-  counters_before_ = MetricsRegistry::Global().Snapshot().counters;
+  // The perf window must enclose the registry-delta window so domain
+  // attributions recorded during the scope never exceed the per-rep totals:
+  // perf is read first here and last in the destructor.
+  if (ProfilingEnabled()) {
+    perf_before_ = ThreadPerfCounters::ForCurrentThread().Read();
+    perf_active_ = true;
+  }
+  counters_before_ = MetricsRegistry::Global().SnapshotCounters();
+  // Exclude the setup cost above from the recorded wall time.
+  watch_.Restart();
 }
 
 ScopedBenchRep::~ScopedBenchRep() {
   const double micros = static_cast<double>(watch_.TotalMicros());
   const std::map<std::string, int64_t> counters_after =
-      MetricsRegistry::Global().Snapshot().counters;
+      MetricsRegistry::Global().SnapshotCounters();
+  PerfSample perf_after;
+  if (perf_active_) {
+    perf_after = ThreadPerfCounters::ForCurrentThread().Read();
+  }
   reporter_.RecordRep(case_key_, micros, objective_);
   for (const auto& [name, after] : counters_after) {
     auto before = counters_before_.find(name);
+    // Counters first created during the scope have no before-entry: their
+    // whole value accrued inside the scope, so the baseline is 0.
     const int64_t delta =
         after - (before == counters_before_.end() ? 0 : before->second);
     if (delta != 0) {
       reporter_.AddCounter(case_key_, name, static_cast<double>(delta));
     }
+  }
+  if (perf_active_) {
+    const PerfSample delta = perf_after.DeltaSince(perf_before_);
+    for (int i = 0; i < kNumPerfEvents; ++i) {
+      const PerfEvent event = static_cast<PerfEvent>(i);
+      if (!delta.available(event)) continue;
+      reporter_.RecordSeriesValue(
+          case_key_, "perf/total/" + std::string(PerfEventName(event)),
+          static_cast<double>(delta[event]));
+    }
+    reporter_.set_perf_backend(std::string(
+        PerfBackendName(ThreadPerfCounters::ForCurrentThread().backend())));
   }
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/run_manifest.h"
 #include "util/json.h"
 #include "util/status.h"
@@ -17,25 +18,38 @@ namespace tdg::obs {
 
 /// One benchmark case: a stable key (the pairing handle for tdg_perfdiff)
 /// plus per-repetition wall times and objective values, and summed solver
-/// counter deltas pulled from the MetricsRegistry.
+/// counter deltas pulled from the MetricsRegistry. Since v2 a case may also
+/// carry per-repetition counter series (hardware perf counter totals such
+/// as "perf/total/instructions"), which give tdg_perfdiff near-noise-free
+/// regression signals to gate on.
 struct BenchCase {
   std::string key;
   std::vector<double> wall_micros;  // one entry per repetition
   std::vector<double> objective;    // parallel to wall_micros
   std::map<std::string, double> counters;
+  /// Per-repetition sample series, parallel to wall_micros. Populated by
+  /// ScopedBenchRep under --profile with one "perf/total/<event>" series
+  /// per available perf event.
+  std::map<std::string, std::vector<double>> counter_series;
 
   double MeanWallMicros() const;
 };
 
 /// Machine-readable result of one bench binary run — the `BENCH_<name>.json`
 /// artifact that makes perf claims checkable across PRs. Stable schema:
-/// sorted object keys, cases in first-recorded order.
+/// sorted object keys, cases in first-recorded order. Writers emit v2;
+/// readers accept v1 artifacts (which simply lack counter_series and
+/// perf_backend) so old baselines keep diffing.
 struct BenchReport {
-  static constexpr const char* kSchema = "tdg.bench_report.v1";
+  static constexpr const char* kSchema = "tdg.bench_report.v2";
+  static constexpr const char* kSchemaV1 = "tdg.bench_report.v1";
 
   std::string schema = kSchema;
   std::string bench_name;
   RunManifest manifest;
+  /// Counter backend live while the report was recorded ("perf_event" or
+  /// "rusage"); empty when profiling was off. v2 only.
+  std::string perf_backend;
   std::vector<BenchCase> cases;
 
   util::JsonValue ToJson() const;
@@ -80,6 +94,15 @@ class BenchReporter {
   void AddCounter(const std::string& case_key, const std::string& counter,
                   double delta);
 
+  /// Appends one sample to a per-repetition series on `case_key` (e.g.
+  /// "perf/total/instructions").
+  void RecordSeriesValue(const std::string& case_key,
+                         const std::string& series, double value);
+
+  /// Stamps the live counter backend name into the report ("perf_event" /
+  /// "rusage"). Set by ScopedBenchRep when profiling is on.
+  void set_perf_backend(const std::string& backend);
+
   /// Builds the report: captured manifest + accumulated cases.
   BenchReport Build() const;
 
@@ -93,6 +116,7 @@ class BenchReporter {
   mutable std::mutex mutex_;
   std::string bench_name_;
   std::string output_path_;
+  std::string perf_backend_;
   uint64_t seed_ = 0;
   std::vector<std::string> args_;  // argv[1..] copied at ParseReportFlag
   std::vector<BenchCase> cases_;
@@ -107,8 +131,12 @@ BenchReporter& GlobalBenchReporter();
 
 /// RAII repetition recorder: times its scope, and on destruction records
 /// the repetition plus the deltas of every MetricsRegistry *counter* that
-/// changed while it was alive (solver node counts, steals, ...). Pause the
-/// exposed watch to exclude untimed sections.
+/// changed while it was alive (solver node counts, steals, ...). Counters
+/// first created during the scope are treated as starting from 0. When
+/// profiling is on (ProfilingEnabled()) it additionally reads the calling
+/// thread's perf counters around the scope and appends each available event
+/// delta to the case's "perf/total/<event>" series. Pause the exposed watch
+/// to exclude untimed sections.
 class ScopedBenchRep {
  public:
   ScopedBenchRep(BenchReporter& reporter, std::string case_key);
@@ -125,6 +153,8 @@ class ScopedBenchRep {
   std::string case_key_;
   double objective_ = 0;
   std::map<std::string, int64_t> counters_before_;
+  bool perf_active_ = false;
+  PerfSample perf_before_;
   util::Stopwatch watch_;
 };
 

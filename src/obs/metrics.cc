@@ -232,6 +232,15 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   return snapshot;
 }
 
+std::map<std::string, int64_t> MetricsRegistry::SnapshotCounters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, int64_t> counters;
+  for (const auto& [name, counter] : counters_) {
+    counters[name] = counter->Value();
+  }
+  return counters;
+}
+
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->Reset();

@@ -195,6 +195,11 @@ class MetricsRegistry {
 
   MetricsSnapshot Snapshot() const;
 
+  /// Counters only — the cheap subset (no histogram quantile computation).
+  /// Used by ScopedBenchRep, which deltas counters once per benchmark
+  /// repetition and cannot afford a full Snapshot() there.
+  std::map<std::string, int64_t> SnapshotCounters() const;
+
   /// Zeroes every metric (handles stay valid). Intended for tests.
   void Reset();
 

@@ -2,20 +2,31 @@
 
 #include <fstream>
 
+#include <sys/resource.h>
+
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 #include "util/work_steal_queue.h"
 
 namespace tdg::obs {
-namespace {
 
-void RefreshUptimeGauge() {
-  MetricsRegistry::Global()
-      .GetGauge("process/uptime_seconds")
-      .Set(static_cast<double>(util::MonotonicMicros()) / 1e6);
+int64_t ProcessPeakRssBytes() {
+  rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<int64_t>(usage.ru_maxrss);  // already bytes on macOS
+#else
+  return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // kilobytes on Linux
+#endif
 }
 
-}  // namespace
+void RefreshProcessGauges() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetGauge("process/uptime_seconds")
+      .Set(static_cast<double>(util::MonotonicMicros()) / 1e6);
+  registry.GetGauge("process/peak_rss_bytes")
+      .Set(static_cast<double>(ProcessPeakRssBytes()));
+}
 
 void InstallThreadPoolInstrumentation() {
   util::ThreadPoolObserver observer;
@@ -65,7 +76,7 @@ void InstallBuildInfoMetrics() {
 }
 
 util::Status WriteMetricsJsonFile(const std::string& path) {
-  RefreshUptimeGauge();
+  RefreshProcessGauges();
   std::ofstream out(path);
   if (!out) {
     return util::Status::IOError("cannot open metrics file: " + path);
@@ -79,7 +90,7 @@ util::Status WriteMetricsJsonFile(const std::string& path) {
 }
 
 util::Status WriteMetricsCsvFile(const std::string& path) {
-  RefreshUptimeGauge();
+  RefreshProcessGauges();
   return MetricsRegistry::Global().Snapshot().ToCsv().WriteToFile(path);
 }
 

@@ -26,12 +26,23 @@
 /// sweep progress/ETA, and lets crash-safe shards advertise liveness via
 /// atomic heartbeat files. All of it only *reads* experiment state: outputs
 /// are byte-identical with and without the server.
+///
+/// A fourth pillar — kernel profiling (perf_counters.h, perf_profile.h) —
+/// reads hardware counters (cycles, instructions, cache/branch misses) via
+/// perf_event_open, degrading to getrusage/clock_gettime where perf access
+/// is denied, and attributes them to named kernel domains through RAII
+/// ScopedPerfDomain zones. Attribution lands in registry counters
+/// "perf/<domain>/<event>", so it reaches /metrics, --metrics_out and bench
+/// reports without extra plumbing. Off by default; enable with `--profile`
+/// (bench/CLI binaries) or TDG_PROFILE=1.
 
 #include "obs/bench_report.h"
 #include "obs/event_log.h"
 #include "obs/heartbeat.h"
 #include "obs/metrics.h"
+#include "obs/perf_counters.h"
 #include "obs/perf_diff.h"
+#include "obs/perf_profile.h"
 #include "obs/progress.h"
 #include "obs/prometheus.h"
 #include "obs/run_manifest.h"
@@ -62,9 +73,20 @@ void InstallWorkStealQueueInstrumentation();
 /// "build_info" object in JSON/CSV exports. Idempotent.
 void InstallBuildInfoMetrics();
 
-/// Writes MetricsRegistry::Global().Snapshot() to `path`. Both refresh the
-/// "process/uptime_seconds" gauge first (a no-op when metrics are frozen)
-/// so file exports and /metrics scrapes agree on what a snapshot carries.
+/// Peak resident set size of this process in bytes (ru_maxrss, normalized
+/// across platforms); 0 when getrusage fails.
+int64_t ProcessPeakRssBytes();
+
+/// Refreshes the point-in-time process gauges in the global registry:
+///   gauge "process/uptime_seconds"
+///   gauge "process/peak_rss_bytes"   (tdg_process_peak_rss_bytes on
+///                                     /metrics)
+/// A no-op when metrics are frozen. Called before every snapshot export so
+/// file exports and /metrics scrapes agree on what a snapshot carries.
+void RefreshProcessGauges();
+
+/// Writes MetricsRegistry::Global().Snapshot() to `path`. Both call
+/// RefreshProcessGauges() first.
 util::Status WriteMetricsJsonFile(const std::string& path);
 util::Status WriteMetricsCsvFile(const std::string& path);
 

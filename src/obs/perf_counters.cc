@@ -1,0 +1,217 @@
+#include "obs/perf_counters.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/syscall.h>
+#endif
+
+namespace tdg::obs {
+namespace {
+
+std::atomic<bool> g_force_rusage{false};
+
+bool RusageForced() {
+  static const bool env_forced = [] {
+    const char* value = std::getenv("TDG_PERF_BACKEND");
+    return value != nullptr && std::string_view(value) == "rusage";
+  }();
+  return env_forced || g_force_rusage.load(std::memory_order_relaxed);
+}
+
+int64_t ThreadCpuNanos() {
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) {
+    return PerfSample::kUnavailable;
+  }
+  return static_cast<int64_t>(ts.tv_sec) * 1'000'000'000 + ts.tv_nsec;
+}
+
+int64_t ThreadPageFaults() {
+#if defined(RUSAGE_THREAD)
+  rusage usage;
+  if (getrusage(RUSAGE_THREAD, &usage) != 0) return PerfSample::kUnavailable;
+  return static_cast<int64_t>(usage.ru_minflt + usage.ru_majflt);
+#else
+  return PerfSample::kUnavailable;
+#endif
+}
+
+#if defined(__linux__)
+struct EventConfig {
+  uint32_t type;
+  uint64_t config;
+};
+
+// Indexed by PerfEvent.
+constexpr EventConfig kEventConfigs[kNumPerfEvents] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_BRANCH_MISSES},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_TASK_CLOCK},
+    {PERF_TYPE_SOFTWARE, PERF_COUNT_SW_PAGE_FAULTS},
+};
+
+int OpenPerfEventFd(const EventConfig& config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = config.type;
+  attr.size = sizeof(attr);
+  attr.config = config.config;
+  // Counting starts immediately; user-space only so unprivileged processes
+  // qualify under perf_event_paranoid <= 2.
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // Time-enabled/running let Read() rescale when the PMU multiplexes the
+  // five hardware events over fewer physical counters.
+  attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED |
+                     PERF_FORMAT_TOTAL_TIME_RUNNING;
+  const long fd = syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                          /*group_fd=*/-1, /*flags=*/0UL);
+  return fd < 0 ? -1 : static_cast<int>(fd);
+}
+
+int64_t ReadPerfEventFd(int fd) {
+  struct {
+    uint64_t value;
+    uint64_t time_enabled;
+    uint64_t time_running;
+  } data = {0, 0, 0};
+  if (read(fd, &data, sizeof(data)) != static_cast<ssize_t>(sizeof(data))) {
+    return PerfSample::kUnavailable;
+  }
+  if (data.time_running == 0) {
+    return data.time_enabled == 0 ? 0 : PerfSample::kUnavailable;
+  }
+  if (data.time_running >= data.time_enabled) {
+    return static_cast<int64_t>(data.value);
+  }
+  // Multiplexed: extrapolate to the full enabled window.
+  const double scale = static_cast<double>(data.time_enabled) /
+                       static_cast<double>(data.time_running);
+  return static_cast<int64_t>(static_cast<double>(data.value) * scale);
+}
+#endif  // __linux__
+
+}  // namespace
+
+std::string_view PerfBackendName(PerfBackend backend) {
+  switch (backend) {
+    case PerfBackend::kPerfEvent:
+      return "perf_event";
+    case PerfBackend::kRusage:
+      return "rusage";
+  }
+  return "unknown";
+}
+
+std::string_view PerfEventName(PerfEvent event) {
+  switch (event) {
+    case PerfEvent::kCycles:
+      return "cycles";
+    case PerfEvent::kInstructions:
+      return "instructions";
+    case PerfEvent::kCacheReferences:
+      return "cache_references";
+    case PerfEvent::kCacheMisses:
+      return "cache_misses";
+    case PerfEvent::kBranchMisses:
+      return "branch_misses";
+    case PerfEvent::kTaskClockNs:
+      return "task_clock_ns";
+    case PerfEvent::kPageFaults:
+      return "page_faults";
+  }
+  return "unknown";
+}
+
+PerfSample PerfSample::DeltaSince(const PerfSample& before) const {
+  PerfSample delta;
+  for (int i = 0; i < kNumPerfEvents; ++i) {
+    if (values[i] == kUnavailable || before.values[i] == kUnavailable) {
+      delta.values[i] = kUnavailable;
+    } else {
+      const int64_t d = values[i] - before.values[i];
+      delta.values[i] = d < 0 ? 0 : d;
+    }
+  }
+  return delta;
+}
+
+ThreadPerfCounters::ThreadPerfCounters() {
+  fds_.fill(-1);
+#if defined(__linux__)
+  if (!RusageForced()) {
+    for (int i = 0; i < kNumPerfEvents; ++i) {
+      fds_[i] = OpenPerfEventFd(kEventConfigs[i]);
+    }
+    // Cycles and instructions are the load-bearing events; without both the
+    // partial set is not worth the asymmetry, so fall all the way back.
+    if (fds_[static_cast<int>(PerfEvent::kCycles)] >= 0 &&
+        fds_[static_cast<int>(PerfEvent::kInstructions)] >= 0) {
+      backend_ = PerfBackend::kPerfEvent;
+      return;
+    }
+    for (int& fd : fds_) {
+      if (fd >= 0) close(fd);
+      fd = -1;
+    }
+  }
+#endif
+  backend_ = PerfBackend::kRusage;
+}
+
+ThreadPerfCounters::~ThreadPerfCounters() {
+  for (int fd : fds_) {
+    if (fd >= 0) close(fd);
+  }
+}
+
+ThreadPerfCounters& ThreadPerfCounters::ForCurrentThread() {
+  static thread_local ThreadPerfCounters counters;
+  return counters;
+}
+
+PerfSample ThreadPerfCounters::Read() const {
+  PerfSample sample;
+#if defined(__linux__)
+  if (backend_ == PerfBackend::kPerfEvent) {
+    for (int i = 0; i < kNumPerfEvents; ++i) {
+      if (fds_[i] >= 0) sample.values[i] = ReadPerfEventFd(fds_[i]);
+    }
+    // The software clock events are cheap to backfill portably if their fds
+    // failed to open while the hardware set succeeded.
+    if (!sample.available(PerfEvent::kTaskClockNs)) {
+      sample.values[static_cast<int>(PerfEvent::kTaskClockNs)] =
+          ThreadCpuNanos();
+    }
+    if (!sample.available(PerfEvent::kPageFaults)) {
+      sample.values[static_cast<int>(PerfEvent::kPageFaults)] =
+          ThreadPageFaults();
+    }
+    return sample;
+  }
+#endif
+  sample.values[static_cast<int>(PerfEvent::kTaskClockNs)] = ThreadCpuNanos();
+  sample.values[static_cast<int>(PerfEvent::kPageFaults)] = ThreadPageFaults();
+  return sample;
+}
+
+PerfBackend ActivePerfBackend() {
+  return ThreadPerfCounters::ForCurrentThread().backend();
+}
+
+void ForceRusageBackend(bool force) {
+  g_force_rusage.store(force, std::memory_order_relaxed);
+}
+
+}  // namespace tdg::obs

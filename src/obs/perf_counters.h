@@ -1,0 +1,107 @@
+#ifndef TDG_OBS_PERF_COUNTERS_H_
+#define TDG_OBS_PERF_COUNTERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace tdg::obs {
+
+/// Hardware/software counter access for kernel profiling.
+///
+/// Two backends, probed once per thread:
+///   * kPerfEvent — Linux `perf_event_open` per-thread counters: CPU cycles,
+///     instructions, cache references/misses, branch misses, task clock and
+///     page faults. Requires the kernel to grant unprivileged self-profiling
+///     (`perf_event_paranoid` <= 2 typically suffices since the counters
+///     exclude kernel and hypervisor time).
+///   * kRusage — portable fallback when perf_event is denied (containers,
+///     seccomp, CI) or unavailable: task clock via
+///     `clock_gettime(CLOCK_THREAD_CPUTIME_ID)` and page faults via
+///     `getrusage(RUSAGE_THREAD)`. Hardware events read as unavailable.
+///
+/// Probing never fails: when cycles or instructions cannot be opened the
+/// whole set degrades to kRusage and `backend()` reports which one is live.
+/// `TDG_PERF_BACKEND=rusage` in the environment forces the fallback (used by
+/// CI to exercise degradation deterministically).
+enum class PerfBackend {
+  kPerfEvent,
+  kRusage,
+};
+
+/// Stable lowercase name ("perf_event" / "rusage") for reports and logs.
+std::string_view PerfBackendName(PerfBackend backend);
+
+/// The fixed event set. Order is the storage order in PerfSample.
+enum class PerfEvent : int {
+  kCycles = 0,
+  kInstructions,
+  kCacheReferences,
+  kCacheMisses,
+  kBranchMisses,
+  kTaskClockNs,
+  kPageFaults,
+};
+inline constexpr int kNumPerfEvents = 7;
+
+/// Stable metric-name-safe event name ("cycles", "task_clock_ns", ...).
+std::string_view PerfEventName(PerfEvent event);
+
+/// One reading of every event. Events the live backend cannot supply hold
+/// kUnavailable; deltas propagate unavailability per event.
+struct PerfSample {
+  static constexpr int64_t kUnavailable = -1;
+
+  std::array<int64_t, kNumPerfEvents> values{
+      kUnavailable, kUnavailable, kUnavailable, kUnavailable,
+      kUnavailable, kUnavailable, kUnavailable};
+
+  int64_t operator[](PerfEvent event) const {
+    return values[static_cast<int>(event)];
+  }
+  bool available(PerfEvent event) const {
+    return values[static_cast<int>(event)] != kUnavailable;
+  }
+
+  /// Per-event `this - before`; unavailable on either side stays
+  /// unavailable, and clock skew never produces a negative delta.
+  PerfSample DeltaSince(const PerfSample& before) const;
+};
+
+/// The calling thread's counter set. Counters are opened lazily on first use
+/// and closed when the thread exits; perf_event file descriptors count only
+/// this thread's user-space activity, so readings from concurrent threads
+/// never bleed into each other.
+class ThreadPerfCounters {
+ public:
+  static ThreadPerfCounters& ForCurrentThread();
+
+  ~ThreadPerfCounters();
+  ThreadPerfCounters(const ThreadPerfCounters&) = delete;
+  ThreadPerfCounters& operator=(const ThreadPerfCounters&) = delete;
+
+  PerfBackend backend() const { return backend_; }
+
+  /// Current cumulative reading. Cheap (one read() per open fd, or two
+  /// syscalls on the rusage backend); callers delta two readings.
+  PerfSample Read() const;
+
+ private:
+  ThreadPerfCounters();
+
+  PerfBackend backend_ = PerfBackend::kRusage;
+  std::array<int, kNumPerfEvents> fds_;  // -1 where unopened
+};
+
+/// Backend live for the calling thread (all threads probe identically under
+/// the same environment, so this doubles as the process-level answer).
+PerfBackend ActivePerfBackend();
+
+/// Force the rusage fallback for counter sets created after the call
+/// (existing per-thread sets keep their backend). Equivalent to running with
+/// TDG_PERF_BACKEND=rusage; exists so tests can exercise degradation.
+void ForceRusageBackend(bool force);
+
+}  // namespace tdg::obs
+
+#endif  // TDG_OBS_PERF_COUNTERS_H_

@@ -26,17 +26,59 @@ uint64_t StableHash(std::string_view text) {
   return util::Fnv1a64(text, 1469598103934665603ULL);
 }
 
-PerfCaseDiff DiffCase(const BenchCase& baseline, const BenchCase& candidate,
+bool IsWallMetric(const std::string& metric) {
+  return metric == "wall" || metric == "wall_micros";
+}
+
+double MeanOf(const std::vector<double>& samples) {
+  if (samples.empty()) return 0;
+  double sum = 0;
+  for (double v : samples) sum += v;
+  return sum / static_cast<double>(samples.size());
+}
+
+// Per-rep samples of `metric` for one case. Resolution order: the exact
+// counter-series name, the "perf/total/<metric>" series ScopedBenchRep
+// records, then the case's summed scalar counters (rescaled to a per-rep
+// mean, one pseudo-sample). Errors when the metric is absent — a silent
+// empty gate would read as "pass".
+util::StatusOr<std::vector<double>> MetricSamples(const BenchCase& bench_case,
+                                                  const std::string& metric) {
+  if (IsWallMetric(metric)) return bench_case.wall_micros;
+  auto series = bench_case.counter_series.find(metric);
+  if (series == bench_case.counter_series.end()) {
+    series = bench_case.counter_series.find("perf/total/" + metric);
+  }
+  if (series != bench_case.counter_series.end()) return series->second;
+  auto scalar = bench_case.counters.find(metric);
+  if (scalar == bench_case.counters.end()) {
+    scalar = bench_case.counters.find("perf/total/" + metric);
+  }
+  if (scalar != bench_case.counters.end() &&
+      !bench_case.wall_micros.empty()) {
+    return std::vector<double>{
+        scalar->second /
+        static_cast<double>(bench_case.wall_micros.size())};
+  }
+  return util::Status::InvalidArgument(
+      "case \"" + bench_case.key + "\" has no samples for metric \"" +
+      metric + "\" (was the report recorded with --profile?)");
+}
+
+PerfCaseDiff DiffCase(const std::string& key,
+                      const std::vector<double>& baseline,
+                      const std::vector<double>& candidate, bool is_wall,
                       const PerfGateOptions& options) {
   PerfCaseDiff diff;
-  diff.key = baseline.key;
-  diff.baseline_reps = static_cast<int>(baseline.wall_micros.size());
-  diff.candidate_reps = static_cast<int>(candidate.wall_micros.size());
-  diff.baseline_mean_micros = baseline.MeanWallMicros();
-  diff.candidate_mean_micros = candidate.MeanWallMicros();
+  diff.key = key;
+  diff.baseline_reps = static_cast<int>(baseline.size());
+  diff.candidate_reps = static_cast<int>(candidate.size());
+  diff.baseline_mean_micros = MeanOf(baseline);
+  diff.candidate_mean_micros = MeanOf(candidate);
 
   // Sub-resolution cases: both sides faster than the stopwatch can see.
-  if (diff.baseline_mean_micros < kResolutionFloorMicros &&
+  // Counter metrics have no such floor — a count of 1 is exact.
+  if (is_wall && diff.baseline_mean_micros < kResolutionFloorMicros &&
       diff.candidate_mean_micros < kResolutionFloorMicros) {
     diff.ratio = 1.0;
     diff.verdict = PerfVerdict::kUnchanged;
@@ -49,15 +91,16 @@ PerfCaseDiff DiffCase(const BenchCase& baseline, const BenchCase& candidate,
 
   // Statistical backing needs >= 2 repetitions per side and some variance;
   // WelchTTest rejects the degenerate shapes, in which case the ratio
-  // threshold alone decides (single-rep reports stay usable, just weaker).
-  auto welch = stats::WelchTTest(candidate.wall_micros,
-                                 baseline.wall_micros);
+  // threshold alone decides (single-rep reports stay usable, just weaker —
+  // and near-deterministic counter metrics often land here, where the
+  // exactness of the counts makes the plain ratio trustworthy).
+  auto welch = stats::WelchTTest(candidate, baseline);
   if (welch.ok()) {
     diff.statistical = true;
     diff.p_value_slower = welch->p_value_one_sided_greater;
-    random::Rng rng(options.bootstrap_seed ^ StableHash(baseline.key));
+    random::Rng rng(options.bootstrap_seed ^ StableHash(key));
     auto ci = stats::BootstrapMeanRatio(
-        candidate.wall_micros, baseline.wall_micros, options.confidence,
+        candidate, baseline, options.confidence,
         options.bootstrap_resamples, rng);
     if (ci.ok()) {
       diff.ratio_ci_lower = ci->lower;
@@ -122,7 +165,13 @@ bool PerfDiffResult::Failed() const {
 }
 
 std::string PerfDiffResult::ToTable(int digits) const {
-  util::TablePrinter printer({"case", "verdict", "base us", "cand us",
+  const bool wall = options.metric == "wall" ||
+                    options.metric == "wall_micros";
+  const std::string base_header =
+      wall ? "base us" : "base " + options.metric;
+  const std::string cand_header =
+      wall ? "cand us" : "cand " + options.metric;
+  util::TablePrinter printer({"case", "verdict", base_header, cand_header,
                               "ratio", "reps", "p(slower)",
                               "ratio 95% CI"});
   for (const PerfCaseDiff& diff : cases) {
@@ -174,6 +223,7 @@ util::JsonValue PerfDiffResult::ToJson() const {
   json.Set("verdict", Failed() ? "fail" : "pass");
   json.Set("baseline_bench", baseline_bench);
   json.Set("candidate_bench", candidate_bench);
+  json.Set("metric", options.metric);
   json.Set("threshold_ratio", options.threshold_ratio);
   json.Set("alpha", options.alpha);
   json.Set("confidence", options.confidence);
@@ -198,6 +248,10 @@ util::StatusOr<PerfDiffResult> DiffBenchReports(
   if (options.alpha <= 0.0 || options.alpha >= 1.0) {
     return util::Status::InvalidArgument("alpha must be in (0, 1)");
   }
+  if (options.metric.empty()) {
+    return util::Status::InvalidArgument("metric must not be empty");
+  }
+  const bool is_wall = IsWallMetric(options.metric);
 
   std::map<std::string, const BenchCase*> candidate_cases;
   for (const BenchCase& bench_case : candidate.cases) {
@@ -215,11 +269,20 @@ util::StatusOr<PerfDiffResult> DiffBenchReports(
       diff.key = base_case.key;
       diff.verdict = PerfVerdict::kMissingCase;
       diff.baseline_reps = static_cast<int>(base_case.wall_micros.size());
-      diff.baseline_mean_micros = base_case.MeanWallMicros();
+      // Informational row: fall back to wall when the unpaired case lacks
+      // the metric rather than failing the whole diff.
+      auto samples = MetricSamples(base_case, options.metric);
+      diff.baseline_mean_micros = samples.ok() ? MeanOf(samples.value())
+                                               : base_case.MeanWallMicros();
       result.cases.push_back(std::move(diff));
       continue;
     }
-    result.cases.push_back(DiffCase(base_case, *it->second, options));
+    auto base_samples = MetricSamples(base_case, options.metric);
+    if (!base_samples.ok()) return base_samples.status();
+    auto cand_samples = MetricSamples(*it->second, options.metric);
+    if (!cand_samples.ok()) return cand_samples.status();
+    result.cases.push_back(DiffCase(base_case.key, base_samples.value(),
+                                    cand_samples.value(), is_wall, options));
     candidate_cases.erase(it);
   }
   for (const BenchCase& cand_case : candidate.cases) {
@@ -230,7 +293,9 @@ util::StatusOr<PerfDiffResult> DiffBenchReports(
     diff.key = cand_case.key;
     diff.verdict = PerfVerdict::kNewCase;
     diff.candidate_reps = static_cast<int>(cand_case.wall_micros.size());
-    diff.candidate_mean_micros = cand_case.MeanWallMicros();
+    auto samples = MetricSamples(cand_case, options.metric);
+    diff.candidate_mean_micros = samples.ok() ? MeanOf(samples.value())
+                                              : cand_case.MeanWallMicros();
     result.cases.push_back(std::move(diff));
   }
   return result;

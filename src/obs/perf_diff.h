@@ -37,10 +37,22 @@ struct PerfGateOptions {
   uint64_t bootstrap_seed = 42;
   /// When true, a case present in only one report fails the gate too.
   bool gate_case_set = false;
+  /// What to gate on. "wall" (default) uses the per-rep wall times; any
+  /// other value selects a per-rep counter series — "instructions" resolves
+  /// to the "perf/total/instructions" series recorded under --profile
+  /// (exact series names work too), falling back to a case's summed scalar
+  /// counter of that name as a single pseudo-sample. Counter metrics like
+  /// instruction counts are near-deterministic, so a real regression trips
+  /// the gate even when wall-time noise hides it. Diffing errors when a
+  /// paired case lacks the metric on either side.
+  std::string metric = "wall";
 };
 
 /// One paired case's statistics. p_value / CI fields are only meaningful
-/// when `statistical` is true (enough repetitions on both sides).
+/// when `statistical` is true (enough repetitions on both sides). The
+/// `*_mean_micros` fields hold means of the gated metric — microseconds for
+/// the default "wall" metric, raw event counts for counter metrics (the
+/// field names are kept stable for downstream JSON consumers).
 struct PerfCaseDiff {
   std::string key;
   PerfVerdict verdict = PerfVerdict::kUnchanged;
@@ -48,7 +60,7 @@ struct PerfCaseDiff {
   int candidate_reps = 0;
   double baseline_mean_micros = 0;
   double candidate_mean_micros = 0;
-  double ratio = 1.0;  // candidate / baseline mean wall time
+  double ratio = 1.0;  // candidate / baseline mean of the gated metric
   bool statistical = false;
   double p_value_slower = 1.0;  // Welch one-sided, H1: candidate slower
   double ratio_ci_lower = 1.0;  // bootstrap CI of the ratio

@@ -1,0 +1,108 @@
+#include "obs/perf_profile.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tdg::obs {
+namespace {
+
+std::atomic<bool> g_profiling_enabled{[] {
+  const char* value = std::getenv("TDG_PROFILE");
+  return value != nullptr && value[0] == '1';
+}()};
+
+// Per-thread attribution state: the stack of open domains plus the reading
+// taken at the last attribution boundary. Every boundary (scope entry or
+// exit) charges the delta since the mark to whichever domain was on top,
+// which is exactly the self-time decomposition: a thread's total is
+// partitioned, never double counted.
+struct ThreadProfileState {
+  std::vector<PerfDomain*> stack;
+  PerfSample mark;
+  bool has_mark = false;
+};
+
+ThreadProfileState& Tls() {
+  static thread_local ThreadProfileState state;
+  return state;
+}
+
+}  // namespace
+
+bool ProfilingEnabled() {
+  return g_profiling_enabled.load(std::memory_order_relaxed);
+}
+
+void SetProfilingEnabled(bool enabled) {
+  g_profiling_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+PerfDomain::PerfDomain(std::string_view name) : name_(name) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const std::string prefix = "perf/" + name_ + "/";
+  calls_ = &registry.GetCounter(prefix + "calls");
+  for (int i = 0; i < kNumPerfEvents; ++i) {
+    events_[i] = &registry.GetCounter(
+        prefix + std::string(PerfEventName(static_cast<PerfEvent>(i))));
+  }
+}
+
+PerfDomain& PerfDomain::Get(std::string_view name) {
+  static std::mutex mutex;
+  static std::map<std::string, std::unique_ptr<PerfDomain>>* domains =
+      new std::map<std::string, std::unique_ptr<PerfDomain>>();
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = domains->find(std::string(name));
+  if (it == domains->end()) {
+    it = domains
+             ->emplace(std::string(name),
+                       std::unique_ptr<PerfDomain>(new PerfDomain(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+void PerfDomain::AddCall() { calls_->Add(1); }
+
+void PerfDomain::Attribute(const PerfSample& delta) {
+  for (int i = 0; i < kNumPerfEvents; ++i) {
+    const int64_t value = delta.values[i];
+    if (value > 0) events_[i]->Add(value);
+  }
+}
+
+ScopedPerfDomain::ScopedPerfDomain(PerfDomain& domain) {
+  if (!ProfilingEnabled()) return;
+  domain_ = &domain;
+  ThreadProfileState& state = Tls();
+  const PerfSample sample = ThreadPerfCounters::ForCurrentThread().Read();
+  if (!state.stack.empty() && state.has_mark) {
+    state.stack.back()->Attribute(sample.DeltaSince(state.mark));
+  }
+  state.stack.push_back(domain_);
+  state.mark = sample;
+  state.has_mark = true;
+  domain.AddCall();
+}
+
+ScopedPerfDomain::~ScopedPerfDomain() {
+  if (domain_ == nullptr) return;
+  ThreadProfileState& state = Tls();
+  if (state.stack.empty() || state.stack.back() != domain_) {
+    // Unbalanced exit (profiling toggled mid-scope across threads). Drop the
+    // thread's attribution state rather than charge the wrong domain.
+    state.stack.clear();
+    state.has_mark = false;
+    return;
+  }
+  const PerfSample sample = ThreadPerfCounters::ForCurrentThread().Read();
+  if (state.has_mark) domain_->Attribute(sample.DeltaSince(state.mark));
+  state.stack.pop_back();
+  state.mark = sample;
+}
+
+}  // namespace tdg::obs

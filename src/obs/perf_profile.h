@@ -1,0 +1,93 @@
+#ifndef TDG_OBS_PERF_PROFILE_H_
+#define TDG_OBS_PERF_PROFILE_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+#include "obs/perf_counters.h"
+
+namespace tdg::obs {
+
+/// Per-kernel attribution zones over ThreadPerfCounters.
+///
+/// A PerfDomain names one hot kernel ("core/objective/swap_delta", ...);
+/// entering a ScopedPerfDomain attributes the thread's counter deltas to
+/// that domain as *self time*: when domains nest, the inner scope's costs
+/// are subtracted from the outer one, so summing any event across all
+/// domains never exceeds what the thread spent in total. Attribution lands
+/// in MetricsRegistry counters
+///
+///   perf/<domain>/<event>   (cycles, instructions, ..., task_clock_ns)
+///   perf/<domain>/calls
+///
+/// and therefore flows to /metrics, --metrics_out, bench reports and
+/// Prometheus for free (domains render there as
+/// `tdg_perf_<event>_total{domain="..."}`).
+///
+/// Profiling is off by default and the scopes reduce to one relaxed atomic
+/// load, so instrumentation can stay in release builds. Enable with
+/// SetProfilingEnabled(true) (the `--profile` flag on bench/CLI binaries)
+/// or TDG_PROFILE=1 in the environment.
+bool ProfilingEnabled();
+void SetProfilingEnabled(bool enabled);
+
+/// A registered attribution domain. Get() interns by name on first use and
+/// returns a process-lifetime handle; call sites cache it in a static so
+/// the registry lookup happens once.
+class PerfDomain {
+ public:
+  static PerfDomain& Get(std::string_view name);
+
+  const std::string& name() const { return name_; }
+
+  /// Adds one entry/exit pair and the available event deltas. Normally
+  /// driven by ScopedPerfDomain, public for tests.
+  void AddCall();
+  void Attribute(const PerfSample& delta);
+
+ private:
+  explicit PerfDomain(std::string_view name);
+
+  std::string name_;
+  Counter* calls_;
+  Counter* events_[kNumPerfEvents];
+};
+
+/// RAII attribution zone. Construction charges the counters accumulated
+/// since the enclosing zone's last mark to that enclosing zone, then starts
+/// charging this domain; destruction hands the thread back to the parent.
+/// No-op (and near-free) while profiling is disabled.
+class ScopedPerfDomain {
+ public:
+  explicit ScopedPerfDomain(PerfDomain& domain);
+  ~ScopedPerfDomain();
+
+  ScopedPerfDomain(const ScopedPerfDomain&) = delete;
+  ScopedPerfDomain& operator=(const ScopedPerfDomain&) = delete;
+
+ private:
+  PerfDomain* domain_ = nullptr;  // null: profiling was off at entry
+};
+
+#define TDG_PERF_CONCAT_INNER(a, b) a##b
+#define TDG_PERF_CONCAT(a, b) TDG_PERF_CONCAT_INNER(a, b)
+
+#if defined(TDG_OBS_DISABLED)
+#define TDG_PERF_SCOPE(name) \
+  do {                       \
+  } while (0)
+#else
+/// Profiles the rest of the enclosing block as domain `name` (a string
+/// literal). The domain handle is resolved once and cached.
+#define TDG_PERF_SCOPE(name)                                              \
+  static ::tdg::obs::PerfDomain& TDG_PERF_CONCAT(tdg_perf_domain_,        \
+                                                 __LINE__) =              \
+      ::tdg::obs::PerfDomain::Get(name);                                  \
+  ::tdg::obs::ScopedPerfDomain TDG_PERF_CONCAT(tdg_perf_scope_, __LINE__)( \
+      TDG_PERF_CONCAT(tdg_perf_domain_, __LINE__))
+#endif
+
+}  // namespace tdg::obs
+
+#endif  // TDG_OBS_PERF_PROFILE_H_

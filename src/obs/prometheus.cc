@@ -1,5 +1,7 @@
 #include "obs/prometheus.h"
 
+#include <map>
+
 #include "util/string_util.h"
 
 namespace tdg::obs {
@@ -29,6 +31,25 @@ void AppendSample(std::string& out, const std::string& name,
   out += ' ';
   out += value;
   out += '\n';
+}
+
+// Profiling counters "perf/<domain>/<event>" (domain itself may contain
+// slashes) render as one family per event with the domain as a label, so a
+// Prometheus query can sum or compare kernels directly. Returns false for
+// any other counter name.
+bool SplitPerfCounterName(std::string_view name, std::string_view* domain,
+                          std::string_view* event) {
+  constexpr std::string_view kPrefix = "perf/";
+  if (name.substr(0, kPrefix.size()) != kPrefix) return false;
+  const std::string_view rest = name.substr(kPrefix.size());
+  const size_t last_slash = rest.rfind('/');
+  if (last_slash == std::string_view::npos || last_slash == 0 ||
+      last_slash + 1 == rest.size()) {
+    return false;
+  }
+  *domain = rest.substr(0, last_slash);
+  *event = rest.substr(last_slash + 1);
+  return true;
 }
 
 }  // namespace
@@ -78,10 +99,31 @@ std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
     }
     out += "} 1\n";
   }
+  // event -> domain -> value, both levels sorted for deterministic output.
+  std::map<std::string, std::map<std::string, int64_t>> perf_families;
   for (const auto& [name, value] : snapshot.counters) {
+    std::string_view domain;
+    std::string_view event;
+    if (SplitPerfCounterName(name, &domain, &event)) {
+      perf_families[std::string(event)][std::string(domain)] = value;
+      continue;
+    }
     const std::string family = PrometheusMetricName(name) + "_total";
     AppendFamilyHeader(out, family, "counter");
     AppendSample(out, family, std::to_string(value));
+  }
+  for (const auto& [event, domains] : perf_families) {
+    const std::string family = PrometheusMetricName("perf/" + event) +
+                               "_total";
+    AppendFamilyHeader(out, family, "counter");
+    for (const auto& [domain, value] : domains) {
+      out += family;
+      out += "{domain=\"";
+      out += PrometheusEscapeLabel(domain);
+      out += "\"} ";
+      out += std::to_string(value);
+      out += '\n';
+    }
   }
   for (const auto& [name, stats] : snapshot.gauges) {
     const std::string family = PrometheusMetricName(name);

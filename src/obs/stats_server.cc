@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "obs/obs.h"
 #include "obs/prometheus.h"
 #include "util/file_util.h"
 #include "util/stopwatch.h"
@@ -111,12 +112,10 @@ void StatsServer::HandleConnection(util::net::Socket connection) {
   } else if (path == "/healthz") {
     response = HttpResponse(200, "OK", "text/plain", "ok\n");
   } else if (path == "/metrics") {
-    // Refresh the uptime gauge so every scrape carries it. Gauge::Set is a
-    // no-op under SetMetricsEnabled(false) — exactly the runs that demand
-    // byte-stable outputs.
-    MetricsRegistry::Global()
-        .GetGauge("process/uptime_seconds")
-        .Set(static_cast<double>(util::MonotonicMicros()) / 1e6);
+    // Refresh the process gauges (uptime, peak RSS) so every scrape carries
+    // them. Gauge::Set is a no-op under SetMetricsEnabled(false) — exactly
+    // the runs that demand byte-stable outputs.
+    RefreshProcessGauges();
     response = HttpResponse(
         200, "OK", kPrometheusContentType,
         RenderPrometheusText(MetricsRegistry::Global().Snapshot()));
@@ -127,6 +126,8 @@ void StatsServer::HandleConnection(util::net::Socket connection) {
              static_cast<double>(util::MonotonicMicros() -
                                  start_micros_) /
                  1e6);
+    json.Set("peak_rss_bytes",
+             static_cast<long long>(ProcessPeakRssBytes()));
     json.Set("requests_served",
              static_cast<long long>(requests_served()));
     json.Set("port", listener_.port());

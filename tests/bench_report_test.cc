@@ -162,6 +162,83 @@ TEST(ScopedBenchRepTest, RecordsWallTimeObjectiveAndCounterDeltas) {
   SetMetricsEnabled(metrics_were_enabled);
 }
 
+TEST(ScopedBenchRepTest, CountersFirstCreatedDuringScopeBaselineAtZero) {
+  const bool metrics_were_enabled = MetricsEnabled();
+  SetMetricsEnabled(true);
+  // Register (and bump) the counter only *inside* the scope: the snapshot
+  // taken at scope entry has no entry for it, and the delta must treat that
+  // missing before-value as 0 — not skip the counter or underflow.
+  const std::string name =
+      "bench_report_test/created_in_scope_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  BenchReporter reporter("scoped");
+  {
+    ScopedBenchRep rep(reporter, "case");
+    MetricsRegistry::Global().GetCounter(name).Add(23);
+  }
+  BenchReport report = reporter.Build();
+  ASSERT_EQ(report.cases.size(), 1u);
+  ASSERT_EQ(report.cases[0].counters.count(name), 1u);
+  EXPECT_DOUBLE_EQ(report.cases[0].counters.at(name), 23.0);
+
+  MetricsRegistry::Global().GetCounter(name).Reset();
+  SetMetricsEnabled(metrics_were_enabled);
+}
+
+TEST(BenchReportTest, V2RoundTripsCounterSeriesAndBackend) {
+  BenchReporter reporter("v2");
+  reporter.RecordRep("case", 10.0, 1.0);
+  reporter.RecordRep("case", 12.0, 1.5);
+  reporter.RecordSeriesValue("case", "perf/total/instructions", 1000.0);
+  reporter.RecordSeriesValue("case", "perf/total/instructions", 1010.0);
+  reporter.RecordSeriesValue("case", "perf/total/cycles", 400.0);
+  reporter.RecordSeriesValue("case", "perf/total/cycles", 420.0);
+  reporter.set_perf_backend("perf_event");
+  BenchReport report = reporter.Build();
+  EXPECT_EQ(report.schema, BenchReport::kSchema);
+  ASSERT_TRUE(report.Validate().ok()) << report.Validate();
+
+  auto parsed = BenchReport::FromJson(report.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->schema, BenchReport::kSchema);
+  EXPECT_EQ(parsed->perf_backend, "perf_event");
+  ASSERT_EQ(parsed->cases.size(), 1u);
+  EXPECT_EQ(parsed->cases[0].counter_series.at("perf/total/instructions"),
+            (std::vector<double>{1000.0, 1010.0}));
+  EXPECT_EQ(parsed->cases[0].counter_series.at("perf/total/cycles"),
+            (std::vector<double>{400.0, 420.0}));
+  EXPECT_TRUE(parsed->Validate().ok()) << parsed->Validate();
+}
+
+TEST(BenchReportTest, ReadsV1ArtifactsWithoutProfilingFields) {
+  // A v1 artifact is exactly a v2 one minus counter_series/perf_backend.
+  BenchReporter reporter("v1_compat");
+  reporter.RecordRep("case", 10.0, 1.0);
+  reporter.AddCounter("case", "nodes", 5.0);
+  util::JsonValue json = reporter.Build().ToJson();
+  json.Set("schema", BenchReport::kSchemaV1);
+
+  auto parsed = BenchReport::FromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->schema, BenchReport::kSchemaV1);  // schema is preserved
+  EXPECT_TRUE(parsed->perf_backend.empty());
+  ASSERT_EQ(parsed->cases.size(), 1u);
+  EXPECT_TRUE(parsed->cases[0].counter_series.empty());
+  EXPECT_TRUE(parsed->Validate().ok()) << parsed->Validate();
+}
+
+TEST(BenchReportTest, ValidateRejectsCounterSeriesLengthMismatch) {
+  BenchReporter reporter("series_len");
+  reporter.RecordRep("case", 10.0, 1.0);
+  reporter.RecordRep("case", 11.0, 1.0);
+  reporter.RecordSeriesValue("case", "perf/total/cycles", 400.0);
+  BenchReport report = reporter.Build();  // series has 1 sample, 2 reps
+  auto status = report.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.ToString().find("perf/total/cycles"), std::string::npos)
+      << status;
+}
+
 TEST(EventLogTest, EmitWritesParseableJsonlWithStamps) {
   const std::string path = TempPath("tdg_event_log_test.jsonl");
   EventLog log;

@@ -228,6 +228,131 @@ TEST(PerfDiffTest, RejectsInvalidOptionsAndReports) {
   EXPECT_FALSE(DiffBenchReports(report, invalid).ok());
 }
 
+// Attaches a per-rep counter series (v2 profiling data) to a case.
+void AttachSeries(BenchReport& report, const std::string& key,
+                  const std::string& series,
+                  const std::vector<double>& samples) {
+  for (BenchCase& bench_case : report.cases) {
+    if (bench_case.key == key) {
+      bench_case.counter_series[series] = samples;
+      return;
+    }
+  }
+  FAIL() << "no case " << key;
+}
+
+TEST(PerfDiffTest, InstructionMetricCatchesWorkRegressionWallTimeMisses) {
+  // The acceptance scenario: wall time stays flat (the regression hides in
+  // run-to-run noise) while retired instructions double. The default wall
+  // gate must pass; --metric=instructions must fail.
+  BenchReport baseline = MakeReport({
+      {"case/hot", NoisySamples(5000.0, 1.0, 10, 21)},
+  });
+  BenchReport candidate = MakeReport({
+      {"case/hot", NoisySamples(5000.0, 1.0, 10, 22)},  // wall unchanged
+  });
+  AttachSeries(baseline, "case/hot", "perf/total/instructions",
+               NoisySamples(1e9, 1.0, 10, 23));
+  AttachSeries(candidate, "case/hot", "perf/total/instructions",
+               NoisySamples(1e9, 2.0, 10, 24));  // injected 2x instructions
+  baseline.perf_backend = "perf_event";
+  candidate.perf_backend = "perf_event";
+  ASSERT_TRUE(baseline.Validate().ok()) << baseline.Validate();
+
+  auto wall = DiffBenchReports(baseline, candidate);
+  ASSERT_TRUE(wall.ok()) << wall.status();
+  EXPECT_FALSE(wall->Failed());
+  EXPECT_EQ(wall->cases[0].verdict, PerfVerdict::kUnchanged);
+
+  PerfGateOptions instructions;
+  instructions.metric = "instructions";
+  auto gated = DiffBenchReports(baseline, candidate, instructions);
+  ASSERT_TRUE(gated.ok()) << gated.status();
+  EXPECT_TRUE(gated->Failed());
+  ASSERT_EQ(gated->cases.size(), 1u);
+  EXPECT_EQ(gated->cases[0].verdict, PerfVerdict::kRegression);
+  EXPECT_NEAR(gated->cases[0].ratio, 2.0, 0.1);
+}
+
+TEST(PerfDiffTest, CounterMetricsSkipTheWallResolutionFloor) {
+  // The 1us stopwatch floor exists for wall samples only: counter metrics
+  // with sub-unit means must still gate (a 5x instruction blowup on a tiny
+  // kernel is real work, not timer noise).
+  BenchReport baseline = MakeReport({{"case/tiny", {100.0, 100.0}}});
+  BenchReport candidate = MakeReport({{"case/tiny", {100.0, 100.0}}});
+  AttachSeries(baseline, "case/tiny", "perf/total/instructions",
+               {0.1, 0.1});
+  AttachSeries(candidate, "case/tiny", "perf/total/instructions",
+               {0.5, 0.5});
+  PerfGateOptions instructions;
+  instructions.metric = "instructions";
+  auto diff = DiffBenchReports(baseline, candidate, instructions);
+  ASSERT_TRUE(diff.ok()) << diff.status();
+  EXPECT_EQ(diff->cases[0].verdict, PerfVerdict::kRegression);
+}
+
+TEST(PerfDiffTest, V1BaselineDiffsCleanlyAgainstV2Candidate) {
+  // Old baselines keep gating after the schema bump: a v1 artifact (no
+  // counter_series / perf_backend) against a v2 candidate, wall metric.
+  BenchReport baseline = MakeReport({
+      {"case/a", NoisySamples(1000.0, 1.0, 8, 25)},
+  });
+  auto v1 = BenchReport::FromJson([&] {
+    util::JsonValue json = baseline.ToJson();
+    json.Set("schema", BenchReport::kSchemaV1);
+    return json;
+  }());
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  ASSERT_EQ(v1->schema, BenchReport::kSchemaV1);
+
+  BenchReport candidate = MakeReport({
+      {"case/a", NoisySamples(1000.0, 1.0, 8, 26)},
+  });
+  AttachSeries(candidate, "case/a", "perf/total/instructions",
+               NoisySamples(1e6, 1.0, 8, 27));
+  candidate.perf_backend = "rusage";
+
+  auto diff = DiffBenchReports(v1.value(), candidate);
+  ASSERT_TRUE(diff.ok()) << diff.status();
+  EXPECT_FALSE(diff->Failed());
+  EXPECT_EQ(diff->cases[0].verdict, PerfVerdict::kUnchanged);
+}
+
+TEST(PerfDiffTest, MissingCounterMetricOnAPairedCaseIsAnError) {
+  BenchReport report = MakeReport({{"case/a", {100.0, 110.0}}});
+  PerfGateOptions options;
+  options.metric = "instructions";
+  auto diff = DiffBenchReports(report, report, options);
+  ASSERT_FALSE(diff.ok());
+  // The error tells the user how to record the metric.
+  EXPECT_NE(diff.status().ToString().find("--profile"), std::string::npos)
+      << diff.status();
+
+  PerfGateOptions empty_metric;
+  empty_metric.metric = "";
+  EXPECT_FALSE(DiffBenchReports(report, report, empty_metric).ok());
+}
+
+TEST(PerfDiffTest, ScalarCounterFallsBackToPerRunPseudoSample) {
+  // Reports whose perf totals were accumulated as plain scalar counters
+  // (sweep binaries) still support counter gating: value/reps as a single
+  // pseudo-sample, gated ratio-only.
+  BenchReport baseline = MakeReport({{"case/a", {100.0, 100.0}}});
+  BenchReport candidate = MakeReport({{"case/a", {100.0, 100.0}}});
+  baseline.cases[0].counters["perf/total/instructions"] = 2000.0;
+  candidate.cases[0].counters["perf/total/instructions"] = 6000.0;  // 3x
+
+  PerfGateOptions options;
+  options.metric = "instructions";
+  auto diff = DiffBenchReports(baseline, candidate, options);
+  ASSERT_TRUE(diff.ok()) << diff.status();
+  ASSERT_EQ(diff->cases.size(), 1u);
+  EXPECT_FALSE(diff->cases[0].statistical);
+  EXPECT_EQ(diff->cases[0].verdict, PerfVerdict::kRegression);
+  EXPECT_NEAR(diff->cases[0].ratio, 3.0, 1e-9);
+  EXPECT_TRUE(diff->Failed());
+}
+
 TEST(PerfDiffTest, TableAndJsonNameEveryCase) {
   BenchReport baseline = MakeReport({
       {"case/a", NoisySamples(1000.0, 1.0, 5, 15)},

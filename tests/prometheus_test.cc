@@ -72,6 +72,45 @@ TEST(PrometheusTest, HistogramRendersCumulativeBucketsSumAndCount) {
   EXPECT_NE(text.find(family + "_count 7\n"), std::string::npos);
 }
 
+TEST(PrometheusTest, PerfCountersRenderAsLabeledFamilies) {
+  MetricsSnapshot snapshot;
+  snapshot.counters["perf/core/skills/sort/cycles"] = 100;
+  snapshot.counters["perf/core/objective/swap_delta/cycles"] = 50;
+  snapshot.counters["perf/core/skills/sort/calls"] = 7;
+  snapshot.counters["perf/odd"] = 3;  // no domain/event split: stays plain
+  snapshot.counters["sweep/cells_completed"] = 1;
+  const std::string text = RenderPrometheusText(snapshot);
+
+  // One family per event, every domain a labeled sample under it.
+  const std::string header = "# TYPE tdg_perf_cycles_total counter\n";
+  const size_t first = text.find(header);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find(header, first + 1), std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "tdg_perf_cycles_total{domain=\"core/objective/swap_delta\"} 50\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("tdg_perf_cycles_total{domain=\"core/skills/sort\"}"
+                      " 100\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("tdg_perf_calls_total{domain=\"core/skills/sort\"} 7\n"),
+      std::string::npos);
+  // Names that don't parse as perf/<domain>/<event> keep plain rendering.
+  EXPECT_NE(text.find("tdg_perf_odd_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("tdg_sweep_cells_completed_total 1\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusTest, PerfDomainLabelsAreEscaped) {
+  MetricsSnapshot snapshot;
+  snapshot.counters["perf/we\"ird\\dom/cycles"] = 9;
+  const std::string text = RenderPrometheusText(snapshot);
+  EXPECT_NE(
+      text.find("tdg_perf_cycles_total{domain=\"we\\\"ird\\\\dom\"} 9\n"),
+      std::string::npos);
+}
+
 TEST(PrometheusTest, BuildInfoRendersAsConstantGaugeWithLabels) {
   MetricsSnapshot snapshot;
   snapshot.build_info = {{"git_sha", "abc123"}, {"build type", "Release"}};
@@ -120,7 +159,16 @@ TEST(PrometheusGoldenTest, ExpositionMatchesGolden) {
                          {"build_type", "Release"}};
   snapshot.counters["sweep/cells_completed"] = 16;
   snapshot.counters["work_steal_queue/steals"] = 3;
+  // Kernel-profiling counters: one labeled family per event, domains as
+  // labels, including a domain exercising every label escape.
+  snapshot.counters["perf/core/skills/sort/calls"] = 2240;
+  snapshot.counters["perf/core/skills/sort/cycles"] = 41250000;
+  snapshot.counters["perf/core/theory/clique_prefix/cycles"] = 9500000;
+  snapshot.counters["perf/core/theory/clique_prefix/instructions"] =
+      31000000;
+  snapshot.counters["perf/we\"ird\\dom\nain/cycles"] = 7;
   snapshot.gauges["thread_pool/queue_depth"] = {2.0, 8.0};
+  snapshot.gauges["process/peak_rss_bytes"] = {73728000.0, 73728000.0};
   HistogramStats histogram;
   histogram.count = 4;
   histogram.sum = 1234.5;
