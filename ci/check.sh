@@ -2,7 +2,7 @@
 # Sanitizer + configuration matrix for the tdg repo.
 #
 #   ci/check.sh            run the full matrix (asan, ubsan, tsan, obs-off,
-#                          bench-smoke, crash-resume, monitor, profile)
+#                          bench-smoke, crash-resume, monitor, profile, soa)
 #   ci/check.sh asan       run one configuration
 #
 # Configurations:
@@ -38,6 +38,14 @@
 #            (TDG_PERF_BACKEND=rusage must degrade cleanly, never fail),
 #            and require sweep outputs to be byte-identical with
 #            profiling on vs off
+#   soa      structure-of-arrays fast-path gate (DESIGN.md §11): runs the
+#            differential-oracle, edge, summation-order, and golden suites
+#            under ASan and UBSan (each also with the TDG_SIMD=off runtime
+#            gate), rebuilds with -DTDG_SIMD=OFF to prove the forced-scalar
+#            build is bit-identical to the goldens, then a bench smoke:
+#            records a profiled bench_soa_kernels report and self-diffs it
+#            with tdg_perfdiff on wall time and on an instruction counter,
+#            falling back to task_clock_ns on hosts without a PMU
 #
 # Build trees live under build-ci/<config> so they never disturb ./build.
 
@@ -68,9 +76,12 @@ ctest_args() {
     # mutex-guarded fsync'd appends race worker threads by design;
     # FileUtil covers the durable-append primitive underneath it.
     # The monitoring suites (Net accept loop, StatsServer scrape threads,
-    # Progress/Heartbeat writer threads) are in the tsan net too.
+    # Progress/Heartbeat writer threads) are in the tsan net too, as are
+    # the SoA suites: sweeps drive the arena through thread_local scratch
+    # and flip nothing but relaxed atomics on the SIMD gate, which is
+    # exactly the kind of claim tsan should referee.
     tsan)
-      echo "-R ThreadPool|ParallelFor|Obs|Trace|Sweep|Logging|ParallelSolver|ParserFuzz|BranchBound|BruteForce|SimulatedAnnealing|EventLog|WorkStealQueue|FileUtil|Net|StatsServer|Prometheus|Progress|Heartbeat"
+      echo "-R ThreadPool|ParallelFor|Obs|Trace|Sweep|Logging|ParallelSolver|ParserFuzz|BranchBound|BruteForce|SimulatedAnnealing|EventLog|WorkStealQueue|FileUtil|Net|StatsServer|Prometheus|Progress|Heartbeat|Soa|Arena|SummationOrder"
       ;;
     crash-resume)
       echo "-R SweepShard|SweepCrash|SweepTornWrite|FileUtil|CheckDeathTest|LoggingDeathTest"
@@ -356,10 +367,74 @@ EOF
   echo "==> [profile] OK"
 }
 
+run_soa() {
+  # Every suite that pins the SoA fast path: the AoS-vs-SoA differential
+  # oracle, alignment/aliasing/shape edge cases, the summation-order pins,
+  # and the byte-identical sweep goldens + execution-path invariance.
+  local filter='Soa|Arena|SummationOrder|SortEdge|SimdRemainder|SimdDispatch|DyGroupsRoundEdge|GroupRoundMembersEdge|SweepGolden|Invariance'
+
+  for san in address undefined; do
+    local build_dir="build-ci/soa-${san}"
+    echo "==> [soa/${san}] configure"
+    cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DTDG_SANITIZE="${san}" >/dev/null
+    echo "==> [soa/${san}] build"
+    cmake --build "${build_dir}" -j "${JOBS}" --target tdg_tests >/dev/null
+    echo "==> [soa/${san}] SoA suites"
+    (cd "${build_dir}" && ctest --output-on-failure -j "${JOBS}" \
+      -R "${filter}")
+    echo "==> [soa/${san}] SoA suites with the TDG_SIMD=off runtime gate"
+    (cd "${build_dir}" && TDG_SIMD=off ctest --output-on-failure \
+      -j "${JOBS}" -R "${filter}")
+  done
+
+  local scalar_dir="build-ci/soa-scalar"
+  echo "==> [soa/scalar] configure (-DTDG_SIMD=OFF)"
+  cmake -B "${scalar_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTDG_SIMD=OFF >/dev/null
+  echo "==> [soa/scalar] build"
+  cmake --build "${scalar_dir}" -j "${JOBS}" --target tdg_tests >/dev/null
+  echo "==> [soa/scalar] forced-scalar build must still match the goldens"
+  (cd "${scalar_dir}" && ctest --output-on-failure -j "${JOBS}" \
+    -R "${filter}")
+
+  echo "==> [soa/bench] build bench_soa_kernels + tdg_perfdiff"
+  local bench_dir="build-ci/soa-bench"
+  cmake -B "${bench_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "${bench_dir}" -j "${JOBS}" \
+    --target bench_soa_kernels tdg_perfdiff >/dev/null
+  local reports_dir="${bench_dir}/reports"
+  mkdir -p "${reports_dir}"
+  echo "==> [soa/bench] record a profiled SoA report"
+  "${bench_dir}/bench/bench_soa_kernels" --path=soa --profile \
+    --report_out="${reports_dir}/soa.json" >/dev/null
+  "${bench_dir}/examples/tdg_perfdiff" \
+    --self-check="${reports_dir}/soa.json"
+  echo "==> [soa/bench] self-diff must pass on wall and a counter metric"
+  "${bench_dir}/examples/tdg_perfdiff" \
+    --baseline="${reports_dir}/soa.json" \
+    --candidate="${reports_dir}/soa.json"
+  # Instruction counts are the preferred noise-free metric; containers and
+  # VMs frequently expose no PMU, where task-clock is the counter that is
+  # always recorded.
+  local counter_metric="task_clock_ns"
+  if grep -q '"perf/total/instructions"' "${reports_dir}/soa.json"; then
+    counter_metric="instructions"
+  fi
+  "${bench_dir}/examples/tdg_perfdiff" --metric="${counter_metric}" \
+    --baseline="${reports_dir}/soa.json" \
+    --candidate="${reports_dir}/soa.json"
+  echo "==> [soa] OK"
+}
+
 run_config() {
   local config="$1"
   if [[ "${config}" == "bench-smoke" ]]; then
     run_bench_smoke
+    return
+  fi
+  if [[ "${config}" == "soa" ]]; then
+    run_soa
     return
   fi
   if [[ "${config}" == "crash-resume" ]]; then
@@ -391,7 +466,7 @@ if [[ $# -gt 0 ]]; then
   for config in "$@"; do run_config "${config}"; done
 else
   for config in asan ubsan tsan obs-off bench-smoke crash-resume monitor \
-      profile; do
+      profile soa; do
     run_config "${config}"
   done
 fi

@@ -35,6 +35,9 @@ class DyGroupsStarPolicy final : public GroupingPolicy {
     return DyGroupsStarLocal(skills, num_groups);
   }
   std::string_view name() const override { return "DyGroups-Star"; }
+  PolicyKernelKind kernel_kind() const override {
+    return PolicyKernelKind::kDyGroupsStar;
+  }
 };
 
 class DyGroupsCliquePolicy final : public GroupingPolicy {
@@ -44,6 +47,9 @@ class DyGroupsCliquePolicy final : public GroupingPolicy {
     return DyGroupsCliqueLocal(skills, num_groups);
   }
   std::string_view name() const override { return "DyGroups-Clique"; }
+  PolicyKernelKind kernel_kind() const override {
+    return PolicyKernelKind::kDyGroupsClique;
+  }
 };
 
 /// Returns the DyGroups policy matching `mode`.

@@ -1,8 +1,6 @@
 #include "core/interaction.h"
 
-#include <algorithm>
-#include <vector>
-
+#include "core/soa.h"
 #include "obs/obs.h"
 
 namespace tdg {
@@ -26,95 +24,12 @@ util::StatusOr<InteractionMode> ParseInteractionMode(std::string_view name) {
 
 namespace {
 
-// (skill, id) of group members, sorted by descending skill with id
-// tie-break. Rank 1 = strongest.
-std::vector<std::pair<double, int>> SortedGroup(
-    const std::vector<int>& members, const SkillVector& skills) {
-  std::vector<std::pair<double, int>> sorted;
-  sorted.reserve(members.size());
-  for (int id : members) sorted.emplace_back(skills[id], id);
-  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
-    if (a.first != b.first) return a.first > b.first;
-    return a.second < b.second;
-  });
-  return sorted;
-}
-
-// The group kernels below take `skills` as a nullable out-parameter: with a
-// vector they apply the round's update in place, with nullptr they only sum
-// the gain. Both paths run the *identical* arithmetic on the pre-round
-// snapshot in `sorted`, which is what makes EvaluateGroupGain (and the
-// delta-objective built on it, objective.h) bitwise-equal to a full
-// ApplyRound over the same grouping.
-
-// Star-mode group update: everyone learns from the top-ranked member.
-// Works from the pre-round snapshot held in `sorted`.
-double UpdateGroupStar(const std::vector<std::pair<double, int>>& sorted,
-                       const LearningGainFunction& gain,
-                       SkillVector* skills) {
-  double group_gain = 0.0;
-  double teacher_skill = sorted.front().first;
-  for (size_t i = 1; i < sorted.size(); ++i) {
-    double g = gain.Gain(teacher_skill - sorted[i].first);
-    if (skills != nullptr) (*skills)[sorted[i].second] += g;
-    group_gain += g;
-  }
-  return group_gain;
-}
-
-// Clique-mode group update, O(t) prefix-sum path (Theorem 3). Only valid for
-// linear gains: gain of rank-i member = r * (c_{i-1} - (i-1) s_i) / (i-1),
-// where c_{i-1} sums the i-1 higher pre-round skills.
-double UpdateGroupCliqueLinear(
-    const std::vector<std::pair<double, int>>& sorted, double r,
-    SkillVector* skills) {
-  double group_gain = 0.0;
-  double prefix = sorted.front().first;
-  for (size_t i = 1; i < sorted.size(); ++i) {
-    double count = static_cast<double>(i);
-    double g = r * (prefix - count * sorted[i].first) / count;
-    if (skills != nullptr) (*skills)[sorted[i].second] += g;
-    group_gain += g;
-    prefix += sorted[i].first;
-  }
-  return group_gain;
-}
-
-// Clique-mode group update, general O(t^2) path: rank-i member's gain is the
-// average of its pairwise gains from all higher-ranked members.
-double UpdateGroupCliqueNaive(
-    const std::vector<std::pair<double, int>>& sorted,
-    const LearningGainFunction& gain, SkillVector* skills) {
-  double group_gain = 0.0;
-  for (size_t i = 1; i < sorted.size(); ++i) {
-    double total = 0.0;
-    for (size_t j = 0; j < i; ++j) {
-      total += gain.Gain(sorted[j].first - sorted[i].first);
-    }
-    double g = total / static_cast<double>(i);
-    if (skills != nullptr) (*skills)[sorted[i].second] += g;
-    group_gain += g;
-  }
-  return group_gain;
-}
-
-// Gain of one group, optionally applying the update. Dispatch shared by
-// ApplyRound (skills != nullptr) and EvaluateGroupGain (skills == nullptr).
-double GroupGain(InteractionMode mode,
-                 const std::vector<std::pair<double, int>>& sorted,
-                 const LearningGainFunction& gain, bool allow_fast_path,
-                 SkillVector* skills) {
-  switch (mode) {
-    case InteractionMode::kStar:
-      return UpdateGroupStar(sorted, gain, skills);
-    case InteractionMode::kClique:
-      if (allow_fast_path && gain.is_linear()) {
-        return UpdateGroupCliqueLinear(sorted, gain.rate(), skills);
-      }
-      return UpdateGroupCliqueNaive(sorted, gain, skills);
-  }
-  return 0.0;
-}
+// The per-group work (gather, rank sort, gain kernel, scatter-add) lives on
+// the SoA plane: soa::GroupRoundMembers with a nullable update target, the
+// same pattern the old AoS kernels used. Update and evaluate paths run the
+// *identical* arithmetic on the pre-round snapshot, which is what makes
+// EvaluateGroupGain (and the delta-objective built on it, objective.h)
+// bitwise-equal to a full ApplyRound over the same grouping.
 
 util::StatusOr<double> ApplyRoundImpl(InteractionMode mode,
                                       const Grouping& grouping,
@@ -140,13 +55,14 @@ util::StatusOr<double> ApplyRoundImpl(InteractionMode mode,
           : (allow_fast_path && gain.is_linear() ? prefix_domain
                                                  : naive_domain));
 #endif
+  soa::Arena& arena = soa::ThreadLocalArena();
   double round_gain = 0.0;
   int64_t updated_groups = 0;
   for (const auto& members : grouping.groups) {
     if (members.size() == 1) continue;  // nothing to learn from
     ++updated_groups;
-    std::vector<std::pair<double, int>> sorted = SortedGroup(members, skills);
-    round_gain += GroupGain(mode, sorted, gain, allow_fast_path, &skills);
+    round_gain += soa::GroupRoundMembers(mode, gain, allow_fast_path, members,
+                                         skills, skills.data(), arena);
   }
   if (mode == InteractionMode::kStar) {
     TDG_OBS_COUNTER_ADD("interaction/star_group_updates", updated_groups);
@@ -194,9 +110,9 @@ util::StatusOr<double> EvaluateGroupGain(InteractionMode mode,
     }
   }
   if (members.size() <= 1) return 0.0;
-  std::vector<std::pair<double, int>> sorted = SortedGroup(members, skills);
-  return GroupGain(mode, sorted, gain, /*allow_fast_path=*/true,
-                   /*skills=*/nullptr);
+  return soa::GroupRoundMembers(mode, gain, /*allow_fast_path=*/true, members,
+                                skills, /*update_skills=*/nullptr,
+                                soa::ThreadLocalArena());
 }
 
 }  // namespace tdg

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/skills.h"
+#include "core/soa.h"
 #include "obs/perf_profile.h"
 #include "util/string_util.h"
 
@@ -33,28 +34,40 @@ util::StatusOr<SwapGainDelta> EvaluateRoundGainDelta(
         "swap member indices (%d, %d) out of range", index_a, index_b));
   }
 
-  TDG_PERF_SCOPE("core/objective/swap_delta");
-  SwapGainDelta result;
-  if (known_old_gain_a != nullptr) {
-    result.old_gain_a = *known_old_gain_a;
-  } else {
-    TDG_ASSIGN_OR_RETURN(result.old_gain_a,
-                         EvaluateGroupGain(mode, members_a, gain, skills));
-  }
-  if (known_old_gain_b != nullptr) {
-    result.old_gain_b = *known_old_gain_b;
-  } else {
-    TDG_ASSIGN_OR_RETURN(result.old_gain_b,
-                         EvaluateGroupGain(mode, members_b, gain, skills));
+  const int n = static_cast<int>(skills.size());
+  for (const std::vector<int>* members : {&members_a, &members_b}) {
+    for (int id : *members) {
+      if (id < 0 || id >= n) {
+        return util::Status::InvalidArgument(
+            "group member id out of range of the skill vector");
+      }
+    }
   }
 
-  std::vector<int> swapped_a = members_a;
-  std::vector<int> swapped_b = members_b;
+  TDG_PERF_SCOPE("core/objective/swap_delta");
+  // All four group evaluations run on arena scratch — the O(n/k) inner loop
+  // of local search does no heap allocation.
+  soa::Arena& arena = soa::ThreadLocalArena();
+  soa::ArenaScope scope(arena);
+  auto group_gain = [&](std::span<const int> members) {
+    if (members.size() <= 1) return 0.0;
+    return soa::GroupRoundMembers(mode, gain, /*allow_fast_path=*/true,
+                                  members, skills, /*update_skills=*/nullptr,
+                                  arena);
+  };
+  SwapGainDelta result;
+  result.old_gain_a = known_old_gain_a != nullptr ? *known_old_gain_a
+                                                  : group_gain(members_a);
+  result.old_gain_b = known_old_gain_b != nullptr ? *known_old_gain_b
+                                                  : group_gain(members_b);
+
+  std::span<int> swapped_a = arena.Alloc<int>(members_a.size());
+  std::span<int> swapped_b = arena.Alloc<int>(members_b.size());
+  std::copy(members_a.begin(), members_a.end(), swapped_a.begin());
+  std::copy(members_b.begin(), members_b.end(), swapped_b.begin());
   std::swap(swapped_a[index_a], swapped_b[index_b]);
-  TDG_ASSIGN_OR_RETURN(result.new_gain_a,
-                       EvaluateGroupGain(mode, swapped_a, gain, skills));
-  TDG_ASSIGN_OR_RETURN(result.new_gain_b,
-                       EvaluateGroupGain(mode, swapped_b, gain, skills));
+  result.new_gain_a = group_gain(swapped_a);
+  result.new_gain_b = group_gain(swapped_b);
   result.delta = (result.new_gain_a + result.new_gain_b) -
                  (result.old_gain_a + result.old_gain_b);
   return result;

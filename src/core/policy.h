@@ -18,6 +18,16 @@ namespace tdg {
 /// Policies must not mutate the skills; randomized policies own their RNG so
 /// repeated FormGroups calls advance their stream deterministically from the
 /// seed.
+/// Declares which closed-form round kernel, if any, computes the same
+/// grouping + update as this policy's FormGroups followed by ApplyRound.
+/// Policies with a non-generic kind let the process driver run the fused
+/// SoA round (soa::DyGroupsRound) — same bits, no Grouping materialization.
+enum class PolicyKernelKind {
+  kGeneric,         // no closed form; FormGroups + ApplyRound every round
+  kDyGroupsStar,    // paper Algorithm 2 layout (teachers + sorted blocks)
+  kDyGroupsClique,  // paper Algorithm 3 layout (round-robin deal)
+};
+
 class GroupingPolicy {
  public:
   virtual ~GroupingPolicy() = default;
@@ -29,6 +39,15 @@ class GroupingPolicy {
 
   /// Stable display name used in benchmark tables (e.g. "DyGroups-Star").
   virtual std::string_view name() const = 0;
+
+  /// The fused-kernel contract of this policy (kGeneric by default). A
+  /// policy overriding this promises that, for every valid input, FormGroups
+  /// returns exactly the declared closed-form layout — the differential
+  /// suite (soa_differential_test.cc) cross-checks the fused round against
+  /// FormGroups + ApplyRound bit for bit.
+  virtual PolicyKernelKind kernel_kind() const {
+    return PolicyKernelKind::kGeneric;
+  }
 };
 
 /// Shared argument validation for equi-sized policies: non-empty positive

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "core/soa.h"
 #include "obs/obs.h"
 #include "util/string_util.h"
 
@@ -21,6 +22,14 @@ util::StatusOr<ProcessResult> RunProcess(const SkillVector& initial_skills,
   TDG_TRACE_SPAN("process/run");
   TDG_OBS_COUNTER_ADD("process/runs", 1);
 
+  // Policies with a closed-form layout run the fused SoA round: one sort,
+  // no Grouping materialization, bitwise-identical results (soa.h). With
+  // record_history the materialized grouping is part of the output, so the
+  // generic path runs regardless.
+  const PolicyKernelKind kind = policy.kernel_kind();
+  const bool fused = !config.record_history &&
+                     kind != PolicyKernelKind::kGeneric;
+
   ProcessResult result;
   result.initial_skills = initial_skills;
   SkillVector skills = initial_skills;
@@ -28,13 +37,33 @@ util::StatusOr<ProcessResult> RunProcess(const SkillVector& initial_skills,
 
   for (int t = 0; t < config.num_rounds; ++t) {
     TDG_TRACE_SPAN("process/round");
-    TDG_ASSIGN_OR_RETURN(Grouping grouping,
-                         policy.FormGroups(skills, config.num_groups));
-    TDG_RETURN_IF_ERROR(
-        grouping.ValidateEquiSized(static_cast<int>(skills.size())));
-    auto gain_or = ApplyRound(config.mode, grouping, gain, skills);
-    if (!gain_or.ok()) return gain_or.status();
-    double round_gain = gain_or.value();
+    double round_gain;
+    if (fused) {
+      auto gain_or = soa::DyGroupsRound(
+          kind == PolicyKernelKind::kDyGroupsStar
+              ? soa::DyGroupsLayout::kStarBlocks
+              : soa::DyGroupsLayout::kRoundRobin,
+          config.mode, gain, skills, config.num_groups,
+          soa::ThreadLocalArena());
+      if (!gain_or.ok()) return gain_or.status();
+      round_gain = gain_or.value();
+    } else {
+      TDG_ASSIGN_OR_RETURN(Grouping grouping,
+                           policy.FormGroups(skills, config.num_groups));
+      TDG_RETURN_IF_ERROR(
+          grouping.ValidateEquiSized(static_cast<int>(skills.size())));
+      auto gain_or = ApplyRound(config.mode, grouping, gain, skills);
+      if (!gain_or.ok()) return gain_or.status();
+      round_gain = gain_or.value();
+
+      if (config.record_history) {
+        RoundRecord record;
+        record.grouping = std::move(grouping);
+        record.gain = round_gain;
+        record.skills_after = skills;
+        result.history.push_back(std::move(record));
+      }
+    }
 
     TDG_OBS_COUNTER_ADD("process/rounds", 1);
     TDG_OBS_HISTOGRAM_RECORD("process/round_gain", round_gain);
@@ -44,13 +73,6 @@ util::StatusOr<ProcessResult> RunProcess(const SkillVector& initial_skills,
 
     result.round_gains.push_back(round_gain);
     result.total_gain += round_gain;
-    if (config.record_history) {
-      RoundRecord record;
-      record.grouping = std::move(grouping);
-      record.gain = round_gain;
-      record.skills_after = skills;
-      result.history.push_back(std::move(record));
-    }
   }
   result.final_skills = std::move(skills);
   return result;

@@ -1,8 +1,6 @@
 #include "core/skills.h"
 
-#include <algorithm>
-#include <numeric>
-
+#include "core/soa.h"
 #include "obs/perf_profile.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -24,17 +22,15 @@ util::Status ValidateSkills(std::span<const double> skills) {
 }
 
 std::vector<int> SortedByskillDescending(std::span<const double> skills) {
-  TDG_PERF_SCOPE("core/skills/sort");
+  // Radix sort on the SoA plane; yields the exact stable_sort permutation
+  // (soa.h). The perf scope "core/skills/sort" lives inside the kernel.
   std::vector<int> ids(skills.size());
-  std::iota(ids.begin(), ids.end(), 0);
-  std::stable_sort(ids.begin(), ids.end(), [&skills](int a, int b) {
-    return skills[a] > skills[b];
-  });
+  soa::SortIdsByskillDescending(skills, ids, soa::ThreadLocalArena());
   return ids;
 }
 
 double TotalSkill(std::span<const double> skills) {
-  return std::accumulate(skills.begin(), skills.end(), 0.0);
+  return soa::OrderedSum(skills);
 }
 
 double AggregateGain(std::span<const double> before,
@@ -51,10 +47,8 @@ std::vector<double> SkillDeficits(std::span<const double> skills) {
   TDG_PERF_SCOPE("core/skills/deficits");
   std::vector<double> deficits(skills.size(), 0.0);
   if (skills.empty()) return deficits;
-  double top = *std::max_element(skills.begin(), skills.end());
-  for (size_t i = 0; i < skills.size(); ++i) {
-    deficits[i] = top - skills[i];
-  }
+  double top = soa::MaxValue(skills);
+  soa::SubtractFrom(top, skills, deficits);
   return deficits;
 }
 

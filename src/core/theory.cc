@@ -5,6 +5,7 @@
 
 #include "core/dygroups.h"
 #include "core/process.h"
+#include "core/soa.h"
 #include "util/string_util.h"
 
 namespace tdg {
@@ -33,7 +34,7 @@ util::StatusOr<int> SimulateRateOneStarSaturation(const SkillVector& skills,
                                                   int num_groups,
                                                   int max_rounds) {
   TDG_RETURN_IF_ERROR(ValidatePolicyArguments(skills, num_groups));
-  double top = *std::max_element(skills.begin(), skills.end());
+  double top = soa::MaxValue(skills);
   SkillVector current = skills;
   for (int round = 0; round <= max_rounds; ++round) {
     bool saturated = true;
@@ -75,9 +76,7 @@ util::StatusOr<int> RoundsToDeficitFraction(const SkillVector& skills,
   TDG_ASSIGN_OR_RETURN(LinearGain gain, LinearGain::Create(r));
   auto policy = MakeDyGroupsPolicy(mode);
 
-  std::vector<double> deficits = SkillDeficits(skills);
-  double initial = 0.0;
-  for (double b : deficits) initial += b;
+  double initial = soa::OrderedSum(SkillDeficits(skills));
   if (initial == 0.0) return 0;  // already converged
 
   SkillVector current = skills;
@@ -86,8 +85,7 @@ util::StatusOr<int> RoundsToDeficitFraction(const SkillVector& skills,
                          policy->FormGroups(current, num_groups));
     auto round_gain = ApplyRound(mode, grouping, gain, current);
     if (!round_gain.ok()) return round_gain.status();
-    double remaining = 0.0;
-    for (double b : SkillDeficits(current)) remaining += b;
+    double remaining = soa::OrderedSum(SkillDeficits(current));
     if (remaining <= fraction * initial) return round;
   }
   return max_rounds;

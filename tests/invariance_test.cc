@@ -5,10 +5,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
+#include <cstdint>
 #include <numeric>
 
 #include "core/dygroups.h"
 #include "core/process.h"
+#include "core/soa.h"
 #include "random/distributions.h"
 
 namespace tdg {
@@ -167,6 +170,47 @@ TEST(InvarianceTest, FinalSkillMultisetOrderIndependent) {
   std::vector<double> sb = SortedDesc(b->final_skills);
   for (size_t i = 0; i < sa.size(); ++i) {
     EXPECT_NEAR(sa[i], sb[i], 1e-9);
+  }
+}
+
+// The whole invariance battery is about *outcomes*; the SoA plane promises
+// the outcomes are additionally invariant to which execution path produced
+// them. Run one representative process four ways — SIMD on/off × fused
+// (history off) / generic (history on) — and require bitwise agreement.
+TEST(InvarianceTest, ExecutionPathInvariance) {
+  random::Rng rng(6);
+  SkillVector skills =
+      random::GenerateSkills(rng, random::SkillDistribution::kLogNormal, 24);
+  for (double& s : skills) s += 0.01;
+
+  for (InteractionMode mode :
+       {InteractionMode::kStar, InteractionMode::kClique}) {
+    SkillVector baseline;
+    for (bool simd : {true, false}) {
+      for (bool history : {false, true}) {
+        soa::SetSimdEnabledForTest(simd);
+        auto policy = MakeDyGroupsPolicy(mode);
+        ProcessConfig config;
+        config.num_groups = 4;
+        config.num_rounds = 4;
+        config.mode = mode;
+        config.record_history = history;
+        auto result = RunProcess(skills, config, Gain(), *policy);
+        soa::SetSimdEnabledForTest(true);
+        ASSERT_TRUE(result.ok());
+        if (baseline.empty()) {
+          baseline = result->final_skills;
+          continue;
+        }
+        ASSERT_EQ(result->final_skills.size(), baseline.size());
+        for (size_t i = 0; i < baseline.size(); ++i) {
+          EXPECT_EQ(std::bit_cast<uint64_t>(result->final_skills[i]),
+                    std::bit_cast<uint64_t>(baseline[i]))
+              << InteractionModeName(mode) << " simd=" << simd
+              << " history=" << history << " participant " << i;
+        }
+      }
+    }
   }
 }
 
