@@ -14,6 +14,8 @@
 //   bench_soa_kernels --path=soa --report_out=soa.json [--profile]
 //   bench_soa_kernels --path=reference --report_out=ref.json [--profile]
 //   bench_soa_kernels --simd=off           # SoA path with vector units off
+//   bench_soa_kernels --blackbox=bb.bin    # flight recorder on (overhead
+//                                          # certificate, DESIGN.md §12)
 //
 // The two single-path reports use identical case keys, so the speedup claim
 // is certified end-to-end by:
@@ -143,13 +145,26 @@ double RunCase(const std::string& path, const BenchCase& bench_case,
 
 int Main(int argc, char** argv) {
   std::string path = "both";
+  std::string blackbox;
   bool simd_off = false;
   obs::GlobalBenchReporter().ParseReportFlag(argc, argv);
   for (int i = 1; i < argc; ++i) {
     std::string_view arg = argv[i];
     if (arg.rfind("--path=", 0) == 0) path = std::string(arg.substr(7));
+    if (arg.rfind("--blackbox=", 0) == 0) {
+      blackbox = std::string(arg.substr(11));
+    }
     if (arg == "--profile") obs::SetProfilingEnabled(true);
     if (arg == "--simd=off") simd_off = true;
+  }
+  if (!blackbox.empty()) {
+    // The flight-recorder overhead certificate: identical case keys with
+    // and without --blackbox, gated by tdg_perfdiff (ci/check.sh blackbox,
+    // bench/reports/soa_kernels_blackbox_*.json).
+    obs::FlightRecorder::Options recorder_options;
+    recorder_options.path = blackbox;
+    auto status = obs::FlightRecorder::Global().Start(recorder_options);
+    TDG_CHECK(status.ok()) << status;
   }
   if (path != "both" && path != "soa" && path != "reference") {
     std::fprintf(stderr, "unknown --path=%s (both|soa|reference)\n",
@@ -200,6 +215,7 @@ int Main(int argc, char** argv) {
     }
   }
 
+  if (!blackbox.empty()) obs::FlightRecorder::Global().Stop();
   EmitReport(argc, argv);
   return 0;
 }

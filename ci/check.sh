@@ -2,7 +2,8 @@
 # Sanitizer + configuration matrix for the tdg repo.
 #
 #   ci/check.sh            run the full matrix (asan, ubsan, tsan, obs-off,
-#                          bench-smoke, crash-resume, monitor, profile, soa)
+#                          bench-smoke, crash-resume, monitor, profile, soa,
+#                          blackbox)
 #   ci/check.sh asan       run one configuration
 #
 # Configurations:
@@ -46,6 +47,14 @@
 #            records a profiled bench_soa_kernels report and self-diffs it
 #            with tdg_perfdiff on wall time and on an instruction counter,
 #            falling back to task_clock_ns on hosts without a PMU
+#   blackbox flight-recorder e2e (DESIGN.md §12): run the recorder /
+#            record-ring / mmap / stats-server suites under tsan (the rings
+#            are lock-free and the /blackboxz reader tails a file that
+#            writers are still appending to), then a crash-dump e2e: kill a
+#            sweep shard mid-cell via TDG_TEST_CRASH_AFTER_CELLS and again
+#            with a raw `kill -9`, and require `tdg_blackbox` to decode a
+#            dump whose last sweep_cell_end agrees with the checkpoint's
+#            last appended cell
 #
 # Build trees live under build-ci/<config> so they never disturb ./build.
 
@@ -81,7 +90,7 @@ ctest_args() {
     # and flip nothing but relaxed atomics on the SIMD gate, which is
     # exactly the kind of claim tsan should referee.
     tsan)
-      echo "-R ThreadPool|ParallelFor|Obs|Trace|Sweep|Logging|ParallelSolver|ParserFuzz|BranchBound|BruteForce|SimulatedAnnealing|EventLog|WorkStealQueue|FileUtil|Net|StatsServer|Prometheus|Progress|Heartbeat|Soa|Arena|SummationOrder"
+      echo "-R ThreadPool|ParallelFor|Obs|Trace|Sweep|Logging|ParallelSolver|ParserFuzz|BranchBound|BruteForce|SimulatedAnnealing|EventLog|WorkStealQueue|FileUtil|Net|StatsServer|Prometheus|Progress|Heartbeat|Soa|Arena|SummationOrder|FlightRecorder|Blackbox|RecordRing|MmapFile"
       ;;
     crash-resume)
       echo "-R SweepShard|SweepCrash|SweepTornWrite|FileUtil|CheckDeathTest|LoggingDeathTest"
@@ -427,6 +436,133 @@ run_soa() {
   echo "==> [soa] OK"
 }
 
+run_blackbox() {
+  # TSan referees the flight recorder's lock-free plane: relaxed-atomic
+  # ring cursors, cross-thread slot claims, and the /blackboxz endpoint
+  # tailing a dump file that writer threads are still appending to.
+  local tsan_dir="build-ci/blackbox-tsan"
+  echo "==> [blackbox] configure (tsan)"
+  cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTDG_SANITIZE=thread -DTDG_TEST_HOOKS=ON >/dev/null
+  echo "==> [blackbox] build (tsan)"
+  cmake --build "${tsan_dir}" -j "${JOBS}" \
+    --target tdg_tests tdg_sweep_shard_child >/dev/null
+  echo "==> [blackbox] ring-buffer / recorder / server suites (tsan)"
+  (cd "${tsan_dir}" && ctest --output-on-failure -j "${JOBS}" \
+    -R "FlightRecorder|Blackbox|RecordRing|MmapFile|StatsServer|EventLog")
+
+  echo "==> [blackbox] crash-dump e2e"
+  local build_dir="build-ci/blackbox"
+  cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTDG_TEST_HOOKS=ON >/dev/null
+  cmake --build "${build_dir}" -j "${JOBS}" \
+    --target example_tdg_cli tdg_blackbox >/dev/null
+  local work="${build_dir}/e2e"
+  rm -rf "${work}"
+  mkdir -p "${work}"
+  # threads = 1 makes cell completion sequential, so the dump's last
+  # sweep_cell_end must name exactly the checkpoint's last appended cell —
+  # the crash-cut contract (the event is recorded after the checkpoint
+  # append, before the fault hook can fire).
+  cat > "${work}/sweep.cfg" <<'EOF'
+name = ci-blackbox
+policies = DyGroups-Star, Random-Assignment
+n = 12, 24
+k = 3
+alpha = 2
+r = 0.25, 0.5
+mode = star, clique
+distribution = log-normal
+runs = 2
+seed = 7
+threads = 1
+EOF
+  local cli="${build_dir}/examples/example_tdg_cli"
+  local decode="${build_dir}/examples/tdg_blackbox"
+
+  local status=0
+  TDG_TEST_CRASH_AFTER_CELLS=3 "${cli}" sweep \
+    --config="${work}/sweep.cfg" --no_metrics \
+    --checkpoint="${work}/shard.ckpt" --blackbox \
+    >/dev/null || status=$?
+  if [[ "${status}" -ne 42 ]]; then
+    echo "fault hook should have exited 42, got ${status}" >&2
+    exit 1
+  fi
+  "${decode}" "${work}/shard.ckpt.blackbox" > "${work}/summary.txt"
+  grep -q 'CRASH' "${work}/summary.txt"
+  "${decode}" --jsonl "${work}/shard.ckpt.blackbox" > "${work}/events.jsonl"
+  local last_bb last_ckpt
+  last_bb="$(grep '"event":"sweep_cell_end"' "${work}/events.jsonl" \
+    | tail -n 1 | sed -E 's/.*"cell_index":([0-9]+).*/\1/')"
+  last_ckpt="$(grep '"cell_index"' "${work}/shard.ckpt" \
+    | tail -n 1 | sed -E 's/.*"cell_index":([0-9]+).*/\1/')"
+  if [[ -z "${last_bb}" || "${last_bb}" != "${last_ckpt}" ]]; then
+    echo "blackbox last sweep_cell_end (${last_bb:-none}) does not match" \
+      "checkpoint last cell (${last_ckpt:-none})" >&2
+    exit 1
+  fi
+
+  echo "==> [blackbox] kill -9 still leaves a decodable dump"
+  # No fault hook this time: SIGKILL gives the process no chance to run any
+  # handler, so this only passes because the MAP_SHARED stores are already
+  # in the page cache. Cells are heavy per *run* (large n, few runs) so the
+  # event rate is low: a cell's sweep_cell_end stays in the 1024-record
+  # ring for hundreds of milliseconds before later events evict it, and
+  # the kill below lands well inside that window.
+  cat > "${work}/kill.cfg" <<'EOF'
+name = ci-blackbox-kill
+policies = DyGroups-Star, Random-Assignment
+n = 16386
+k = 3
+alpha = 2
+r = 0.25, 0.5
+mode = star, clique
+distribution = log-normal
+runs = 200
+seed = 7
+threads = 1
+EOF
+  "${cli}" sweep --config="${work}/kill.cfg" --no_metrics \
+    --checkpoint="${work}/kill.ckpt" --blackbox >/dev/null 2>&1 &
+  local sweep_pid=$!
+  # Kill without warning as soon as the first cell has been checkpointed
+  # (and therefore its sweep_cell_end recorded).
+  local saw_cell=0
+  for _ in $(seq 1 400); do
+    if grep -q '"cell_index"' "${work}/kill.ckpt" 2>/dev/null; then
+      saw_cell=1
+      break
+    fi
+    sleep 0.05
+  done
+  if [[ "${saw_cell}" -ne 1 ]]; then
+    echo "sweep never checkpointed a cell before the kill window" >&2
+    kill "${sweep_pid}" 2>/dev/null || true
+    exit 1
+  fi
+  kill -9 "${sweep_pid}"
+  wait "${sweep_pid}" 2>/dev/null || true
+  "${decode}" "${work}/kill.ckpt.blackbox" > "${work}/kill_summary.txt"
+  grep -q 'CRASH' "${work}/kill_summary.txt"
+  # The SIGKILL can land between a checkpoint append and the next one, so
+  # assert containment rather than exact-last: the newest sweep_cell_end
+  # in the dump must be a cell the checkpoint also committed.
+  local kill_bb
+  kill_bb="$("${decode}" --jsonl "${work}/kill.ckpt.blackbox" \
+    | grep '"event":"sweep_cell_end"' | tail -n 1 \
+    | sed -E 's/.*"cell_index":([0-9]+).*/\1/')"
+  if [[ -z "${kill_bb}" ]]; then
+    echo "kill -9 dump contains no sweep_cell_end event" >&2
+    exit 1
+  fi
+  if ! grep -q "\"cell_index\":${kill_bb}," "${work}/kill.ckpt"; then
+    echo "dump's last sweep_cell_end (${kill_bb}) is not in the checkpoint" >&2
+    exit 1
+  fi
+  echo "==> [blackbox] OK"
+}
+
 run_config() {
   local config="$1"
   if [[ "${config}" == "bench-smoke" ]]; then
@@ -449,6 +585,10 @@ run_config() {
     run_profile
     return
   fi
+  if [[ "${config}" == "blackbox" ]]; then
+    run_blackbox
+    return
+  fi
   local build_dir="build-ci/${config}"
   echo "==> [${config}] configure"
   cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -466,7 +606,7 @@ if [[ $# -gt 0 ]]; then
   for config in "$@"; do run_config "${config}"; done
 else
   for config in asan ubsan tsan obs-off bench-smoke crash-resume monitor \
-      profile soa; do
+      profile soa blackbox; do
     run_config "${config}"
   done
 fi

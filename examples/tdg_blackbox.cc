@@ -1,0 +1,167 @@
+// tdg_blackbox — decoder for flight-recorder dumps (tdg.blackbox.v1, see
+// DESIGN.md §12).
+//
+//   tdg_blackbox DUMP.bin                 summary + tail of the timeline
+//   tdg_blackbox --jsonl DUMP.bin         every event as JSONL on stdout
+//   tdg_blackbox --jsonl=OUT DUMP.bin     ... written to OUT
+//   tdg_blackbox --trace=OUT DUMP.bin     Chrome trace_event JSON (load in
+//                                         chrome://tracing / Perfetto)
+//   tdg_blackbox --tail=N DUMP.bin        rows in the summary tail
+//
+// The dump is written through a shared file mapping, so it is current even
+// when the recording process died by kill -9 — a dump without the
+// clean-shutdown flag is the black box of a crash. Decoding is
+// torn-write-tolerant: records failing their magic check are counted
+// (`torn`) and skipped, never trusted.
+//
+// Exit codes: 0 = decoded, 2 = usage or undecodable input.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "util/file_util.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+namespace {
+
+using tdg::obs::BlackboxDump;
+using tdg::obs::BlackboxEvent;
+using tdg::obs::BlackboxEventName;
+using tdg::obs::BlackboxEventToJson;
+using tdg::obs::BlackboxEventType;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  tdg_blackbox [--jsonl[=OUT]] [--trace=OUT] [--tail=N] "
+               "DUMP.bin\n");
+  return 2;
+}
+
+std::string EventsJsonl(const BlackboxDump& dump) {
+  std::string out;
+  for (const BlackboxEvent& event : dump.events) {
+    out += BlackboxEventToJson(event).Serialize();
+    out += '\n';
+  }
+  return out;
+}
+
+// Chrome trace_event JSON: sweep cells become duration (B/E) slices per
+// thread, everything else an instant event carrying its decoded fields.
+std::string EventsChromeTrace(const BlackboxDump& dump) {
+  std::string out = "[";
+  bool first = true;
+  for (const BlackboxEvent& event : dump.events) {
+    const std::string_view name = BlackboxEventName(event.type);
+    const char* phase = "i";
+    if (event.type == BlackboxEventType::kSweepCellStart) phase = "B";
+    if (event.type == BlackboxEventType::kSweepCellEnd) phase = "E";
+    std::string label(name.empty() ? "unknown" : name);
+    if (event.type == BlackboxEventType::kSweepCellStart ||
+        event.type == BlackboxEventType::kSweepCellEnd) {
+      label = tdg::util::StrFormat("cell %lld",
+                                   static_cast<long long>(event.values[0]));
+    }
+    if (!first) out += ",";
+    first = false;
+    out += tdg::util::StrFormat(
+        "\n{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%lld,\"pid\":1,"
+        "\"tid\":%u",
+        label.c_str(), phase, static_cast<long long>(event.ts_micros),
+        event.tid);
+    if (phase[0] == 'i') out += ",\"s\":\"t\"";
+    out += tdg::util::StrFormat(
+        ",\"args\":%s}", BlackboxEventToJson(event).Serialize().c_str());
+  }
+  out += "\n]\n";
+  return out;
+}
+
+void PrintSummary(const std::string& path, const BlackboxDump& dump,
+                  int tail) {
+  std::printf("blackbox %s\n", path.c_str());
+  std::printf("  shutdown:    %s\n",
+              dump.clean_shutdown ? "clean" : "CRASH (no clean-shutdown "
+                                             "flag)");
+  std::printf("  rings:       %d claimed of %d (%zu bytes each)\n",
+              dump.rings_claimed, dump.max_rings, dump.ring_bytes);
+  std::printf("  events:      %zu decoded, %llu overwritten, %llu torn, "
+              "%llu dropped\n",
+              dump.events.size(),
+              static_cast<unsigned long long>(dump.overwritten),
+              static_cast<unsigned long long>(dump.torn),
+              static_cast<unsigned long long>(dump.dropped));
+  if (dump.events.empty()) return;
+  const std::size_t n = dump.events.size();
+  const std::size_t from =
+      tail > 0 && static_cast<std::size_t>(tail) < n
+          ? n - static_cast<std::size_t>(tail)
+          : 0;
+  std::printf("  last %zu events:\n", n - from);
+  for (std::size_t i = from; i < n; ++i) {
+    std::printf("    %s\n",
+                BlackboxEventToJson(dump.events[i]).Serialize().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tdg::util::FlagParser flags;
+  if (!flags.Parse(argc, argv).ok()) return Usage();
+  std::string jsonl = flags.GetString("jsonl", "");
+  std::string path;
+  if (flags.positional().size() == 1) {
+    path = flags.positional()[0];
+  } else if (flags.positional().empty() && !jsonl.empty() &&
+             jsonl != "true" && jsonl != "-") {
+    // "--jsonl DUMP.bin": the flag parser took the dump path as the flag's
+    // value — that spelling means JSONL to stdout.
+    path = jsonl;
+    jsonl = "true";
+  } else {
+    return Usage();
+  }
+  const bool jsonl_stdout = jsonl == "true" || jsonl == "-";
+  if (jsonl_stdout) jsonl.clear();
+  const std::string trace = flags.GetString("trace", "");
+  const int tail = static_cast<int>(flags.GetInt("tail", 20));
+
+  auto dump = tdg::obs::ReadBlackbox(path);
+  if (!dump.ok()) {
+    std::fprintf(stderr, "tdg_blackbox: %s\n",
+                 dump.status().ToString().c_str());
+    return 2;
+  }
+
+  bool emitted = false;
+  if (jsonl_stdout) {
+    std::fputs(EventsJsonl(dump.value()).c_str(), stdout);
+    emitted = true;
+  } else if (!jsonl.empty()) {
+    auto status = tdg::util::WriteFileAtomic(jsonl, EventsJsonl(dump.value()));
+    if (!status.ok()) {
+      std::fprintf(stderr, "tdg_blackbox: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "wrote %zu events to %s\n",
+                 dump->events.size(), jsonl.c_str());
+    emitted = true;
+  }
+  if (!trace.empty()) {
+    auto status =
+        tdg::util::WriteFileAtomic(trace, EventsChromeTrace(dump.value()));
+    if (!status.ok()) {
+      std::fprintf(stderr, "tdg_blackbox: %s\n", status.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "wrote chrome trace to %s\n", trace.c_str());
+    emitted = true;
+  }
+  if (!emitted) PrintSummary(path, dump.value(), tail);
+  return 0;
+}

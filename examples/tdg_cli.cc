@@ -78,6 +78,21 @@
 //                          <checkpoint>.heartbeat (tdg.heartbeat.v1 JSON)
 //                          every --heartbeat_period_ms=<ms> [default 1000]
 //                          so `tdg_sweepmerge --watch` can track the fleet.
+//                          With --stats_port, /healthz folds the heartbeat
+//                          in: stale or torn beats degrade it to HTTP 503.
+//
+// Flight recorder (valid with every command; see DESIGN.md §12):
+//
+//   --blackbox=<file>      Record the always-on flight recorder into <file>
+//                          (tdg.blackbox.v1): per-thread ring buffers of
+//                          semantic events — round objectives, group churn,
+//                          per-group gain summaries, policy decisions,
+//                          sweep cell boundaries, solver incumbents. The
+//                          dump is a shared file mapping, so it survives
+//                          kill -9; decode with `tdg_blackbox`, or tail it
+//                          live at /blackboxz when --stats_port is up. Bare
+//                          --blackbox (sweep with --checkpoint) defaults to
+//                          <checkpoint>.blackbox.
 
 #include <cstdio>
 #include <fstream>
@@ -334,6 +349,9 @@ void PrintUsage() {
       "live monitoring (any command): --stats_port=<port|0> "
       "--stats_port_file=<file> --progress; sweep: --heartbeat "
       "[--heartbeat_period_ms=MS]\n"
+      "flight recorder (any command): --blackbox=<file> (or bare "
+      "--blackbox next to a sweep --checkpoint); decode with "
+      "tdg_blackbox\n"
       "crash-safe sweeps: sweep --checkpoint=<file> [--resume] "
       "[--shard_index=I --shard_count=S]; merge with tdg_sweepmerge\n"
       "see the header comment of examples/tdg_cli.cc for per-command "
@@ -374,6 +392,28 @@ int main(int argc, char** argv) {
   if (flags.GetBool("profile", false)) {
     tdg::obs::SetProfilingEnabled(true);
   }
+  // Flight recorder (black box, DESIGN.md §12). Bare --blackbox puts the
+  // dump next to the sweep checkpoint; --blackbox=<file> works with every
+  // command. Recording survives kill -9: the dump is a shared file
+  // mapping, decoded post-mortem with tdg_blackbox.
+  std::string blackbox = flags.GetString("blackbox", "");
+  if (!blackbox.empty()) {
+    if (blackbox == "true") {  // bare --blackbox
+      const std::string checkpoint = flags.GetString("checkpoint", "");
+      if (checkpoint.empty()) {
+        return Fail(tdg::util::Status::InvalidArgument(
+            "--blackbox without a path requires --checkpoint (the dump "
+            "lives next to it as <checkpoint>.blackbox); otherwise pass "
+            "--blackbox=<file>"));
+      }
+      blackbox = checkpoint + ".blackbox";
+    }
+    tdg::obs::FlightRecorder::Options recorder_options;
+    recorder_options.path = blackbox;
+    auto status =
+        tdg::obs::FlightRecorder::Global().Start(recorder_options);
+    if (!status.ok()) return Fail(status);
+  }
   if (!trace_out.empty()) tdg::obs::StartTracing();
   if (!events_out.empty()) {
     auto status = tdg::obs::EventLog::Global().Open(events_out);
@@ -400,18 +440,33 @@ int main(int argc, char** argv) {
     server_options.port_file = flags.GetString("stats_port_file", "");
     server_options.manifest = tdg::obs::RunManifest::Capture(
         static_cast<uint64_t>(flags.GetInt("seed", 42)), argc, argv);
+    // Fold the sweep heartbeat (written next to the checkpoint, see
+    // CmdSweep) into /healthz so the probe degrades when the worker
+    // stops making progress, not just when the process dies.
+    const std::string checkpoint = flags.GetString("checkpoint", "");
+    if (flags.GetBool("heartbeat", false) && !checkpoint.empty()) {
+      server_options.heartbeat_paths.push_back(checkpoint + ".heartbeat");
+    }
+    server_options.blackbox_path = blackbox;  // "" → global recorder path
     auto server = tdg::obs::StatsServer::Start(std::move(server_options));
     if (!server.ok()) return Fail(server.status());
     stats_server = std::move(server).value();
     std::fprintf(stderr,
                  "stats server listening on http://127.0.0.1:%d "
-                 "(/healthz /metrics /statusz /progressz)\n",
+                 "(/healthz /metrics /statusz /progressz /blackboxz)\n",
                  stats_server->port());
   }
 
   int exit_code = Dispatch(flags.positional().front(), flags);
 
   if (stats_server != nullptr) stats_server->Stop();
+
+  if (!blackbox.empty()) {
+    tdg::obs::FlightRecorder::Global().Stop();
+    std::printf("wrote flight recorder black box to %s (decode with "
+                "tdg_blackbox)\n",
+                blackbox.c_str());
+  }
 
   if (!manifest_out.empty()) {
     const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));

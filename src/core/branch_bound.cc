@@ -64,6 +64,12 @@ struct SharedSearch {
            !incumbent_bound.compare_exchange_weak(
                seen, gain_value, std::memory_order_relaxed)) {
     }
+    // A successful publication is a solver-progress milestone: the search
+    // found a strictly better incumbent. (Losing the CAS race means some
+    // thread published at least this bound — nothing new to report.)
+    if (gain_value > seen) {
+      TDG_BLACKBOX(obs::BlackboxEventType::kSolverIncumbent, gain_value);
+    }
   }
 
   // Counts one expanded node against the budget.

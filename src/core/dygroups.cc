@@ -2,11 +2,16 @@
 
 #include <memory>
 
+#include "obs/flight_recorder.h"
+
 namespace tdg {
 
 util::StatusOr<Grouping> DyGroupsStarLocal(const SkillVector& skills,
                                            int num_groups) {
   TDG_RETURN_IF_ERROR(ValidatePolicyArguments(skills, num_groups));
+  TDG_BLACKBOX(obs::BlackboxEventType::kPolicyDecision, /*mode=*/0.0,
+               /*layout=*/0.0, static_cast<double>(skills.size()),
+               static_cast<double>(num_groups));
   int n = static_cast<int>(skills.size());
   int group_size = n / num_groups;
   std::vector<int> sorted = SortedByskillDescending(skills);
@@ -32,6 +37,9 @@ util::StatusOr<Grouping> DyGroupsStarLocal(const SkillVector& skills,
 util::StatusOr<Grouping> DyGroupsCliqueLocal(const SkillVector& skills,
                                              int num_groups) {
   TDG_RETURN_IF_ERROR(ValidatePolicyArguments(skills, num_groups));
+  TDG_BLACKBOX(obs::BlackboxEventType::kPolicyDecision, /*mode=*/1.0,
+               /*layout=*/1.0, static_cast<double>(skills.size()),
+               static_cast<double>(num_groups));
   int n = static_cast<int>(skills.size());
   int group_size = n / num_groups;
   std::vector<int> sorted = SortedByskillDescending(skills);

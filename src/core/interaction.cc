@@ -35,7 +35,9 @@ util::StatusOr<double> ApplyRoundImpl(InteractionMode mode,
                                       const Grouping& grouping,
                                       const LearningGainFunction& gain,
                                       SkillVector& skills,
-                                      bool allow_fast_path) {
+                                      bool allow_fast_path,
+                                      std::vector<double>* group_gains_out =
+                                          nullptr) {
   TDG_RETURN_IF_ERROR(
       grouping.ValidatePartition(static_cast<int>(skills.size())));
   TDG_TRACE_SPAN(mode == InteractionMode::kStar ? "interaction/star_round"
@@ -56,13 +58,22 @@ util::StatusOr<double> ApplyRoundImpl(InteractionMode mode,
                                                  : naive_domain));
 #endif
   soa::Arena& arena = soa::ThreadLocalArena();
+  if (group_gains_out != nullptr) {
+    group_gains_out->clear();
+    group_gains_out->reserve(grouping.groups.size());
+  }
   double round_gain = 0.0;
   int64_t updated_groups = 0;
   for (const auto& members : grouping.groups) {
-    if (members.size() == 1) continue;  // nothing to learn from
+    if (members.size() == 1) {  // nothing to learn from
+      if (group_gains_out != nullptr) group_gains_out->push_back(0.0);
+      continue;
+    }
     ++updated_groups;
-    round_gain += soa::GroupRoundMembers(mode, gain, allow_fast_path, members,
-                                         skills, skills.data(), arena);
+    const double group_gain = soa::GroupRoundMembers(
+        mode, gain, allow_fast_path, members, skills, skills.data(), arena);
+    round_gain += group_gain;
+    if (group_gains_out != nullptr) group_gains_out->push_back(group_gain);
   }
   if (mode == InteractionMode::kStar) {
     TDG_OBS_COUNTER_ADD("interaction/star_group_updates", updated_groups);
@@ -77,9 +88,10 @@ util::StatusOr<double> ApplyRoundImpl(InteractionMode mode,
 util::StatusOr<double> ApplyRound(InteractionMode mode,
                                   const Grouping& grouping,
                                   const LearningGainFunction& gain,
-                                  SkillVector& skills) {
+                                  SkillVector& skills,
+                                  std::vector<double>* group_gains_out) {
   return ApplyRoundImpl(mode, grouping, gain, skills,
-                        /*allow_fast_path=*/true);
+                        /*allow_fast_path=*/true, group_gains_out);
 }
 
 util::StatusOr<double> ApplyRoundNaive(InteractionMode mode,

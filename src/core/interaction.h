@@ -33,10 +33,18 @@ util::StatusOr<InteractionMode> ParseInteractionMode(std::string_view name);
 /// update of Theorem 3; otherwise the general O(Σ t_x²) update. Groups of
 /// unequal sizes are accepted (the §VII extension); `grouping` must be a
 /// partition of {0..n-1}.
+///
+/// `group_gains_out`, when non-null, is cleared and filled with one entry
+/// per group in grouping order (0.0 for size-1 groups, which never learn).
+/// A pure extra output — the update arithmetic and the round-gain
+/// accumulation order are untouched — feeding the flight recorder's
+/// per-group gain summaries (obs/flight_recorder.h).
 util::StatusOr<double> ApplyRound(InteractionMode mode,
                                   const Grouping& grouping,
                                   const LearningGainFunction& gain,
-                                  SkillVector& skills);
+                                  SkillVector& skills,
+                                  std::vector<double>* group_gains_out =
+                                      nullptr);
 
 /// Reference implementation that always evaluates every pairwise interaction
 /// (O(Σ t_x²) even for linear gains). Used to validate Theorem 3.

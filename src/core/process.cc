@@ -1,5 +1,6 @@
 #include "core/process.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/soa.h"
@@ -35,6 +36,29 @@ util::StatusOr<ProcessResult> RunProcess(const SkillVector& initial_skills,
   SkillVector skills = initial_skills;
   result.round_gains.reserve(config.num_rounds);
 
+  // Flight-recorder introspection (obs/flight_recorder.h): when the black
+  // box is recording, each round additionally reports its objective, the
+  // membership churn vs the previous round, and a per-group gain summary.
+  // All of it flows through pure extra outputs (soa::RoundIntrospection /
+  // ApplyRound's group_gains_out), so recorded and unrecorded runs are
+  // bitwise identical; when the recorder is inactive nothing below is
+  // computed.
+#if defined(TDG_OBS_DISABLED)
+  const bool blackbox = false;
+#else
+  const bool blackbox = obs::FlightRecorder::Global().active();
+#endif
+  soa::RoundIntrospection introspection;
+  std::vector<int32_t> previous_group_of;
+  if (blackbox) {
+    TDG_BLACKBOX(obs::BlackboxEventType::kProcessStart,
+                 static_cast<double>(initial_skills.size()),
+                 static_cast<double>(config.num_groups),
+                 static_cast<double>(config.num_rounds),
+                 config.mode == InteractionMode::kStar ? 0.0 : 1.0,
+                 fused ? 1.0 : 0.0);
+  }
+
   for (int t = 0; t < config.num_rounds; ++t) {
     TDG_TRACE_SPAN("process/round");
     double round_gain;
@@ -44,7 +68,7 @@ util::StatusOr<ProcessResult> RunProcess(const SkillVector& initial_skills,
               ? soa::DyGroupsLayout::kStarBlocks
               : soa::DyGroupsLayout::kRoundRobin,
           config.mode, gain, skills, config.num_groups,
-          soa::ThreadLocalArena());
+          soa::ThreadLocalArena(), blackbox ? &introspection : nullptr);
       if (!gain_or.ok()) return gain_or.status();
       round_gain = gain_or.value();
     } else {
@@ -52,9 +76,21 @@ util::StatusOr<ProcessResult> RunProcess(const SkillVector& initial_skills,
                            policy.FormGroups(skills, config.num_groups));
       TDG_RETURN_IF_ERROR(
           grouping.ValidateEquiSized(static_cast<int>(skills.size())));
-      auto gain_or = ApplyRound(config.mode, grouping, gain, skills);
+      auto gain_or =
+          ApplyRound(config.mode, grouping, gain, skills,
+                     blackbox ? &introspection.group_gains : nullptr);
       if (!gain_or.ok()) return gain_or.status();
       round_gain = gain_or.value();
+
+      if (blackbox) {
+        introspection.group_of.assign(skills.size(), 0);
+        for (std::size_t g = 0; g < grouping.groups.size(); ++g) {
+          for (int id : grouping.groups[g]) {
+            introspection.group_of[static_cast<std::size_t>(id)] =
+                static_cast<int32_t>(g);
+          }
+        }
+      }
 
       if (config.record_history) {
         RoundRecord record;
@@ -73,6 +109,37 @@ util::StatusOr<ProcessResult> RunProcess(const SkillVector& initial_skills,
 
     result.round_gains.push_back(round_gain);
     result.total_gain += round_gain;
+
+    if (blackbox) {
+      TDG_BLACKBOX(obs::BlackboxEventType::kRoundEnd,
+                   static_cast<double>(t), round_gain, result.total_gain);
+      if (!introspection.group_gains.empty()) {
+        double min_gain = introspection.group_gains[0];
+        double max_gain = min_gain;
+        double sum = 0.0;
+        for (double g : introspection.group_gains) {
+          min_gain = std::min(min_gain, g);
+          max_gain = std::max(max_gain, g);
+          sum += g;
+        }
+        TDG_BLACKBOX(
+            obs::BlackboxEventType::kGroupGainSummary,
+            static_cast<double>(t),
+            static_cast<double>(introspection.group_gains.size()), min_gain,
+            sum / static_cast<double>(introspection.group_gains.size()),
+            max_gain);
+      }
+      if (t > 0 && previous_group_of.size() == introspection.group_of.size()) {
+        int64_t moved = 0;
+        for (std::size_t i = 0; i < introspection.group_of.size(); ++i) {
+          if (introspection.group_of[i] != previous_group_of[i]) ++moved;
+        }
+        TDG_BLACKBOX(obs::BlackboxEventType::kGroupChurn,
+                     static_cast<double>(t), static_cast<double>(moved),
+                     static_cast<double>(introspection.group_of.size()));
+      }
+      previous_group_of = introspection.group_of;
+    }
   }
   result.final_skills = std::move(skills);
   return result;

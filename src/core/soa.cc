@@ -695,7 +695,8 @@ util::StatusOr<double> DyGroupsRound(DyGroupsLayout layout,
                                      InteractionMode mode,
                                      const LearningGainFunction& gain,
                                      std::span<double> skills, int num_groups,
-                                     Arena& arena) {
+                                     Arena& arena,
+                                     RoundIntrospection* introspect) {
   TDG_RETURN_IF_ERROR(ValidateSkills(skills));
   const int n = static_cast<int>(skills.size());
   if (num_groups < 1) {
@@ -720,6 +721,25 @@ util::StatusOr<double> DyGroupsRound(DyGroupsLayout layout,
   // sequential sweep instead of an n-wide random gather through `skills`.
   std::span<double> sorted = arena.Alloc<double>(n);
   for (int i = 0; i < n; ++i) sorted[i] = SkillFromKey(pairs[i].key);
+
+  if (introspect != nullptr) {
+    // Invert the implicit layout into id -> group. Rank p maps to group
+    // p (teachers) / (p - k) / (t - 1) (learner blocks) under kStarBlocks
+    // and to p % k under kRoundRobin; pairs[p].id names the participant at
+    // rank p. Pure output: the round below never reads these.
+    introspect->group_of.assign(static_cast<std::size_t>(n), 0);
+    introspect->group_gains.assign(static_cast<std::size_t>(num_groups),
+                                   0.0);
+    for (int p = 0; p < n; ++p) {
+      int g;
+      if (layout == DyGroupsLayout::kStarBlocks) {
+        g = p < num_groups ? p : (p - num_groups) / (group_size - 1);
+      } else {
+        g = p % num_groups;
+      }
+      introspect->group_of[pairs[p].id] = g;
+    }
+  }
 
   const int64_t updated_groups = group_size > 1 ? num_groups : 0;
   double round_gain = 0.0;
@@ -757,8 +777,12 @@ util::StatusOr<double> DyGroupsRound(DyGroupsLayout layout,
                             j * static_cast<size_t>(num_groups)];
         }
       }
-      round_gain += GroupGainSorted(mode, gain, /*allow_fast_path=*/true,
-                                    group, gains);
+      const double group_gain = GroupGainSorted(
+          mode, gain, /*allow_fast_path=*/true, group, gains);
+      round_gain += group_gain;
+      if (introspect != nullptr) {
+        introspect->group_gains[static_cast<std::size_t>(g)] = group_gain;
+      }
       if (layout == DyGroupsLayout::kStarBlocks) {
         const size_t block = static_cast<size_t>(num_groups) +
                              static_cast<size_t>(g) * (t - 1);
@@ -778,6 +802,10 @@ util::StatusOr<double> DyGroupsRound(DyGroupsLayout layout,
   } else {
     TDG_OBS_COUNTER_ADD("interaction/clique_group_updates", updated_groups);
   }
+  TDG_BLACKBOX(obs::BlackboxEventType::kRoundObjective,
+               static_cast<double>(n), static_cast<double>(num_groups),
+               layout == DyGroupsLayout::kStarBlocks ? 0.0 : 1.0,
+               round_gain);
   return round_gain;
 }
 

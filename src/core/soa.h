@@ -228,18 +228,34 @@ double GroupRoundMembers(InteractionMode mode,
 /// blocks), kRoundRobin is Algorithm 3 (rank j*k + i joins group i).
 enum class DyGroupsLayout { kStarBlocks, kRoundRobin };
 
+/// Pure-output side channel of a fused round, filled only when requested:
+/// never touches the round's arithmetic or accumulation order, so the
+/// 0-ULP differential contract (DESIGN.md §11) is untouched. Feeds the
+/// flight recorder's semantic events (group churn, per-group gain
+/// summaries) in RunProcess.
+struct RoundIntrospection {
+  /// group_of[id] = index of the group participant `id` joined this round.
+  std::vector<int32_t> group_of;
+  /// Ordered gain of each group (0.0 for size-1 groups, which never
+  /// update).
+  std::vector<double> group_gains;
+};
+
 /// One fused DyGroups round: sorts `skills`, forms the layout implicitly
 /// (no Grouping materialization), applies the `mode` interaction update in
 /// place and returns the round gain LG(G_t). Bitwise-identical to
 /// reference::DyGroups*Local + reference::ApplyRound, including the order
 /// in which group gains accumulate into the round gain. Used by RunProcess
 /// when the policy declares a DyGroups kernel kind and history recording is
-/// off; also the subject of bench_soa_kernels.
+/// off; also the subject of bench_soa_kernels. `introspect`, when non-null,
+/// receives the implicit membership and per-group gains as pure extra
+/// outputs.
 util::StatusOr<double> DyGroupsRound(DyGroupsLayout layout,
                                      InteractionMode mode,
                                      const LearningGainFunction& gain,
                                      std::span<double> skills, int num_groups,
-                                     Arena& arena);
+                                     Arena& arena,
+                                     RoundIntrospection* introspect = nullptr);
 
 }  // namespace tdg::soa
 

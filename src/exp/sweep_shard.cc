@@ -316,6 +316,14 @@ util::StatusOr<SweepShardResult> RunSweepShard(
         options.shard_count));
   }
   obs::InstallThreadPoolInstrumentation();
+  // Fleet identity on every /metrics sample: scrapes of concurrent shard
+  // workers stay distinguishable in one Prometheus. Single-process sweeps
+  // (shard_count == 1) keep the unlabeled exposition byte-identical.
+  if (options.shard_count > 1) {
+    obs::MetricsRegistry::Global().SetCommonLabels(
+        {{"shard_index", std::to_string(options.shard_index)},
+         {"shard_count", std::to_string(options.shard_count)}});
+  }
   TDG_TRACE_SPAN("sweep/shard");
 
   const std::vector<std::string> policies = SweepPolicies(config);
@@ -492,6 +500,11 @@ util::StatusOr<SweepShardResult> RunSweepShard(
             progress.enabled() ? util::MonotonicMicros() : 0;
         SweepCheckpointCell record;
         record.cell_index = cell_index;
+        TDG_BLACKBOX(obs::BlackboxEventType::kSweepCellStart,
+                     static_cast<double>(cell_index),
+                     static_cast<double>(points[point_index].n),
+                     static_cast<double>(points[point_index].k),
+                     static_cast<double>(points[point_index].alpha));
         const CellSeeds seeds =
             SeedsForCell(config.seed, cell_index, policies.size());
         record.point_seed = seeds.point_seed;
@@ -521,6 +534,13 @@ util::StatusOr<SweepShardResult> RunSweepShard(
           return;
         }
         TDG_OBS_COUNTER_ADD("sweep/checkpoint/cells_written", 1);
+        // Emitted after the checkpoint append under the same mutex, so at
+        // any crash cut the black box's cell_end events equal the
+        // checkpoint's cell set (asserted by the ci blackbox e2e).
+        TDG_BLACKBOX(obs::BlackboxEventType::kSweepCellEnd,
+                     static_cast<double>(cell_index),
+                     record.cell.mean_gain,
+                     static_cast<double>(record.cell.runs));
         completed.emplace(cell_index, std::move(record));
         ++appended_this_run;
         if (heartbeat.running()) {

@@ -1,0 +1,464 @@
+#include "obs/flight_recorder.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "obs/heartbeat.h"
+#include "util/file_util.h"
+#include "util/logging.h"
+#include "util/mmap_file.h"
+#include "util/record_ring.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace tdg::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// On-disk layout (tdg.blackbox.v1, DESIGN.md §12)
+//
+//   [FileHeader 64B][ring 0: RingHeader 64B + arena][ring 1: ...]...
+//
+// The live file is written through the shared mapping with std::atomic
+// members; the decoder never aliases those types — it memcpy's the bytes
+// into the plain *Wire mirrors below, which keeps the reader free of data
+// races (it reads a file, not the mapping) and of alignment assumptions.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kFlagCleanShutdown = 1u << 0;
+constexpr std::uint32_t kFlagFatalSync = 1u << 1;
+constexpr std::uint32_t kRecordMagic = 0xB1ACB0;  // high 24 bits of magic_type
+constexpr std::size_t kHeaderBytes = 64;
+
+struct alignas(64) FileHeaderLive {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t max_rings;
+  std::uint64_t ring_bytes;
+  std::int64_t start_unix_ms;
+  std::atomic<std::uint32_t> rings_claimed;
+  std::atomic<std::uint32_t> flags;
+  std::atomic<std::uint64_t> dropped;
+  std::uint8_t reserved[16];
+};
+static_assert(sizeof(FileHeaderLive) == kHeaderBytes);
+
+struct FileHeaderWire {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t max_rings;
+  std::uint64_t ring_bytes;
+  std::int64_t start_unix_ms;
+  std::uint32_t rings_claimed;
+  std::uint32_t flags;
+  std::uint64_t dropped;
+  std::uint8_t reserved[16];
+};
+static_assert(sizeof(FileHeaderWire) == kHeaderBytes);
+
+struct alignas(64) RingHeaderLive {
+  std::atomic<std::uint64_t> cursor;  // total bytes appended (record_ring.h)
+  std::uint32_t tid;
+  std::uint32_t in_use;
+  std::uint8_t reserved[48];
+};
+static_assert(sizeof(RingHeaderLive) == kHeaderBytes);
+
+struct RingHeaderWire {
+  std::uint64_t cursor;
+  std::uint32_t tid;
+  std::uint32_t in_use;
+  std::uint8_t reserved[48];
+};
+static_assert(sizeof(RingHeaderWire) == kHeaderBytes);
+
+struct RawRecord {
+  std::uint32_t magic_type;  // (kRecordMagic << 8) | event type byte
+  std::uint32_t tid;
+  std::int64_t ts_micros;
+  double values[6];
+};
+static_assert(sizeof(RawRecord) == util::kRecordRingRecordBytes);
+
+std::size_t RingSlotBytes(std::size_t ring_bytes) {
+  return kHeaderBytes + ring_bytes;
+}
+
+std::size_t FileBytes(int max_rings, std::size_t ring_bytes) {
+  return kHeaderBytes +
+         static_cast<std::size_t>(max_rings) * RingSlotBytes(ring_bytes);
+}
+
+}  // namespace
+
+// Mapped-file handle + geometry. Published once via an atomic pointer and
+// never freed or unmapped: a thread still holding a pointer from a
+// previous epoch keeps writing into valid (orphaned) memory instead of
+// faulting. The leak is bounded by the number of Start calls.
+struct FlightRecorder::State {
+  std::byte* map = nullptr;
+  std::size_t map_bytes = 0;
+  int fd = -1;
+  std::size_t ring_bytes = 0;
+  int max_rings = 0;
+
+  FileHeaderLive* header() const {
+    return reinterpret_cast<FileHeaderLive*>(map);
+  }
+  RingHeaderLive* ring_header(int i) const {
+    return reinterpret_cast<RingHeaderLive*>(
+        map + kHeaderBytes + static_cast<std::size_t>(i) *
+                                 RingSlotBytes(ring_bytes));
+  }
+  std::byte* ring_data(int i) const {
+    return reinterpret_cast<std::byte*>(ring_header(i)) + kHeaderBytes;
+  }
+
+  // msync + fsync, async-signal-safe. Best effort: there is nobody to
+  // report to on the crash path.
+  void Sync() const {
+    ::msync(map, map_bytes, MS_SYNC);
+    if (fd >= 0) ::fsync(fd);
+  }
+};
+
+namespace {
+
+// Per-thread ring handle, keyed by State pointer identity so a restart
+// (new State) forces a fresh claim while stragglers keep their old —
+// still mapped — ring.
+struct ThreadSlot {
+  FlightRecorder::State* state = nullptr;
+  util::RecordRingWriter writer;
+  std::uint32_t tid = 0;
+};
+thread_local ThreadSlot tls_slot;
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+util::Status FlightRecorder::Start(Options options) {
+  if (options.path.empty()) {
+    return util::Status::InvalidArgument("flight recorder path is empty");
+  }
+  if (!util::IsValidRecordRingCapacity(options.ring_bytes) ||
+      options.ring_bytes > (std::size_t{1} << 30)) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "flight recorder ring_bytes must be a power of two in [64, 2^30], "
+        "got %zu",
+        options.ring_bytes));
+  }
+  if (options.max_rings < 1 || options.max_rings > 4096) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "flight recorder max_rings must be in [1, 4096], got %d",
+        options.max_rings));
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Quiesce writers while the state pointer swaps; stragglers that raced
+  // past the flag keep writing through the previous (still mapped,
+  // about-to-be-orphaned) file, never the new one.
+  active_.store(false, std::memory_order_release);
+
+  // Unlink instead of truncating: a previous epoch may still have this
+  // path mmapped, and truncating a mapped inode would turn its next store
+  // into SIGBUS. After unlink the old inode lives on anonymously until the
+  // process exits; the new file is a fresh inode.
+  ::unlink(options.path.c_str());
+  auto mapped = util::MmapFile::CreateReadWrite(
+      options.path, FileBytes(options.max_rings, options.ring_bytes));
+  if (!mapped.ok()) return mapped.status();
+
+  auto* state = new State();
+  state->map = mapped->data();
+  state->map_bytes = mapped->size();
+  state->ring_bytes = options.ring_bytes;
+  state->max_rings = options.max_rings;
+  // Take over the descriptor (for the fatal handler's fsync) and the
+  // mapping; both stay alive for the life of the State.
+  state->fd = mapped->fd();
+  mapped->Leak();
+
+  FileHeaderLive* header = state->header();
+  std::memcpy(header->magic, kBlackboxMagic, sizeof(kBlackboxMagic));
+  header->version = kBlackboxVersion;
+  header->max_rings = static_cast<std::uint32_t>(options.max_rings);
+  header->ring_bytes = options.ring_bytes;
+  header->start_unix_ms = UnixMillis();
+  header->rings_claimed.store(0, std::memory_order_relaxed);
+  header->flags.store(0, std::memory_order_relaxed);
+  header->dropped.store(0, std::memory_order_relaxed);
+
+  static bool fatal_handler_registered = false;
+  if (!fatal_handler_registered) {
+    fatal_handler_registered = true;
+    util::AddFatalHandler(&FlightRecorder::CrashSync);
+  }
+
+  state_.store(state, std::memory_order_release);
+  last_path_ = options.path;
+  active_.store(true, std::memory_order_release);
+  return util::Status::OK();
+}
+
+void FlightRecorder::Stop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!active_.load(std::memory_order_relaxed)) return;
+  active_.store(false, std::memory_order_release);
+  State* state = state_.load(std::memory_order_acquire);
+  if (state != nullptr) {
+    state->header()->flags.fetch_or(kFlagCleanShutdown,
+                                    std::memory_order_relaxed);
+    state->Sync();
+  }
+}
+
+void FlightRecorder::AcquireRing(State* state) {
+  ThreadSlot& slot = tls_slot;
+  slot.state = state;
+  slot.tid = static_cast<std::uint32_t>(util::CurrentThreadId());
+  slot.writer = util::RecordRingWriter{};
+  const std::uint32_t index = state->header()->rings_claimed.fetch_add(
+      1, std::memory_order_relaxed);
+  if (index >= static_cast<std::uint32_t>(state->max_rings)) return;
+  RingHeaderLive* ring = state->ring_header(static_cast<int>(index));
+  ring->tid = slot.tid;
+  ring->in_use = 1;
+  slot.writer.data = state->ring_data(static_cast<int>(index));
+  slot.writer.capacity_bytes = state->ring_bytes;
+  slot.writer.cursor = &ring->cursor;
+}
+
+void FlightRecorder::Record(BlackboxEventType type,
+                            std::initializer_list<double> values) {
+  if (!active_.load(std::memory_order_relaxed)) return;
+  State* state = state_.load(std::memory_order_acquire);
+  if (state == nullptr) return;
+  ThreadSlot& slot = tls_slot;
+  if (slot.state != state) AcquireRing(state);
+  if (!slot.writer.valid()) {
+    state->header()->dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  RawRecord record;
+  record.magic_type = (kRecordMagic << 8) |
+                      static_cast<std::uint32_t>(type);
+  record.tid = slot.tid;
+  record.ts_micros = util::MonotonicMicros();
+  std::size_t i = 0;
+  for (double value : values) {
+    if (i >= 6) break;
+    record.values[i++] = value;
+  }
+  for (; i < 6; ++i) record.values[i] = 0.0;
+  slot.writer.Append(&record);
+}
+
+std::int64_t FlightRecorder::dropped() const {
+  State* state = state_.load(std::memory_order_acquire);
+  if (state == nullptr) return 0;
+  return static_cast<std::int64_t>(
+      state->header()->dropped.load(std::memory_order_relaxed));
+}
+
+std::string FlightRecorder::path() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_path_;
+}
+
+void FlightRecorder::CrashSync() {
+  FlightRecorder& recorder = Global();
+  if (recorder.active_.load(std::memory_order_relaxed)) {
+    recorder.Record(BlackboxEventType::kCrash, {1.0});
+  }
+  State* state = recorder.state_.load(std::memory_order_acquire);
+  if (state == nullptr) return;
+  state->header()->flags.fetch_or(kFlagFatalSync, std::memory_order_relaxed);
+  state->Sync();
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+std::string_view BlackboxEventName(BlackboxEventType type) {
+  switch (type) {
+    case BlackboxEventType::kNote:
+      return "note";
+    case BlackboxEventType::kProcessStart:
+      return "process_start";
+    case BlackboxEventType::kRoundEnd:
+      return "round_end";
+    case BlackboxEventType::kGroupChurn:
+      return "group_churn";
+    case BlackboxEventType::kGroupGainSummary:
+      return "group_gain_summary";
+    case BlackboxEventType::kRoundObjective:
+      return "round_objective";
+    case BlackboxEventType::kPolicyDecision:
+      return "policy_decision";
+    case BlackboxEventType::kSweepCellStart:
+      return "sweep_cell_start";
+    case BlackboxEventType::kSweepCellEnd:
+      return "sweep_cell_end";
+    case BlackboxEventType::kSolverIncumbent:
+      return "solver_incumbent";
+    case BlackboxEventType::kCrash:
+      return "crash";
+  }
+  return {};
+}
+
+std::vector<std::string_view> BlackboxEventFieldNames(
+    BlackboxEventType type) {
+  switch (type) {
+    case BlackboxEventType::kNote:
+      return {};
+    case BlackboxEventType::kProcessStart:
+      return {"n", "num_groups", "num_rounds", "mode", "fused"};
+    case BlackboxEventType::kRoundEnd:
+      return {"round", "round_gain", "total_gain"};
+    case BlackboxEventType::kGroupChurn:
+      return {"round", "moved", "n"};
+    case BlackboxEventType::kGroupGainSummary:
+      return {"round", "num_groups", "min_gain", "mean_gain", "max_gain"};
+    case BlackboxEventType::kRoundObjective:
+      return {"n", "num_groups", "layout", "round_gain"};
+    case BlackboxEventType::kPolicyDecision:
+      return {"mode", "layout", "n", "num_groups"};
+    case BlackboxEventType::kSweepCellStart:
+      return {"cell_index", "n", "num_groups", "num_rounds"};
+    case BlackboxEventType::kSweepCellEnd:
+      return {"cell_index", "mean_gain", "runs"};
+    case BlackboxEventType::kSolverIncumbent:
+      return {"incumbent"};
+    case BlackboxEventType::kCrash:
+      return {"fatal"};
+  }
+  return {};
+}
+
+util::JsonValue BlackboxEventToJson(const BlackboxEvent& event) {
+  util::JsonValue::Object object;
+  object["ts_micros"] = util::JsonValue(
+      static_cast<long long>(event.ts_micros));
+  object["tid"] = util::JsonValue(static_cast<long long>(event.tid));
+  const std::string_view name = BlackboxEventName(event.type);
+  object["event"] = util::JsonValue(
+      name.empty()
+          ? util::StrFormat("unknown_%d", static_cast<int>(event.type))
+          : std::string(name));
+  const std::vector<std::string_view> fields =
+      BlackboxEventFieldNames(event.type);
+  for (std::size_t i = 0; i < fields.size() && i < 6; ++i) {
+    object[std::string(fields[i])] = util::JsonValue(event.values[i]);
+  }
+  // Slots past the type's named fields only surface when set — how an old
+  // reader shows a field the type grew later.
+  for (std::size_t i = fields.size(); i < 6; ++i) {
+    if (event.values[i] != 0.0) {
+      object[util::StrFormat("v%zu", i)] = util::JsonValue(event.values[i]);
+    }
+  }
+  return util::JsonValue(std::move(object));
+}
+
+util::StatusOr<BlackboxDump> DecodeBlackbox(std::string_view bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "blackbox dump too short: %zu bytes", bytes.size()));
+  }
+  FileHeaderWire header;
+  std::memcpy(&header, bytes.data(), sizeof(header));
+  if (std::memcmp(header.magic, kBlackboxMagic, sizeof(kBlackboxMagic)) !=
+      0) {
+    return util::Status::InvalidArgument("not a tdg.blackbox.v1 dump "
+                                         "(bad file magic)");
+  }
+  if (header.version != kBlackboxVersion) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "unsupported blackbox version %u", header.version));
+  }
+  if (!util::IsValidRecordRingCapacity(header.ring_bytes) ||
+      header.ring_bytes > (std::uint64_t{1} << 30) || header.max_rings < 1 ||
+      header.max_rings > 4096) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "implausible blackbox geometry: max_rings=%u ring_bytes=%llu",
+        header.max_rings,
+        static_cast<unsigned long long>(header.ring_bytes)));
+  }
+  const std::size_t ring_bytes =
+      static_cast<std::size_t>(header.ring_bytes);
+  const int max_rings = static_cast<int>(header.max_rings);
+  if (bytes.size() < FileBytes(max_rings, ring_bytes)) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "truncated blackbox dump: %zu bytes, geometry needs %zu",
+        bytes.size(), FileBytes(max_rings, ring_bytes)));
+  }
+
+  BlackboxDump dump;
+  dump.ring_bytes = ring_bytes;
+  dump.max_rings = max_rings;
+  dump.clean_shutdown = (header.flags & kFlagCleanShutdown) != 0;
+  dump.start_unix_ms = header.start_unix_ms;
+  dump.dropped = header.dropped;
+
+  for (int r = 0; r < max_rings; ++r) {
+    const std::size_t base =
+        kHeaderBytes + static_cast<std::size_t>(r) * RingSlotBytes(ring_bytes);
+    RingHeaderWire ring;
+    std::memcpy(&ring, bytes.data() + base, sizeof(ring));
+    if (ring.in_use == 0) continue;
+    ++dump.rings_claimed;
+    if (ring.cursor % util::kRecordRingRecordBytes != 0) {
+      ++dump.torn;  // torn ring header: the window is untrustworthy
+      continue;
+    }
+    util::RecordRingView view;
+    view.data =
+        reinterpret_cast<const std::byte*>(bytes.data() + base +
+                                           kHeaderBytes);
+    view.capacity_bytes = ring_bytes;
+    view.cursor = ring.cursor;
+    dump.overwritten += view.records_written() - view.record_count();
+    for (std::size_t i = 0; i < view.record_count(); ++i) {
+      RawRecord record;
+      std::memcpy(&record, view.record(i), sizeof(record));
+      if ((record.magic_type >> 8) != kRecordMagic) {
+        ++dump.torn;
+        continue;
+      }
+      BlackboxEvent event;
+      event.ts_micros = record.ts_micros;
+      event.tid = record.tid;
+      event.type =
+          static_cast<BlackboxEventType>(record.magic_type & 0xFF);
+      std::memcpy(event.values, record.values, sizeof(event.values));
+      dump.events.push_back(event);
+    }
+  }
+  std::stable_sort(dump.events.begin(), dump.events.end(),
+                   [](const BlackboxEvent& a, const BlackboxEvent& b) {
+                     if (a.ts_micros != b.ts_micros) {
+                       return a.ts_micros < b.ts_micros;
+                     }
+                     return a.tid < b.tid;
+                   });
+  return dump;
+}
+
+util::StatusOr<BlackboxDump> ReadBlackbox(const std::string& path) {
+  auto bytes = util::ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  return DecodeBlackbox(bytes.value());
+}
+
+}  // namespace tdg::obs

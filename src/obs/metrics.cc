@@ -198,10 +198,17 @@ void MetricsRegistry::SetBuildInfo(
   build_info_ = std::move(labels);
 }
 
+void MetricsRegistry::SetCommonLabels(
+    std::map<std::string, std::string> labels) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  common_labels_ = std::move(labels);
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   MetricsSnapshot snapshot;
   snapshot.build_info = build_info_;
+  snapshot.common_labels = common_labels_;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->Value();
   }

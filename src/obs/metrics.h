@@ -163,6 +163,10 @@ struct MetricsSnapshot {
   /// MetricsRegistry::SetBuildInfo). Rendered as the `tdg_build_info` gauge
   /// on /metrics and a "build_info" object in the JSON export.
   std::map<std::string, std::string> build_info;
+  /// Identity labels stamped on *every* Prometheus sample (see
+  /// MetricsRegistry::SetCommonLabels) — how a fleet scrape tells one
+  /// sweep shard's families from another's.
+  std::map<std::string, std::string> common_labels;
 
   bool empty() const {
     return counters.empty() && gauges.empty() && histograms.empty();
@@ -193,6 +197,13 @@ class MetricsRegistry {
   /// (the `build_info` convention: git sha, compiler, build type).
   void SetBuildInfo(std::map<std::string, std::string> labels);
 
+  /// Attaches identity labels (e.g. {"shard_index": "3", "shard_count":
+  /// "8"}) that RenderPrometheusText stamps on every sample of every later
+  /// Snapshot(), so scrapes from multiple sweep-shard workers never
+  /// collide in one Prometheus. Empty (the default) renders nothing.
+  /// RunSweepShard sets these whenever shard_count > 1.
+  void SetCommonLabels(std::map<std::string, std::string> labels);
+
   MetricsSnapshot Snapshot() const;
 
   /// Counters only — the cheap subset (no histogram quantile computation).
@@ -211,6 +222,7 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
   std::map<std::string, std::string> build_info_;
+  std::map<std::string, std::string> common_labels_;
 };
 
 }  // namespace tdg::obs

@@ -35,9 +35,17 @@
 /// "perf/<domain>/<event>", so it reaches /metrics, --metrics_out and bench
 /// reports without extra plumbing. Off by default; enable with `--profile`
 /// (bench/CLI binaries) or TDG_PROFILE=1.
+///
+/// A fifth pillar — the flight recorder (flight_recorder.h) — is the
+/// always-on black box: per-thread mmap-backed ring buffers of compact
+/// semantic events (round objectives, group churn, sweep cell boundaries)
+/// whose dump file survives kill -9, decoded by `tdg_blackbox` and tailed
+/// live on /blackboxz. See the which-tool-when table in README
+/// "Observability".
 
 #include "obs/bench_report.h"
 #include "obs/event_log.h"
+#include "obs/flight_recorder.h"
 #include "obs/heartbeat.h"
 #include "obs/metrics.h"
 #include "obs/perf_counters.h"

@@ -1,6 +1,8 @@
 #include "obs/prometheus.h"
 
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "util/string_util.h"
 
@@ -25,9 +27,47 @@ void AppendFamilyHeader(std::string& out, const std::string& family,
   out += '\n';
 }
 
+// Sorted (folded-key, value) label pairs shared by every sample of one
+// exposition — the snapshot's common_labels (shard identity). Extra
+// per-sample labels (domain, le) merge in by key; on a key collision the
+// per-sample label wins.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+LabelSet FoldCommonLabels(
+    const std::map<std::string, std::string>& common_labels) {
+  std::map<std::string, std::string> folded;
+  for (const auto& [key, value] : common_labels) {
+    folded[PrometheusMetricName(key).substr(4)] = value;  // fold, no prefix
+  }
+  return LabelSet(folded.begin(), folded.end());
+}
+
+void AppendLabels(std::string& out, const LabelSet& labels) {
+  if (labels.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    out += PrometheusEscapeLabel(value);
+    out += '"';
+  }
+  out += '}';
+}
+
+LabelSet MergeLabels(const LabelSet& common, const std::string& key,
+                     const std::string& value) {
+  std::map<std::string, std::string> merged(common.begin(), common.end());
+  merged[key] = value;
+  return LabelSet(merged.begin(), merged.end());
+}
+
 void AppendSample(std::string& out, const std::string& name,
-                  const std::string& value) {
+                  const LabelSet& labels, const std::string& value) {
   out += name;
+  AppendLabels(out, labels);
   out += ' ';
   out += value;
   out += '\n';
@@ -85,19 +125,19 @@ std::string PrometheusEscapeLabel(std::string_view value) {
 
 std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
   std::string out;
+  // Stamped on every sample below (empty for unsharded processes, when
+  // the whole LabelSet machinery renders nothing — byte-identical to the
+  // pre-label exposition).
+  const LabelSet common = FoldCommonLabels(snapshot.common_labels);
   if (!snapshot.build_info.empty()) {
-    AppendFamilyHeader(out, "tdg_build_info", "gauge");
-    out += "tdg_build_info{";
-    bool first = true;
+    std::map<std::string, std::string> folded;
     for (const auto& [key, value] : snapshot.build_info) {
-      if (!first) out += ',';
-      first = false;
-      out += PrometheusMetricName(key).substr(4);  // fold, drop the prefix
-      out += "=\"";
-      out += PrometheusEscapeLabel(value);
-      out += '"';
+      folded[PrometheusMetricName(key).substr(4)] = value;  // fold, no prefix
     }
-    out += "} 1\n";
+    for (const auto& [key, value] : common) folded.emplace(key, value);
+    AppendFamilyHeader(out, "tdg_build_info", "gauge");
+    AppendSample(out, "tdg_build_info",
+                 LabelSet(folded.begin(), folded.end()), "1");
   }
   // event -> domain -> value, both levels sorted for deterministic output.
   std::map<std::string, std::map<std::string, int64_t>> perf_families;
@@ -110,45 +150,37 @@ std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
     }
     const std::string family = PrometheusMetricName(name) + "_total";
     AppendFamilyHeader(out, family, "counter");
-    AppendSample(out, family, std::to_string(value));
+    AppendSample(out, family, common, std::to_string(value));
   }
   for (const auto& [event, domains] : perf_families) {
     const std::string family = PrometheusMetricName("perf/" + event) +
                                "_total";
     AppendFamilyHeader(out, family, "counter");
     for (const auto& [domain, value] : domains) {
-      out += family;
-      out += "{domain=\"";
-      out += PrometheusEscapeLabel(domain);
-      out += "\"} ";
-      out += std::to_string(value);
-      out += '\n';
+      AppendSample(out, family, MergeLabels(common, "domain", domain),
+                   std::to_string(value));
     }
   }
   for (const auto& [name, stats] : snapshot.gauges) {
     const std::string family = PrometheusMetricName(name);
     AppendFamilyHeader(out, family, "gauge");
-    AppendSample(out, family, FormatValue(stats.value));
+    AppendSample(out, family, common, FormatValue(stats.value));
     AppendFamilyHeader(out, family + "_max", "gauge");
-    AppendSample(out, family + "_max", FormatValue(stats.max));
+    AppendSample(out, family + "_max", common, FormatValue(stats.max));
   }
   for (const auto& [name, stats] : snapshot.histograms) {
     const std::string family = PrometheusMetricName(name);
     AppendFamilyHeader(out, family, "histogram");
     for (const HistogramBucketStats& bucket : stats.buckets) {
-      out += family;
-      out += "_bucket{le=\"";
-      out += FormatValue(bucket.upper_bound);
-      out += "\"} ";
-      out += std::to_string(bucket.cumulative_count);
-      out += '\n';
+      AppendSample(out, family + "_bucket",
+                   MergeLabels(common, "le", FormatValue(bucket.upper_bound)),
+                   std::to_string(bucket.cumulative_count));
     }
-    out += family;
-    out += "_bucket{le=\"+Inf\"} ";
-    out += std::to_string(stats.count);
-    out += '\n';
-    AppendSample(out, family + "_sum", FormatValue(stats.sum));
-    AppendSample(out, family + "_count", std::to_string(stats.count));
+    AppendSample(out, family + "_bucket", MergeLabels(common, "le", "+Inf"),
+                 std::to_string(stats.count));
+    AppendSample(out, family + "_sum", common, FormatValue(stats.sum));
+    AppendSample(out, family + "_count", common,
+                 std::to_string(stats.count));
   }
   return out;
 }

@@ -110,7 +110,57 @@ void StatsServer::HandleConnection(util::net::Socket connection) {
     response = HttpResponse(405, "Method Not Allowed", "text/plain",
                             "only GET is supported\n");
   } else if (path == "/healthz") {
-    response = HttpResponse(200, "OK", "text/plain", "ok\n");
+    // Liveness alone is not health: fold in the registered shard
+    // heartbeats. Stale (writer stopped beating) or torn (crashed host
+    // mid-write) degrade the probe to 503 so an orchestrator restarts or
+    // reschedules the worker; "missing" stays ok — the shard may simply
+    // not have started writing yet.
+    std::string degraded;
+    if (!options_.heartbeat_paths.empty()) {
+      const std::vector<HeartbeatStatus> fleet = CollectHeartbeats(
+          options_.heartbeat_paths, UnixMillis(),
+          options_.heartbeat_stale_after_ms);
+      for (const HeartbeatStatus& status : fleet) {
+        if (status.state == "stale" || status.state == "torn") {
+          degraded += util::StrFormat("%s: %s\n", status.path.c_str(),
+                                      status.state.c_str());
+        }
+      }
+    }
+    response = degraded.empty()
+                   ? HttpResponse(200, "OK", "text/plain", "ok\n")
+                   : HttpResponse(503, "Service Unavailable", "text/plain",
+                                  "degraded\n" + degraded);
+  } else if (path == "/blackboxz") {
+    const std::string blackbox_path =
+        !options_.blackbox_path.empty() ? options_.blackbox_path
+                                        : FlightRecorder::Global().path();
+    if (blackbox_path.empty()) {
+      response = HttpResponse(404, "Not Found", "text/plain",
+                              "no flight recorder active\n");
+    } else {
+      // Tail the *file*, never the live mapping: a fresh read has no data
+      // race with the writers, and the decoder skips in-flight records by
+      // magic validation. One JSON object per line, oldest first.
+      auto dump = ReadBlackbox(blackbox_path);
+      if (!dump.ok()) {
+        response = HttpResponse(503, "Service Unavailable", "text/plain",
+                                dump.status().ToString() + "\n");
+      } else {
+        std::string body;
+        const std::size_t total = dump->events.size();
+        const std::size_t tail =
+            options_.blackbox_tail > 0 &&
+                    static_cast<std::size_t>(options_.blackbox_tail) < total
+                ? static_cast<std::size_t>(options_.blackbox_tail)
+                : total;
+        for (std::size_t i = total - tail; i < total; ++i) {
+          body += BlackboxEventToJson(dump->events[i]).Serialize();
+          body += '\n';
+        }
+        response = HttpResponse(200, "OK", "application/jsonl", body);
+      }
+    }
   } else if (path == "/metrics") {
     // Refresh the process gauges (uptime, peak RSS) so every scrape carries
     // them. Gauge::Set is a no-op under SetMetricsEnabled(false) — exactly
@@ -140,7 +190,8 @@ void StatsServer::HandleConnection(util::net::Socket connection) {
   } else {
     response = HttpResponse(
         404, "Not Found", "text/plain",
-        "not found; try /healthz /metrics /statusz /progressz\n");
+        "not found; try /healthz /metrics /statusz /progressz "
+        "/blackboxz\n");
   }
   requests_served_.fetch_add(1, std::memory_order_relaxed);
   (void)connection.WriteAll(response);  // peer may have hung up; that's fine

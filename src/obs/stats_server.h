@@ -6,6 +6,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "obs/progress.h"
 #include "obs/run_manifest.h"
@@ -23,12 +24,15 @@ namespace tdg::obs {
 /// StatsServerTest.SweepOutputsAreByteIdenticalWithServerOn).
 ///
 /// Endpoints:
-///   /healthz    200 "ok" — liveness probe
+///   /healthz    200 "ok" — liveness probe; 503 "degraded" when any
+///               registered shard heartbeat is stale or torn
 ///   /metrics    Prometheus text exposition of the metrics registry
 ///               (see obs/prometheus.h), plus process_uptime_seconds
 ///   /statusz    JSON: run manifest, uptime, requests served
 ///   /progressz  JSON: ProgressTracker snapshot (cells done/total, EWMA
 ///               latency, ETA, current grid coordinates)
+///   /blackboxz  JSONL tail of the flight recorder's live dump (see
+///               obs/flight_recorder.h)
 class StatsServer {
  public:
   struct Options {
@@ -43,6 +47,18 @@ class StatsServer {
     RunManifest manifest;
     /// Progress source for /progressz; the global tracker when null.
     const ProgressTracker* progress = nullptr;
+    /// Heartbeat files /healthz folds into its verdict: "ok" while every
+    /// present heartbeat is fresh, "degraded" (HTTP 503) once any is stale
+    /// (updated older than heartbeat_stale_after_ms) or torn. A heartbeat
+    /// that does not exist yet counts as ok — the shard may simply not
+    /// have started. Empty (the default) keeps /healthz unconditional.
+    std::vector<std::string> heartbeat_paths;
+    long long heartbeat_stale_after_ms = 15000;
+    /// Dump file tailed by /blackboxz; the global FlightRecorder's active
+    /// path when empty.
+    std::string blackbox_path;
+    /// Events served per /blackboxz request (the newest ones).
+    int blackbox_tail = 256;
   };
 
   /// Binds, writes the port file, and launches the accept loop.

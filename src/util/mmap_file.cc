@@ -1,0 +1,90 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tdg::util {
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    Close();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    fd_ = std::exchange(other.fd_, -1);
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+StatusOr<MmapFile> MmapFile::CreateReadWrite(const std::string& path,
+                                             std::size_t bytes) {
+  if (bytes == 0) {
+    return Status::InvalidArgument("mmap file size must be positive: " +
+                                   path);
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
+                        0644);
+  if (fd < 0) {
+    return Status::Internal("open failed for " + path + ": " +
+                            std::strerror(errno));
+  }
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("ftruncate failed for " + path + ": " +
+                            std::strerror(err));
+  }
+  void* map = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd,
+                     0);
+  if (map == MAP_FAILED) {
+    const int err = errno;
+    ::close(fd);
+    return Status::Internal("mmap failed for " + path + ": " +
+                            std::strerror(err));
+  }
+  MmapFile file;
+  file.data_ = static_cast<std::byte*>(map);
+  file.size_ = bytes;
+  file.fd_ = fd;
+  file.path_ = path;
+  return file;
+}
+
+int MmapFile::Sync() const {
+  if (data_ == nullptr) return 0;
+  int first_errno = 0;
+  if (::msync(data_, size_, MS_SYNC) != 0) first_errno = errno;
+  if (fd_ >= 0 && ::fsync(fd_) != 0 && first_errno == 0) {
+    first_errno = errno;
+  }
+  return first_errno;
+}
+
+void MmapFile::Close() {
+  if (data_ != nullptr) {
+    ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  path_.clear();
+}
+
+void MmapFile::Leak() {
+  data_ = nullptr;
+  size_ = 0;
+  fd_ = -1;
+  path_.clear();
+}
+
+}  // namespace tdg::util

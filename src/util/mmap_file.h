@@ -1,0 +1,62 @@
+#ifndef TDG_UTIL_MMAP_FILE_H_
+#define TDG_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/statusor.h"
+
+namespace tdg::util {
+
+/// A fixed-size file mapped MAP_SHARED for writing (DESIGN.md §12). The
+/// mapping IS the persistence mechanism: every store into data() lands in
+/// the kernel page cache immediately, so the file content survives
+/// `kill -9` and `std::_Exit` without any handler running — the kernel
+/// writes dirty pages back regardless of how the process died. Sync() only
+/// adds machine-crash durability (msync + fsync) and is async-signal-safe,
+/// so it can run inside a fatal-signal handler.
+class MmapFile {
+ public:
+  MmapFile() = default;
+  ~MmapFile() { Close(); }
+
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  /// Creates (truncating) `path`, extends it to `bytes`, and maps it
+  /// read-write + MAP_SHARED. The fresh mapping reads as zeros.
+  static StatusOr<MmapFile> CreateReadWrite(const std::string& path,
+                                            std::size_t bytes);
+
+  bool valid() const { return data_ != nullptr; }
+  std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  int fd() const { return fd_; }
+  const std::string& path() const { return path_; }
+
+  /// msync(MS_SYNC) + fsync. Async-signal-safe (only syscalls); returns 0
+  /// on success, the first failing errno otherwise. No-op (0) when closed.
+  int Sync() const;
+
+  /// Unmaps and closes. Idempotent. Any pointer previously returned by
+  /// data() is dead after this.
+  void Close();
+
+  /// Relinquishes ownership without unmapping: the mapping stays valid for
+  /// the life of the process. Used by the flight recorder so racing
+  /// writers can never touch an unmapped page (DESIGN.md §12).
+  void Leak();
+
+ private:
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace tdg::util
+
+#endif  // TDG_UTIL_MMAP_FILE_H_

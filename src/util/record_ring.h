@@ -1,0 +1,83 @@
+#ifndef TDG_UTIL_RECORD_RING_H_
+#define TDG_UTIL_RECORD_RING_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace tdg::util {
+
+/// Fixed-record ring-buffer arithmetic (DESIGN.md §12). A ring is a
+/// power-of-two byte arena holding 64-byte records plus a monotonically
+/// increasing byte cursor (total bytes ever appended; the arena offset is
+/// `cursor & (capacity - 1)`). Because both the record size and the
+/// capacity are powers of two, a record never straddles the wrap point —
+/// every append is one contiguous memcpy. The cursor is published with a
+/// release store after the record bytes land, so a racing reader that
+/// snapshots the cursor first sees fully written records for everything
+/// below its snapshot (records at/above it may be mid-write: readers
+/// validate per-record magics instead of trusting the window).
+///
+/// Single writer per ring; the flight recorder gives each thread its own.
+inline constexpr std::size_t kRecordRingRecordBytes = 64;
+
+inline bool IsValidRecordRingCapacity(std::size_t capacity_bytes) {
+  return capacity_bytes >= kRecordRingRecordBytes &&
+         (capacity_bytes & (capacity_bytes - 1)) == 0;
+}
+
+/// Single-writer append view. `data` is the arena, `cursor` the shared
+/// byte cursor (lives next to the arena in the mapped file).
+struct RecordRingWriter {
+  std::byte* data = nullptr;
+  std::size_t capacity_bytes = 0;
+  std::atomic<std::uint64_t>* cursor = nullptr;
+
+  bool valid() const { return data != nullptr; }
+
+  /// Appends one kRecordRingRecordBytes record. Wait-free: memcpy + one
+  /// release store.
+  void Append(const void* record) const {
+    const std::uint64_t at = cursor->load(std::memory_order_relaxed);
+    std::memcpy(data + (at & (capacity_bytes - 1)), record,
+                kRecordRingRecordBytes);
+    cursor->store(at + kRecordRingRecordBytes, std::memory_order_release);
+  }
+};
+
+/// Read-side view over a *snapshot* of a ring (a copied arena + a cursor
+/// value read at snapshot time) — never over live memory, so decode races
+/// with nobody. Yields the surviving window oldest → newest.
+struct RecordRingView {
+  const std::byte* data = nullptr;
+  std::size_t capacity_bytes = 0;
+  std::uint64_t cursor = 0;
+
+  /// Number of records still inside the arena. Once the ring has wrapped,
+  /// this is the full arena; before that, everything ever written.
+  std::size_t record_count() const {
+    const std::uint64_t window =
+        cursor < capacity_bytes ? cursor : capacity_bytes;
+    return static_cast<std::size_t>(window / kRecordRingRecordBytes);
+  }
+
+  /// Total records ever appended (including ones the ring overwrote).
+  std::uint64_t records_written() const {
+    return cursor / kRecordRingRecordBytes;
+  }
+
+  /// Pointer to the i-th surviving record, oldest first.
+  /// Requires i < record_count().
+  const std::byte* record(std::size_t i) const {
+    const std::uint64_t window =
+        cursor < capacity_bytes ? cursor : capacity_bytes;
+    const std::uint64_t oldest = cursor - window;
+    const std::uint64_t at = oldest + i * kRecordRingRecordBytes;
+    return data + (at & (capacity_bytes - 1));
+  }
+};
+
+}  // namespace tdg::util
+
+#endif  // TDG_UTIL_RECORD_RING_H_

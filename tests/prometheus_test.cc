@@ -147,13 +147,85 @@ TEST(PrometheusTest, RegistrySnapshotBucketsMatchRecordedSamples) {
   histogram.Reset();
 }
 
+TEST(PrometheusTest, CommonLabelsAttachToEverySample) {
+  // shard_index/shard_count — the sweep-shard labels — must reach every
+  // family kind: counters, gauges, histogram series, perf families, and
+  // build_info.
+  MetricsSnapshot snapshot;
+  snapshot.common_labels = {{"shard_index", "2"}, {"shard_count", "4"}};
+  snapshot.build_info = {{"git_sha", "abc123"}};
+  snapshot.counters["sweep/cells_completed"] = 16;
+  snapshot.counters["perf/core/skills/sort/cycles"] = 100;
+  snapshot.gauges["thread_pool/queue_depth"] = {2.0, 8.0};
+  HistogramStats stats;
+  stats.count = 2;
+  stats.sum = 30;
+  stats.buckets = {{10.0, 1}};
+  snapshot.histograms["sweep/process_micros"] = stats;
+
+  const std::string text = RenderPrometheusText(snapshot);
+  const std::string labels = "{shard_count=\"4\",shard_index=\"2\"}";
+  EXPECT_NE(text.find("tdg_sweep_cells_completed_total" + labels + " 16\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("tdg_thread_pool_queue_depth" + labels + " 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tdg_thread_pool_queue_depth_max" + labels + " 8\n"),
+            std::string::npos);
+  // Per-sample labels merge with (and sort among) the common ones.
+  EXPECT_NE(
+      text.find("tdg_sweep_process_micros_bucket{le=\"10\","
+                "shard_count=\"4\",shard_index=\"2\"} 1\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("tdg_sweep_process_micros_sum" + labels + " 30\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("tdg_sweep_process_micros_count" + labels + " 2\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("tdg_perf_cycles_total{domain=\"core/skills/sort\","
+                "shard_count=\"4\",shard_index=\"2\"} 100\n"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("tdg_build_info{git_sha=\"abc123\",shard_count=\"4\","
+                "shard_index=\"2\"} 1\n"),
+      std::string::npos)
+      << text;
+}
+
+TEST(PrometheusTest, PerSampleLabelWinsOverCommonLabelCollision) {
+  MetricsSnapshot snapshot;
+  snapshot.common_labels = {{"domain", "from-common"}};
+  snapshot.counters["perf/core/skills/sort/cycles"] = 5;
+  const std::string text = RenderPrometheusText(snapshot);
+  EXPECT_NE(
+      text.find("tdg_perf_cycles_total{domain=\"core/skills/sort\"} 5\n"),
+      std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("from-common"), std::string::npos);
+}
+
+TEST(PrometheusTest, RegistryCommonLabelsFlowIntoSnapshot) {
+  MetricsRegistry::Global().SetCommonLabels(
+      {{"shard_index", "1"}, {"shard_count", "2"}});
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snapshot.common_labels.at("shard_index"), "1");
+  EXPECT_EQ(snapshot.common_labels.at("shard_count"), "2");
+  MetricsRegistry::Global().SetCommonLabels({});
+  EXPECT_TRUE(
+      MetricsRegistry::Global().Snapshot().common_labels.empty());
+}
+
 std::string GoldenPath() {
   return std::string(TDG_TESTS_GOLDEN_DIR) + "/metrics.prom";
 }
 
 TEST(PrometheusGoldenTest, ExpositionMatchesGolden) {
-  // Hand-built snapshot: fully deterministic, covers every family kind.
+  // Hand-built snapshot: fully deterministic, covers every family kind —
+  // including the shard identity common labels every sample carries.
   MetricsSnapshot snapshot;
+  snapshot.common_labels = {{"shard_index", "3"}, {"shard_count", "8"}};
   snapshot.build_info = {{"git_sha", "deadbeef"},
                          {"compiler", "GNU 12.0"},
                          {"build_type", "Release"}};

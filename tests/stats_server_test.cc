@@ -65,6 +65,109 @@ TEST(StatsServerTest, HealthzAnswersOk) {
   EXPECT_EQ(body.value(), "ok\n");
 }
 
+TEST(StatsServerTest, HealthzDegradesOnStaleOrTornHeartbeat) {
+  const std::string dir = test::MakeScratchDir();
+  const std::string fresh_path = dir + "/fresh.heartbeat";
+  const std::string stale_path = dir + "/stale.heartbeat";
+  const std::string torn_path = dir + "/torn.heartbeat";
+
+  Heartbeat fresh;
+  fresh.name = "healthz-test";
+  fresh.shard_cells = 8;
+  fresh.cells_done = 1;
+  fresh.updated_unix_ms = UnixMillis();
+  ASSERT_TRUE(WriteHeartbeat(fresh_path, fresh).ok());
+
+  // A fresh heartbeat plus one that does not exist yet: still healthy (the
+  // missing shard may simply not have started).
+  {
+    StatsServer::Options options;
+    options.heartbeat_paths = {fresh_path, dir + "/not-yet.heartbeat"};
+    auto server = StartServer(std::move(options));
+    ASSERT_NE(server, nullptr);
+    const std::string response = Get(server->port(), "/healthz");
+    EXPECT_TRUE(util::StartsWith(response, "HTTP/1.1 200")) << response;
+  }
+
+  // One shard stopped beating 10 minutes ago: degraded, and the body names
+  // the offender.
+  Heartbeat stale = fresh;
+  stale.updated_unix_ms = UnixMillis() - 10 * 60 * 1000;
+  ASSERT_TRUE(WriteHeartbeat(stale_path, stale).ok());
+  {
+    StatsServer::Options options;
+    options.heartbeat_paths = {fresh_path, stale_path};
+    auto server = StartServer(std::move(options));
+    ASSERT_NE(server, nullptr);
+    const std::string response = Get(server->port(), "/healthz");
+    EXPECT_TRUE(util::StartsWith(response, "HTTP/1.1 503")) << response;
+    auto body = util::net::HttpBody(response);
+    ASSERT_TRUE(body.ok());
+    EXPECT_TRUE(util::StartsWith(body.value(), "degraded\n")) << *body;
+    EXPECT_NE(body->find(stale_path + ": stale"), std::string::npos)
+        << *body;
+    EXPECT_EQ(body->find(fresh_path), std::string::npos) << *body;
+  }
+
+  // A torn heartbeat (crashed host mid-write) also degrades.
+  ASSERT_TRUE(util::WriteFileAtomic(torn_path, "{\"schema\": \"tdg.he").ok());
+  {
+    StatsServer::Options options;
+    options.heartbeat_paths = {torn_path};
+    auto server = StartServer(std::move(options));
+    ASSERT_NE(server, nullptr);
+    const std::string response = Get(server->port(), "/healthz");
+    EXPECT_TRUE(util::StartsWith(response, "HTTP/1.1 503")) << response;
+    auto body = util::net::HttpBody(response);
+    ASSERT_TRUE(body.ok());
+    EXPECT_NE(body->find(torn_path + ": torn"), std::string::npos) << *body;
+  }
+}
+
+TEST(StatsServerTest, BlackboxzTailsTheDump) {
+  const std::string path = test::MakeScratchDir() + "/server.blackbox";
+  FlightRecorder& recorder = FlightRecorder::Global();
+  FlightRecorder::Options recorder_options;
+  recorder_options.path = path;
+  ASSERT_TRUE(recorder.Start(recorder_options).ok());
+  for (int i = 0; i < 8; ++i) {
+    recorder.Record(BlackboxEventType::kRoundEnd,
+                    {static_cast<double>(i), 1.0, static_cast<double>(i)});
+  }
+
+  StatsServer::Options options;
+  options.blackbox_path = path;
+  options.blackbox_tail = 3;
+  auto server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+
+  // Live tail: the recorder has NOT stopped — /blackboxz reads the file
+  // bytes the mapping already pushed to the page cache.
+  const std::string response = Get(server->port(), "/blackboxz");
+  EXPECT_TRUE(util::StartsWith(response, "HTTP/1.1 200")) << response;
+  EXPECT_NE(response.find("application/jsonl"), std::string::npos);
+  auto body = util::net::HttpBody(response);
+  ASSERT_TRUE(body.ok());
+  // Only the newest 3 of 8 events, one JSON object per line, oldest first.
+  std::size_t lines = 0;
+  for (char c : body.value()) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 3u);
+  EXPECT_NE(body->find("\"event\":\"round_end\""), std::string::npos)
+      << *body;
+  EXPECT_EQ(body->find("\"round\":4,"), std::string::npos) << *body;
+  EXPECT_NE(body->find("\"round\":7,"), std::string::npos) << *body;
+  recorder.Stop();
+}
+
+TEST(StatsServerTest, BlackboxzReportsUnreadableDumpAs503) {
+  StatsServer::Options options;
+  options.blackbox_path = test::MakeScratchDir() + "/never-written.bin";
+  auto server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+  const std::string response = Get(server->port(), "/blackboxz");
+  EXPECT_TRUE(util::StartsWith(response, "HTTP/1.1 503")) << response;
+}
+
 TEST(StatsServerTest, UnknownPathIs404) {
   auto server = StartServer();
   ASSERT_NE(server, nullptr);
@@ -207,6 +310,63 @@ TEST(StatsServerTest, StopIsIdempotentAndPortCloses) {
   server->Stop();  // second call is a no-op
   auto client = util::net::ConnectLoopback(port, /*timeout_ms=*/500);
   EXPECT_FALSE(client.ok());
+}
+
+// Satellite of the obs-off CI config: with TDG_OBS_DISABLED the macros
+// compile to nothing while the explicit APIs (EventLog::Global().Append,
+// FlightRecorder::Record, every HTTP endpoint) keep working — flushes and
+// scrapes degrade to cheap no-ops or smaller outputs, never crashes. The
+// same test runs in normal builds, where it additionally pins the macro
+// counts, so a skew between the two paths fails exactly one config.
+TEST(StatsServerTest, ObsDisabledBuildDegradesCleanly) {
+  const std::string dir = test::MakeScratchDir();
+
+  // EventLog: macro + explicit append + flush/close.
+  EventLog& log = EventLog::Global();
+  ASSERT_TRUE(log.Open(dir + "/events.jsonl").ok());
+  TDG_OBS_EVENT("obs_off_test/macro", (util::JsonValue::Object{}));
+  log.Emit("obs_off_test/explicit");
+  log.Flush();
+  const long long events = log.events_written();
+  log.Close();
+  log.Close();  // idempotent
+  log.Flush();  // no-op when closed
+
+  // Flight recorder: macro + explicit record.
+  const std::string blackbox = dir + "/events.blackbox";
+  FlightRecorder& recorder = FlightRecorder::Global();
+  FlightRecorder::Options recorder_options;
+  recorder_options.path = blackbox;
+  ASSERT_TRUE(recorder.Start(recorder_options).ok());
+  TDG_BLACKBOX(BlackboxEventType::kNote, 1.0);
+  recorder.Record(BlackboxEventType::kNote, {2.0});
+
+  // Endpoints answer while both planes are live.
+  StatsServer::Options options;
+  options.blackbox_path = blackbox;
+  auto server = StartServer(std::move(options));
+  ASSERT_NE(server, nullptr);
+  EXPECT_TRUE(util::StartsWith(Get(server->port(), "/healthz"),
+                               "HTTP/1.1 200"));
+  EXPECT_TRUE(util::StartsWith(Get(server->port(), "/metrics"),
+                               "HTTP/1.1 200"));
+  EXPECT_TRUE(util::StartsWith(Get(server->port(), "/blackboxz"),
+                               "HTTP/1.1 200"));
+  server->Stop();
+  recorder.Stop();
+
+  auto dump = ReadBlackbox(blackbox);
+  ASSERT_TRUE(dump.ok()) << dump.status();
+#if defined(TDG_OBS_DISABLED)
+  EXPECT_EQ(events, 1);  // only the explicit append
+  ASSERT_EQ(dump->events.size(), 1u);
+  EXPECT_DOUBLE_EQ(dump->events[0].values[0], 2.0);
+#else
+  EXPECT_EQ(events, 2);
+  ASSERT_EQ(dump->events.size(), 2u);
+  EXPECT_DOUBLE_EQ(dump->events[0].values[0], 1.0);
+  EXPECT_DOUBLE_EQ(dump->events[1].values[0], 2.0);
+#endif
 }
 
 TEST(StatsServerTest, SweepOutputsAreByteIdenticalWithServerOn) {

@@ -8,11 +8,17 @@
 //   tdg_sweep_shard_child --config=<file> --checkpoint=<file>
 //                         [--shard_index=<i>] [--shard_count=<s>]
 //                         [--resume] [--threads=<t>]
+//                         [--blackbox=<file>]
+//
+// --blackbox starts the global flight recorder on <file> before the shard
+// runs, so crash tests can assert the black box is decodable after the
+// simulated kill (flight_recorder_test.cc, ci/check.sh blackbox config).
 //
 // Exit codes: 0 shard completed; 1 error; 42 simulated crash (the hook
 // calls _Exit before main can return).
 
 #include <cstdio>
+#include <string>
 
 #include "exp/sweep_shard.h"
 #include "obs/obs.h"
@@ -26,6 +32,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   tdg::obs::SetMetricsEnabled(false);  // mean_micros must be 0, not timing
+
+  const std::string blackbox = flags.GetString("blackbox", "");
+  if (!blackbox.empty()) {
+    tdg::obs::FlightRecorder::Options recorder_options;
+    recorder_options.path = blackbox;
+    auto status =
+        tdg::obs::FlightRecorder::Global().Start(recorder_options);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
 
   auto config =
       tdg::exp::SweepConfig::FromFile(flags.GetString("config", ""));
@@ -47,6 +65,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
     return 1;
   }
+  // A clean exit stamps the clean-shutdown flag — crash tests assert its
+  // absence to tell a black box of a kill from one of a completed run.
+  if (!blackbox.empty()) tdg::obs::FlightRecorder::Global().Stop();
   std::printf("shard %d/%d: %zu cells (%d restored, %d run)\n",
               options.shard_index, options.shard_count,
               result->result.cells.size(), result->cells_restored,
