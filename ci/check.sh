@@ -3,7 +3,7 @@
 #
 #   ci/check.sh            run the full matrix (asan, ubsan, tsan, obs-off,
 #                          bench-smoke, crash-resume, monitor, profile, soa,
-#                          blackbox)
+#                          blackbox, serve)
 #   ci/check.sh asan       run one configuration
 #
 # Configurations:
@@ -55,6 +55,15 @@
 #            with a raw `kill -9`, and require `tdg_blackbox` to decode a
 #            dump whose last sweep_cell_end agrees with the checkpoint's
 #            last appended cell
+#   serve    cohort-serving e2e (DESIGN.md §13): run the serving-plane
+#            suites (cohort state machine, churn property battery, HTTP
+#            request fuzz, journal replay, concurrency soak) under asan and
+#            tsan, then a CLI e2e: start tdg_serve with a state dir, enroll
+#            and churn a cohort over HTTP, `kill -9` the server mid-course,
+#            restart it, require zero lost rounds, finish the schedule, and
+#            require every served round to be byte-identical to an offline
+#            replay — the batch RunProcess driver for the churn-free
+#            schedule, a local serve::Cohort for the churny one
 #
 # Build trees live under build-ci/<config> so they never disturb ./build.
 
@@ -88,9 +97,11 @@ ctest_args() {
     # Progress/Heartbeat writer threads) are in the tsan net too, as are
     # the SoA suites: sweeps drive the arena through thread_local scratch
     # and flip nothing but relaxed atomics on the SIMD gate, which is
-    # exactly the kind of claim tsan should referee.
+    # exactly the kind of claim tsan should referee. The Serve suites put a
+    # multi-worker HTTP server, per-cohort locks, and journal appends under
+    # concurrent clients — the serving plane's whole thread-safety story.
     tsan)
-      echo "-R ThreadPool|ParallelFor|Obs|Trace|Sweep|Logging|ParallelSolver|ParserFuzz|BranchBound|BruteForce|SimulatedAnnealing|EventLog|WorkStealQueue|FileUtil|Net|StatsServer|Prometheus|Progress|Heartbeat|Soa|Arena|SummationOrder|FlightRecorder|Blackbox|RecordRing|MmapFile"
+      echo "-R ThreadPool|ParallelFor|Obs|Trace|Sweep|Logging|ParallelSolver|ParserFuzz|BranchBound|BruteForce|SimulatedAnnealing|EventLog|WorkStealQueue|FileUtil|Net|StatsServer|Prometheus|Progress|Heartbeat|Soa|Arena|SummationOrder|FlightRecorder|Blackbox|RecordRing|MmapFile|Serve|HttpRequest"
       ;;
     crash-resume)
       echo "-R SweepShard|SweepCrash|SweepTornWrite|FileUtil|CheckDeathTest|LoggingDeathTest"
@@ -563,6 +574,150 @@ EOF
   echo "==> [blackbox] OK"
 }
 
+run_serve() {
+  # The serving plane's whole battery runs under both sanitizers: asan for
+  # the parser/journal memory story, tsan for the worker pool + per-cohort
+  # locks + concurrent scrapes.
+  local filter='Serve|HttpRequest|Net|StatsServer'
+  local asan_dir="build-ci/serve"
+  echo "==> [serve] configure (asan)"
+  cmake -B "${asan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTDG_SANITIZE=address >/dev/null
+  echo "==> [serve] build (asan)"
+  cmake --build "${asan_dir}" -j "${JOBS}" \
+    --target tdg_tests tdg_serve tdg_servectl >/dev/null
+  echo "==> [serve] serving suites (asan)"
+  (cd "${asan_dir}" && ctest --output-on-failure -j "${JOBS}" -R "${filter}")
+  echo "==> [serve] serving suites (tsan)"
+  local tsan_dir="build-ci/serve-tsan"
+  cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTDG_SANITIZE=thread >/dev/null
+  cmake --build "${tsan_dir}" -j "${JOBS}" --target tdg_tests >/dev/null
+  (cd "${tsan_dir}" && ctest --output-on-failure -j "${JOBS}" -R "${filter}")
+
+  echo "==> [serve] cohort-serving e2e (enroll / churn / kill -9 / restart)"
+  local work="${asan_dir}/e2e"
+  rm -rf "${work}"
+  mkdir -p "${work}"
+  local serve="${asan_dir}/examples/tdg_serve"
+  local ctl="${asan_dir}/examples/tdg_servectl"
+
+  # Churn-free and evenly divisible: the served rounds must be
+  # byte-identical to the batch core::RunProcess driver on the same
+  # population (the serving plane's offline-auditability contract).
+  cat > "${work}/steady.json" <<'EOF'
+{
+  "id": "steady",
+  "config": {"group_size": 3, "policy": "star", "mode": "star",
+             "learning_rate": 0.25, "seed": 5},
+  "participants": [
+    {"key": "p0", "skill": 1.0}, {"key": "p1", "skill": 1.4},
+    {"key": "p2", "skill": 1.8}, {"key": "p3", "skill": 2.2},
+    {"key": "p4", "skill": 2.6}, {"key": "p5", "skill": 3.0},
+    {"key": "p6", "skill": 3.4}, {"key": "p7", "skill": 3.8},
+    {"key": "p8", "skill": 4.2}, {"key": "p9", "skill": 4.6},
+    {"key": "p10", "skill": 5.0}, {"key": "p11", "skill": 5.4}
+  ],
+  "ops": [
+    {"op": "advance"}, {"op": "advance"}, {"op": "advance"},
+    {"op": "advance"}, {"op": "advance"}, {"op": "advance"}
+  ]
+}
+EOF
+  # Random policy + mid-course join/leave: exercises the RNG stream and the
+  # churn path; audited against a local serve::Cohort replay. The first
+  # five ops (three rounds) run before the kill -9.
+  cat > "${work}/churn.json" <<'EOF'
+{
+  "id": "churn",
+  "config": {"group_size": 3, "policy": "random", "mode": "clique",
+             "learning_rate": 0.3, "seed": 11},
+  "participants": [
+    {"key": "c0", "skill": 0.8}, {"key": "c1", "skill": 1.1},
+    {"key": "c2", "skill": 1.9}, {"key": "c3", "skill": 2.4},
+    {"key": "c4", "skill": 2.9}, {"key": "c5", "skill": 3.3},
+    {"key": "c6", "skill": 3.7}, {"key": "c7", "skill": 4.1},
+    {"key": "c8", "skill": 4.8}
+  ],
+  "ops": [
+    {"op": "advance"},
+    {"op": "join", "key": "late-1", "skill": 2.5},
+    {"op": "advance"},
+    {"op": "leave", "key": "c3"},
+    {"op": "advance"},
+    {"op": "join", "key": "late-2", "skill": 0.75},
+    {"op": "advance"},
+    {"op": "advance"}
+  ]
+}
+EOF
+
+  "${serve}" --state_dir="${work}/state" --port_file="${work}/port1" \
+    > "${work}/serve1.log" 2>&1 &
+  local serve_pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    [[ -s "${work}/port1" ]] && { port="$(cat "${work}/port1")"; break; }
+    sleep 0.1
+  done
+  if [[ -z "${port}" ]]; then
+    echo "tdg_serve never wrote its port file" >&2
+    kill "${serve_pid}" 2>/dev/null || true
+    exit 1
+  fi
+
+  echo "==> [serve] steady schedule: served == batch RunProcess"
+  "${ctl}" run --port="${port}" --schedule="${work}/steady.json"
+  "${ctl}" dump --port="${port}" --id=steady > "${work}/served_steady.jsonl"
+  "${ctl}" offline --schedule="${work}/steady.json" --via=process \
+    > "${work}/offline_steady.jsonl"
+  cmp "${work}/served_steady.jsonl" "${work}/offline_steady.jsonl"
+  # Cross-check the two offline drivers against each other too.
+  "${ctl}" offline --schedule="${work}/steady.json" --via=cohort \
+    > "${work}/offline_steady_cohort.jsonl"
+  cmp "${work}/offline_steady.jsonl" "${work}/offline_steady_cohort.jsonl"
+
+  echo "==> [serve] churn schedule, first leg, then kill -9"
+  "${ctl}" run --port="${port}" --schedule="${work}/churn.json" --to=5
+  "${ctl}" dump --port="${port}" --id=churn > "${work}/pre_kill.jsonl"
+  [[ "$(wc -l < "${work}/pre_kill.jsonl")" -eq 3 ]] || {
+    echo "expected 3 rounds before the kill" >&2; exit 1; }
+  kill -9 "${serve_pid}"
+  wait "${serve_pid}" 2>/dev/null || true
+
+  echo "==> [serve] restart: zero lost rounds, then finish the schedule"
+  "${serve}" --state_dir="${work}/state" --port_file="${work}/port2" \
+    > "${work}/serve2.log" 2>&1 &
+  serve_pid=$!
+  port=""
+  for _ in $(seq 1 100); do
+    [[ -s "${work}/port2" ]] && { port="$(cat "${work}/port2")"; break; }
+    sleep 0.1
+  done
+  if [[ -z "${port}" ]]; then
+    echo "restarted tdg_serve never wrote its port file" >&2
+    kill "${serve_pid}" 2>/dev/null || true
+    exit 1
+  fi
+  grep -q '2 cohorts restored' "${work}/serve2.log"
+  "${ctl}" dump --port="${port}" --id=churn > "${work}/post_restart.jsonl"
+  cmp "${work}/pre_kill.jsonl" "${work}/post_restart.jsonl"
+  "${ctl}" run --port="${port}" --schedule="${work}/churn.json" --from=5
+  "${ctl}" dump --port="${port}" --id=churn > "${work}/served_churn.jsonl"
+  "${ctl}" offline --schedule="${work}/churn.json" --via=cohort \
+    > "${work}/offline_churn.jsonl"
+  cmp "${work}/served_churn.jsonl" "${work}/offline_churn.jsonl"
+  # The steady cohort's journal survived the kill too.
+  "${ctl}" dump --port="${port}" --id=steady \
+    > "${work}/served_steady_restarted.jsonl"
+  cmp "${work}/served_steady.jsonl" "${work}/served_steady_restarted.jsonl"
+
+  kill "${serve_pid}"
+  wait "${serve_pid}" || {
+    echo "tdg_serve did not shut down cleanly" >&2; exit 1; }
+  echo "==> [serve] OK"
+}
+
 run_config() {
   local config="$1"
   if [[ "${config}" == "bench-smoke" ]]; then
@@ -589,6 +744,10 @@ run_config() {
     run_blackbox
     return
   fi
+  if [[ "${config}" == "serve" ]]; then
+    run_serve
+    return
+  fi
   local build_dir="build-ci/${config}"
   echo "==> [${config}] configure"
   cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -606,7 +765,7 @@ if [[ $# -gt 0 ]]; then
   for config in "$@"; do run_config "${config}"; done
 else
   for config in asan ubsan tsan obs-off bench-smoke crash-resume monitor \
-      profile soa blackbox; do
+      profile soa blackbox serve; do
     run_config "${config}"
   done
 fi

@@ -1,0 +1,359 @@
+// tdg_servectl — scripting client and offline replayer for tdg_serve.
+//
+//   tdg_servectl run --port=P --schedule=S.json [--from=I] [--to=J]
+//       Drives a running server through a schedule file: enrolls the
+//       cohort (only when --from=0) and then replays ops[I, J) as HTTP
+//       requests. Lets the CI e2e split one schedule around a `kill -9`.
+//
+//   tdg_servectl dump --port=P --id=ID
+//       Fetches every advanced round of a cohort and prints each as one
+//       compact JSON line — the canonical CohortRoundToJson form.
+//
+//   tdg_servectl offline --schedule=S.json --via=cohort|process [--to=J]
+//       Replays the same schedule without a server and prints the same
+//       JSON lines. --via=cohort drives a local serve::Cohort (any
+//       schedule); --via=process drives the batch core::RunProcess (only
+//       valid for churn-free star/clique schedules whose size divides
+//       evenly — the regime where the two are bitwise-identical). Diffing
+//       `dump` against `offline` is the serving plane's end-to-end
+//       correctness check: groupings served across enroll → churn →
+//       kill -9 → restart must be byte-identical to an uninterrupted
+//       offline run.
+//
+// Schedule file:
+//   {"id": "...", "config": {...CohortConfig...},
+//    "participants": [{"key": "...", "skill": s}, ...],
+//    "ops": [{"op": "advance"} | {"op": "join", "key": "...", "skill": s}
+//            | {"op": "leave", "key": "..."}, ...]}
+//
+// Exit codes: 0 = ok, 1 = server/application error, 2 = usage error.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/dygroups.h"
+#include "core/process.h"
+#include "serve/cohort.h"
+#include "util/file_util.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/net.h"
+#include "util/string_util.h"
+
+namespace {
+
+using tdg::serve::Cohort;
+using tdg::serve::CohortConfig;
+using tdg::serve::CohortParticipant;
+using tdg::serve::CohortRoundToJson;
+using tdg::util::JsonValue;
+using tdg::util::Status;
+using tdg::util::StatusOr;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  tdg_servectl run --port=P --schedule=S.json [--from=I] [--to=J]\n"
+      "  tdg_servectl dump --port=P --id=ID\n"
+      "  tdg_servectl offline --schedule=S.json --via=cohort|process "
+      "[--to=J]\n");
+  return 2;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "tdg_servectl: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+struct Schedule {
+  std::string id;
+  CohortConfig config;
+  std::vector<CohortParticipant> participants;
+  std::vector<JsonValue> ops;
+};
+
+StatusOr<Schedule> LoadSchedule(const std::string& path) {
+  TDG_ASSIGN_OR_RETURN(std::string text, tdg::util::ReadFileToString(path));
+  TDG_ASSIGN_OR_RETURN(JsonValue json, JsonValue::Parse(text));
+  Schedule schedule;
+  TDG_ASSIGN_OR_RETURN(JsonValue id, json.GetField("id"));
+  if (!id.is_string()) {
+    return Status::InvalidArgument("schedule 'id' must be a string");
+  }
+  schedule.id = id.AsString();
+  TDG_ASSIGN_OR_RETURN(JsonValue config, json.GetField("config"));
+  TDG_ASSIGN_OR_RETURN(schedule.config, CohortConfig::FromJson(config));
+  TDG_ASSIGN_OR_RETURN(JsonValue participants,
+                       json.GetField("participants"));
+  if (!participants.is_array()) {
+    return Status::InvalidArgument("schedule 'participants' must be an array");
+  }
+  for (const JsonValue& entry : participants.AsArray()) {
+    TDG_ASSIGN_OR_RETURN(JsonValue key, entry.GetField("key"));
+    TDG_ASSIGN_OR_RETURN(JsonValue skill, entry.GetField("skill"));
+    if (!key.is_string() || !skill.is_number()) {
+      return Status::InvalidArgument(
+          "participants need a string 'key' and a number 'skill'");
+    }
+    schedule.participants.push_back({key.AsString(), skill.AsNumber()});
+  }
+  TDG_ASSIGN_OR_RETURN(JsonValue ops, json.GetField("ops"));
+  if (!ops.is_array()) {
+    return Status::InvalidArgument("schedule 'ops' must be an array");
+  }
+  schedule.ops = ops.AsArray();
+  return schedule;
+}
+
+/// Op fields, validated once so `run` and `offline` agree on the grammar.
+struct Op {
+  std::string op;  // "advance" | "join" | "leave"
+  std::string key;
+  double skill = 0;
+};
+
+StatusOr<Op> ParseOp(const JsonValue& json) {
+  Op op;
+  TDG_ASSIGN_OR_RETURN(JsonValue name, json.GetField("op"));
+  if (!name.is_string()) {
+    return Status::InvalidArgument("op entries need a string 'op'");
+  }
+  op.op = name.AsString();
+  if (op.op == "advance") return op;
+  TDG_ASSIGN_OR_RETURN(JsonValue key, json.GetField("key"));
+  if (!key.is_string()) {
+    return Status::InvalidArgument("join/leave ops need a string 'key'");
+  }
+  op.key = key.AsString();
+  if (op.op == "leave") return op;
+  if (op.op != "join") {
+    return Status::InvalidArgument("unknown op '" + op.op + "'");
+  }
+  TDG_ASSIGN_OR_RETURN(JsonValue skill, json.GetField("skill"));
+  if (!skill.is_number()) {
+    return Status::InvalidArgument("join ops need a number 'skill'");
+  }
+  op.skill = skill.AsNumber();
+  return op;
+}
+
+/// POSTs and fails on anything but a 2xx.
+Status Post(int port, const std::string& path, const JsonValue& body) {
+  TDG_ASSIGN_OR_RETURN(
+      std::string response,
+      tdg::util::net::HttpDo(port, "POST", path, body.Serialize() + "\n"));
+  TDG_ASSIGN_OR_RETURN(int code, tdg::util::net::HttpStatusCode(response));
+  if (code / 100 != 2) {
+    auto body_text = tdg::util::net::HttpBody(response);
+    return Status::Internal(tdg::util::StrFormat(
+        "POST %s -> %d: %s", path.c_str(), code,
+        body_text.ok() ? body_text->c_str() : "?"));
+  }
+  return Status::OK();
+}
+
+StatusOr<JsonValue> GetJson(int port, const std::string& path) {
+  TDG_ASSIGN_OR_RETURN(std::string response,
+                       tdg::util::net::HttpGet(port, path));
+  TDG_ASSIGN_OR_RETURN(int code, tdg::util::net::HttpStatusCode(response));
+  TDG_ASSIGN_OR_RETURN(std::string body, tdg::util::net::HttpBody(response));
+  if (code / 100 != 2) {
+    return Status::Internal(tdg::util::StrFormat(
+        "GET %s -> %d: %s", path.c_str(), code, body.c_str()));
+  }
+  return JsonValue::Parse(body);
+}
+
+int Run(const tdg::util::FlagParser& flags) {
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  const std::string schedule_path = flags.GetString("schedule", "");
+  if (port <= 0 || schedule_path.empty()) return Usage();
+  auto schedule = LoadSchedule(schedule_path);
+  if (!schedule.ok()) return Fail(schedule.status());
+  const long long from = flags.GetInt("from", 0);
+  const long long to = flags.GetInt(
+      "to", static_cast<long long>(schedule->ops.size()));
+  if (from < 0 || to > static_cast<long long>(schedule->ops.size()) ||
+      from > to) {
+    return Fail(Status::InvalidArgument("bad --from/--to window"));
+  }
+
+  if (from == 0) {
+    JsonValue enroll = JsonValue::MakeObject();
+    enroll.Set("id", schedule->id);
+    enroll.Set("config", schedule->config.ToJson());
+    JsonValue participants = JsonValue::MakeArray();
+    for (const CohortParticipant& participant : schedule->participants) {
+      JsonValue entry = JsonValue::MakeObject();
+      entry.Set("key", participant.key);
+      entry.Set("skill", participant.skill);
+      participants.Append(std::move(entry));
+    }
+    enroll.Set("participants", std::move(participants));
+    Status enrolled = Post(port, "/cohorts", enroll);
+    if (!enrolled.ok()) return Fail(enrolled);
+  }
+
+  const std::string base = "/cohorts/" + schedule->id;
+  for (long long i = from; i < to; ++i) {
+    auto op = ParseOp(schedule->ops[static_cast<size_t>(i)]);
+    if (!op.ok()) return Fail(op.status());
+    JsonValue body = JsonValue::MakeObject();
+    Status applied = Status::OK();
+    if (op->op == "advance") {
+      applied = Post(port, base + "/advance", body);
+    } else if (op->op == "join") {
+      body.Set("key", op->key);
+      body.Set("skill", op->skill);
+      applied = Post(port, base + "/join", body);
+    } else {
+      body.Set("key", op->key);
+      applied = Post(port, base + "/leave", body);
+    }
+    if (!applied.ok()) return Fail(applied);
+  }
+  std::fprintf(stderr, "tdg_servectl: applied ops [%lld, %lld) of %s\n",
+               from, to, schedule->id.c_str());
+  return 0;
+}
+
+int Dump(const tdg::util::FlagParser& flags) {
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  const std::string id = flags.GetString("id", "");
+  if (port <= 0 || id.empty()) return Usage();
+  auto summary = GetJson(port, "/cohorts/" + id);
+  if (!summary.ok()) return Fail(summary.status());
+  auto rounds = summary->GetField("rounds");
+  if (!rounds.ok() || !rounds->is_number()) {
+    return Fail(Status::Internal("summary has no 'rounds'"));
+  }
+  const int total = static_cast<int>(rounds->AsNumber());
+  for (int t = 0; t < total; ++t) {
+    auto round = GetJson(
+        port, tdg::util::StrFormat("/cohorts/%s/rounds/%d", id.c_str(), t));
+    if (!round.ok()) return Fail(round.status());
+    std::printf("%s\n", round->Serialize().c_str());
+  }
+  return 0;
+}
+
+int OfflineViaCohort(const Schedule& schedule, long long to) {
+  auto cohort =
+      Cohort::Create(schedule.id, schedule.config, schedule.participants);
+  if (!cohort.ok()) return Fail(cohort.status());
+  for (long long i = 0; i < to; ++i) {
+    auto op = ParseOp(schedule.ops[static_cast<size_t>(i)]);
+    if (!op.ok()) return Fail(op.status());
+    Status applied = Status::OK();
+    if (op->op == "advance") {
+      applied = cohort->Advance().status();
+    } else if (op->op == "join") {
+      applied = cohort->Join(op->key, op->skill);
+    } else {
+      applied = cohort->Leave(op->key);
+    }
+    if (!applied.ok()) return Fail(applied);
+  }
+  for (int t = 0; t < cohort->rounds_advanced(); ++t) {
+    std::printf("%s\n",
+                CohortRoundToJson(cohort->rounds()[static_cast<size_t>(t)], t)
+                    .Serialize()
+                    .c_str());
+  }
+  return 0;
+}
+
+int OfflineViaProcess(const Schedule& schedule, long long to) {
+  // The batch driver runs a fixed population for a fixed α, so it only
+  // matches schedules with no churn, an evenly dividing size, and a
+  // deterministic DyGroups policy.
+  const int n = static_cast<int>(schedule.participants.size());
+  if (schedule.config.policy == tdg::serve::CohortPolicy::kRandom) {
+    return Fail(Status::InvalidArgument(
+        "--via=process cannot replay the random policy"));
+  }
+  if (n < schedule.config.group_size ||
+      n % schedule.config.group_size != 0) {
+    return Fail(Status::InvalidArgument(
+        "--via=process needs n divisible by group_size"));
+  }
+  int num_rounds = 0;
+  for (long long i = 0; i < to; ++i) {
+    auto op = ParseOp(schedule.ops[static_cast<size_t>(i)]);
+    if (!op.ok()) return Fail(op.status());
+    if (op->op != "advance") {
+      return Fail(Status::InvalidArgument(
+          "--via=process cannot replay join/leave churn"));
+    }
+    ++num_rounds;
+  }
+
+  tdg::SkillVector skills;
+  std::vector<std::string> keys;
+  for (const CohortParticipant& participant : schedule.participants) {
+    skills.push_back(participant.skill);
+    keys.push_back(participant.key);
+  }
+  auto gain = tdg::LinearGain::Create(schedule.config.learning_rate);
+  if (!gain.ok()) return Fail(gain.status());
+  tdg::ProcessConfig config;
+  config.num_groups = n / schedule.config.group_size;
+  config.num_rounds = num_rounds;
+  config.mode = schedule.config.mode;
+  config.record_history = true;
+  auto policy = tdg::MakeDyGroupsPolicy(
+      schedule.config.policy == tdg::serve::CohortPolicy::kStar
+          ? tdg::InteractionMode::kStar
+          : tdg::InteractionMode::kClique);
+  auto result = tdg::RunProcess(skills, config, *gain, *policy);
+  if (!result.ok()) return Fail(result.status());
+
+  for (int t = 0; t < num_rounds; ++t) {
+    const tdg::RoundRecord& record =
+        result->history[static_cast<size_t>(t)];
+    tdg::serve::CohortRound round;
+    round.keys = keys;
+    round.assignment.assign(static_cast<size_t>(n), 0);
+    for (size_t g = 0; g < record.grouping.groups.size(); ++g) {
+      for (int id : record.grouping.groups[g]) {
+        round.assignment[static_cast<size_t>(id)] = static_cast<int>(g);
+      }
+    }
+    round.num_groups = record.grouping.num_groups();
+    round.gain = record.gain;
+    std::printf("%s\n", CohortRoundToJson(round, t).Serialize().c_str());
+  }
+  return 0;
+}
+
+int Offline(const tdg::util::FlagParser& flags) {
+  const std::string schedule_path = flags.GetString("schedule", "");
+  const std::string via = flags.GetString("via", "cohort");
+  if (schedule_path.empty()) return Usage();
+  auto schedule = LoadSchedule(schedule_path);
+  if (!schedule.ok()) return Fail(schedule.status());
+  const long long to = flags.GetInt(
+      "to", static_cast<long long>(schedule->ops.size()));
+  if (to < 0 || to > static_cast<long long>(schedule->ops.size())) {
+    return Fail(Status::InvalidArgument("bad --to"));
+  }
+  if (via == "cohort") return OfflineViaCohort(*schedule, to);
+  if (via == "process") return OfflineViaProcess(*schedule, to);
+  return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tdg::util::FlagParser flags;
+  if (!flags.Parse(argc, argv).ok() || flags.positional().empty()) {
+    return Usage();
+  }
+  const std::string& command = flags.positional()[0];
+  if (command == "run") return Run(flags);
+  if (command == "dump") return Dump(flags);
+  if (command == "offline") return Offline(flags);
+  return Usage();
+}

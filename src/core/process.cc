@@ -113,22 +113,7 @@ util::StatusOr<ProcessResult> RunProcess(const SkillVector& initial_skills,
     if (blackbox) {
       TDG_BLACKBOX(obs::BlackboxEventType::kRoundEnd,
                    static_cast<double>(t), round_gain, result.total_gain);
-      if (!introspection.group_gains.empty()) {
-        double min_gain = introspection.group_gains[0];
-        double max_gain = min_gain;
-        double sum = 0.0;
-        for (double g : introspection.group_gains) {
-          min_gain = std::min(min_gain, g);
-          max_gain = std::max(max_gain, g);
-          sum += g;
-        }
-        TDG_BLACKBOX(
-            obs::BlackboxEventType::kGroupGainSummary,
-            static_cast<double>(t),
-            static_cast<double>(introspection.group_gains.size()), min_gain,
-            sum / static_cast<double>(introspection.group_gains.size()),
-            max_gain);
-      }
+      RecordGroupGainSummary(t, introspection.group_gains);
       if (t > 0 && previous_group_of.size() == introspection.group_of.size()) {
         int64_t moved = 0;
         for (std::size_t i = 0; i < introspection.group_of.size(); ++i) {
@@ -143,6 +128,29 @@ util::StatusOr<ProcessResult> RunProcess(const SkillVector& initial_skills,
   }
   result.final_skills = std::move(skills);
   return result;
+}
+
+void RecordGroupGainSummary(int round,
+                            const std::vector<double>& group_gains) {
+#if defined(TDG_OBS_DISABLED)
+  (void)round;
+  (void)group_gains;
+#else
+  if (group_gains.empty()) return;
+  if (!obs::FlightRecorder::Global().active()) return;
+  double min_gain = group_gains[0];
+  double max_gain = min_gain;
+  double sum = 0.0;
+  for (double g : group_gains) {
+    min_gain = std::min(min_gain, g);
+    max_gain = std::max(max_gain, g);
+    sum += g;
+  }
+  TDG_BLACKBOX(obs::BlackboxEventType::kGroupGainSummary,
+               static_cast<double>(round),
+               static_cast<double>(group_gains.size()), min_gain,
+               sum / static_cast<double>(group_gains.size()), max_gain);
+#endif
 }
 
 }  // namespace tdg

@@ -48,6 +48,13 @@ util::StatusOr<ProcessResult> RunProcess(const SkillVector& initial_skills,
                                          const LearningGainFunction& gain,
                                          GroupingPolicy& policy);
 
+/// Emits the flight recorder's kGroupGainSummary event for round `round`
+/// from the per-group gains ApplyRound produced (no-op when the recorder is
+/// inactive or `group_gains` is empty). Shared by RunProcess and the
+/// serving plane's resident cohorts (serve::Cohort) so black-box consumers
+/// see one event vocabulary no matter which driver ran the round.
+void RecordGroupGainSummary(int round, const std::vector<double>& group_gains);
+
 }  // namespace tdg
 
 #endif  // TDG_CORE_PROCESS_H_

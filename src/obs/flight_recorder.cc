@@ -313,6 +313,14 @@ std::string_view BlackboxEventName(BlackboxEventType type) {
       return "solver_incumbent";
     case BlackboxEventType::kCrash:
       return "crash";
+    case BlackboxEventType::kCohortEnroll:
+      return "cohort_enroll";
+    case BlackboxEventType::kCohortRound:
+      return "cohort_round";
+    case BlackboxEventType::kCohortChurn:
+      return "cohort_churn";
+    case BlackboxEventType::kCohortRestore:
+      return "cohort_restore";
   }
   return {};
 }
@@ -342,6 +350,14 @@ std::vector<std::string_view> BlackboxEventFieldNames(
       return {"incumbent"};
     case BlackboxEventType::kCrash:
       return {"fatal"};
+    case BlackboxEventType::kCohortEnroll:
+      return {"cohort", "n", "group_size", "mode"};
+    case BlackboxEventType::kCohortRound:
+      return {"cohort", "round", "n", "round_gain"};
+    case BlackboxEventType::kCohortChurn:
+      return {"cohort", "round", "joined", "left", "n"};
+    case BlackboxEventType::kCohortRestore:
+      return {"cohort", "rounds", "n"};
   }
   return {};
 }

@@ -57,6 +57,10 @@ enum class BlackboxEventType : std::uint8_t {
   kSweepCellEnd = 9,     // cell_index, mean_gain, runs
   kSolverIncumbent = 10, // incumbent (shared bound improvements)
   kCrash = 11,           // stamped by the fatal handler before abort
+  kCohortEnroll = 12,    // cohort, n, group_size, mode (serving plane)
+  kCohortRound = 13,     // cohort, round, n, round_gain
+  kCohortChurn = 14,     // cohort, round, joined, left, n
+  kCohortRestore = 15,   // cohort, rounds, n (journal replay on restart)
 };
 
 /// Decoder-facing name ("round_end") and named payload slots for a type;

@@ -12,52 +12,29 @@
 namespace tdg::obs {
 namespace {
 
-// A request must arrive within this window; loopback clients either send
-// immediately or are gone.
-constexpr int kRequestTimeoutMs = 2000;
 // Poll granularity of the accept loop — the latency ceiling on Stop().
 constexpr int kAcceptPollMs = 100;
-constexpr size_t kMaxRequestBytes = 16 * 1024;
+
+/// Read bounds for one monitoring request. Scrapes carry no body, so the
+/// body cap only has to admit the empty one; 2 s total is generous for a
+/// loopback client that is not dead or hostile.
+util::net::HttpLimits RequestLimits() {
+  util::net::HttpLimits limits;
+  limits.max_head_bytes = 16 * 1024;
+  limits.max_body_bytes = 16 * 1024;
+  limits.read_timeout_ms = 2000;
+  return limits;
+}
 
 std::string HttpResponse(int code, const char* reason,
                          const std::string& content_type,
                          const std::string& body) {
-  std::string response = util::StrFormat(
-      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
-      "Connection: close\r\n\r\n",
-      code, reason, content_type.c_str(), body.size());
-  response += body;
-  return response;
+  return util::net::BuildHttpResponse(code, reason, content_type, body);
 }
 
 std::string JsonResponse(const util::JsonValue& json) {
   return HttpResponse(200, "OK", "application/json",
                       json.SerializePretty() + "\n");
-}
-
-/// Parses "GET /path HTTP/1.1" into method + path (query string stripped).
-/// False on anything that is not a well-formed request line.
-bool ParseRequestLine(std::string_view head, std::string& method,
-                      std::string& path) {
-  const size_t line_end = head.find("\r\n");
-  if (line_end == std::string_view::npos) return false;
-  const std::string_view line = head.substr(0, line_end);
-  const size_t first_space = line.find(' ');
-  if (first_space == std::string_view::npos || first_space == 0) {
-    return false;
-  }
-  const size_t second_space = line.find(' ', first_space + 1);
-  if (second_space == std::string_view::npos) return false;
-  const std::string_view version = line.substr(second_space + 1);
-  if (!util::StartsWith(version, "HTTP/1.")) return false;
-  method = std::string(line.substr(0, first_space));
-  std::string_view target =
-      line.substr(first_space + 1, second_space - first_space - 1);
-  if (target.empty() || target[0] != '/') return false;
-  const size_t query = target.find('?');
-  if (query != std::string_view::npos) target = target.substr(0, query);
-  path = std::string(target);
-  return true;
 }
 
 }  // namespace
@@ -98,14 +75,19 @@ void StatsServer::AcceptLoop() {
 }
 
 void StatsServer::HandleConnection(util::net::Socket connection) {
-  auto request = connection.ReadUntil("\r\n\r\n", kMaxRequestBytes,
-                                      kRequestTimeoutMs);
+  auto request = util::net::ReadHttpRequest(connection, RequestLimits());
+  std::string response;
   std::string method;
   std::string path;
-  std::string response;
-  if (!request.ok() || !ParseRequestLine(request.value(), method, path)) {
-    response = HttpResponse(400, "Bad Request", "text/plain",
-                            "malformed request\n");
+  if (request.ok()) {
+    method = request->method;
+    path = request->path;
+  }
+  if (!request.ok()) {
+    // The shared machinery distinguishes malformed (400) from slow (408),
+    // oversized (413), and unsupported-framing (501) requests; an already
+    // hung-up peer gets the 400 written into the void, which is harmless.
+    response = util::net::BuildHttpErrorResponse(request.status());
   } else if (method != "GET" && method != "HEAD") {
     response = HttpResponse(405, "Method Not Allowed", "text/plain",
                             "only GET is supported\n");

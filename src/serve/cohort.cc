@@ -1,0 +1,322 @@
+#include "serve/cohort.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/process.h"
+#include "core/variable_groups.h"
+#include "obs/obs.h"
+#include "util/string_util.h"
+
+namespace tdg::serve {
+
+std::string_view CohortPolicyName(CohortPolicy policy) {
+  switch (policy) {
+    case CohortPolicy::kStar:
+      return "star";
+    case CohortPolicy::kClique:
+      return "clique";
+    case CohortPolicy::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+util::StatusOr<CohortPolicy> ParseCohortPolicy(std::string_view name) {
+  if (name == "star") return CohortPolicy::kStar;
+  if (name == "clique") return CohortPolicy::kClique;
+  if (name == "random") return CohortPolicy::kRandom;
+  return util::Status::InvalidArgument(util::StrFormat(
+      "unknown cohort policy '%.*s' (want star, clique, or random)",
+      static_cast<int>(name.size()), name.data()));
+}
+
+util::Status CohortConfig::Validate() const {
+  if (group_size < 1) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "group_size must be >= 1, got %d", group_size));
+  }
+  if (!(learning_rate > 0.0) || !(learning_rate < 1.0)) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "learning_rate must be in (0, 1), got %g", learning_rate));
+  }
+  return util::Status::OK();
+}
+
+util::JsonValue CohortConfig::ToJson() const {
+  util::JsonValue json = util::JsonValue::MakeObject();
+  json.Set("group_size", group_size);
+  json.Set("policy", std::string(CohortPolicyName(policy)));
+  json.Set("mode", std::string(InteractionModeName(mode)));
+  json.Set("learning_rate", learning_rate);
+  json.Set("seed", static_cast<long long>(seed));
+  return json;
+}
+
+util::StatusOr<CohortConfig> CohortConfig::FromJson(
+    const util::JsonValue& json) {
+  if (!json.is_object()) {
+    return util::Status::InvalidArgument("cohort config must be an object");
+  }
+  // Every field is optional: an absent key keeps the struct default, so a
+  // minimal enroll payload can say {} or just {"group_size": 3}. A key that
+  // IS present must have the right type — a typo'd value is an error, never
+  // a silent fallback.
+  CohortConfig config;
+  if (auto field = json.GetField("group_size"); field.ok()) {
+    if (!field->is_number()) {
+      return util::Status::InvalidArgument("group_size must be a number");
+    }
+    config.group_size = static_cast<int>(field->AsNumber());
+  }
+  if (auto field = json.GetField("policy"); field.ok()) {
+    if (!field->is_string()) {
+      return util::Status::InvalidArgument("policy must be a string");
+    }
+    TDG_ASSIGN_OR_RETURN(config.policy, ParseCohortPolicy(field->AsString()));
+  }
+  if (auto field = json.GetField("mode"); field.ok()) {
+    if (!field->is_string()) {
+      return util::Status::InvalidArgument("mode must be a string");
+    }
+    TDG_ASSIGN_OR_RETURN(config.mode, ParseInteractionMode(field->AsString()));
+  }
+  if (auto field = json.GetField("learning_rate"); field.ok()) {
+    if (!field->is_number()) {
+      return util::Status::InvalidArgument("learning_rate must be a number");
+    }
+    config.learning_rate = field->AsNumber();
+  }
+  if (auto field = json.GetField("seed"); field.ok()) {
+    if (!field->is_number()) {
+      return util::Status::InvalidArgument("seed must be a number");
+    }
+    config.seed = static_cast<uint64_t>(field->AsNumber());
+  }
+  TDG_RETURN_IF_ERROR(config.Validate());
+  return config;
+}
+
+util::JsonValue CohortRoundToJson(const CohortRound& round,
+                                  int round_index) {
+  util::JsonValue assignment = util::JsonValue::MakeArray();
+  for (int g : round.assignment) assignment.Append(g);
+  util::JsonValue keys = util::JsonValue::MakeArray();
+  for (const std::string& key : round.keys) keys.Append(key);
+  util::JsonValue json = util::JsonValue::MakeObject();
+  json.Set("assignment", std::move(assignment));
+  json.Set("gain", round.gain);
+  json.Set("keys", std::move(keys));
+  json.Set("num_groups", round.num_groups);
+  json.Set("round", round_index);
+  return json;
+}
+
+util::Status ValidateCohortId(std::string_view id) {
+  if (id.empty() || id.size() > 64) {
+    return util::Status::InvalidArgument(
+        "cohort id must be 1..64 characters");
+  }
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) {
+      return util::Status::InvalidArgument(
+          "cohort id may only contain [A-Za-z0-9_-]");
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status ValidateParticipantKey(std::string_view key) {
+  if (key.empty() || key.size() > 128) {
+    return util::Status::InvalidArgument(
+        "participant key must be 1..128 bytes");
+  }
+  for (char c : key) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (u < 32 || u >= 127 || c == '/' || c == '"') {
+      return util::Status::InvalidArgument(
+          "participant key must be printable ASCII without '/' or '\"'");
+    }
+  }
+  return util::Status::OK();
+}
+
+Cohort::Cohort(std::string id, const CohortConfig& config, LinearGain gain)
+    : id_(std::move(id)),
+      config_(config),
+      gain_(gain),
+      id_hash_(static_cast<uint32_t>(util::Fnv1a64(id_) & 0xffffffffULL)),
+      rng_(config.seed) {}
+
+util::StatusOr<Cohort> Cohort::Create(
+    const std::string& id, const CohortConfig& config,
+    const std::vector<CohortParticipant>& participants) {
+  TDG_RETURN_IF_ERROR(ValidateCohortId(id));
+  TDG_RETURN_IF_ERROR(config.Validate());
+  TDG_ASSIGN_OR_RETURN(LinearGain gain,
+                       LinearGain::Create(config.learning_rate));
+  Cohort cohort(id, config, gain);
+  cohort.participants_.reserve(participants.size());
+  for (const CohortParticipant& participant : participants) {
+    TDG_RETURN_IF_ERROR(cohort.Join(participant.key, participant.skill));
+  }
+  return cohort;
+}
+
+bool Cohort::HasParticipant(const std::string& key) const {
+  for (const CohortParticipant& participant : participants_) {
+    if (participant.key == key) return true;
+  }
+  return false;
+}
+
+util::Status Cohort::CanJoin(const std::string& key, double skill) const {
+  TDG_RETURN_IF_ERROR(ValidateParticipantKey(key));
+  if (!(skill > 0.0) || !std::isfinite(skill)) {
+    return util::Status::InvalidArgument(util::StrFormat(
+        "skill must be a finite positive number, got %g", skill));
+  }
+  if (HasParticipant(key)) {
+    return util::Status::FailedPrecondition(util::StrFormat(
+        "participant '%s' is already resident in cohort '%s'", key.c_str(),
+        id_.c_str()));
+  }
+  return util::Status::OK();
+}
+
+util::Status Cohort::CanLeave(const std::string& key) const {
+  if (!HasParticipant(key)) {
+    return util::Status::NotFound(util::StrFormat(
+        "participant '%s' is not resident in cohort '%s'", key.c_str(),
+        id_.c_str()));
+  }
+  return util::Status::OK();
+}
+
+util::Status Cohort::CanAdvance() const {
+  if (participants_.empty()) {
+    return util::Status::FailedPrecondition(util::StrFormat(
+        "cohort '%s' has no residents to group", id_.c_str()));
+  }
+  return util::Status::OK();
+}
+
+util::Status Cohort::Join(const std::string& key, double skill) {
+  TDG_RETURN_IF_ERROR(CanJoin(key, skill));
+  participants_.push_back({key, skill});
+  return util::Status::OK();
+}
+
+util::Status Cohort::Leave(const std::string& key) {
+  TDG_RETURN_IF_ERROR(CanLeave(key));
+  for (size_t i = 0; i < participants_.size(); ++i) {
+    if (participants_[i].key == key) {
+      // Preserve insertion order: later residents shift down one id. The
+      // next round's keys snapshot re-labels everyone, so round payloads
+      // stay (key,id)-consistent.
+      participants_.erase(participants_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      break;
+    }
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<std::vector<int>> Cohort::SizeProfileFor(int n,
+                                                        int group_size) {
+  if (n < 1) {
+    return util::Status::InvalidArgument("need at least one participant");
+  }
+  if (group_size < 1) {
+    return util::Status::InvalidArgument("group_size must be >= 1");
+  }
+  if (n < group_size) return std::vector<int>{n};
+  // k = floor(n/m) groups, balanced to sizes floor(n/k) / ceil(n/k). The
+  // naive "k groups of m, spread n mod m" is NOT always realizable: for
+  // m <= n < 2m there is one group but up to m-1 leftover participants, so
+  // the single group absorbs them all (size up to 2m-1). Whenever
+  // n mod m <= k — in particular for any n >= m^2 — the balanced sizes are
+  // exactly m and m+1.
+  const int k = n / group_size;
+  const int base = n / k;
+  const int extra = n % k;
+  std::vector<int> sizes(static_cast<size_t>(k), base);
+  for (int g = 0; g < extra; ++g) ++sizes[static_cast<size_t>(g)];
+  return sizes;
+}
+
+util::StatusOr<double> Cohort::Advance() {
+  TDG_RETURN_IF_ERROR(CanAdvance());
+  const int n = num_participants();
+  TDG_ASSIGN_OR_RETURN(std::vector<int> sizes,
+                       SizeProfileFor(n, config_.group_size));
+
+  SkillVector skills(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    skills[static_cast<size_t>(i)] =
+        participants_[static_cast<size_t>(i)].skill;
+  }
+
+  util::StatusOr<Grouping> formed =
+      util::Status::Internal("unhandled cohort policy");
+  switch (config_.policy) {
+    case CohortPolicy::kStar:
+      formed = DyGroupsStarLocalSized(skills, sizes);
+      break;
+    case CohortPolicy::kClique:
+      formed = DyGroupsCliqueLocalSized(skills, sizes);
+      break;
+    case CohortPolicy::kRandom:
+      formed = RandomGroupingSized(skills, sizes, rng_);
+      break;
+  }
+  if (!formed.ok()) return formed.status();
+  Grouping grouping = std::move(formed).value();
+  TDG_RETURN_IF_ERROR(grouping.ValidatePartition(n));
+
+#if defined(TDG_OBS_DISABLED)
+  const bool blackbox = false;
+#else
+  const bool blackbox = obs::FlightRecorder::Global().active();
+#endif
+  std::vector<double> group_gains;
+  TDG_ASSIGN_OR_RETURN(
+      double round_gain,
+      ApplyRound(config_.mode, grouping, gain_, skills,
+                 blackbox ? &group_gains : nullptr));
+  for (int i = 0; i < n; ++i) {
+    participants_[static_cast<size_t>(i)].skill =
+        skills[static_cast<size_t>(i)];
+  }
+
+  const int round_index = rounds_advanced();
+  CohortRound round;
+  round.keys.reserve(static_cast<size_t>(n));
+  for (const CohortParticipant& participant : participants_) {
+    round.keys.push_back(participant.key);
+  }
+  round.assignment.assign(static_cast<size_t>(n), 0);
+  for (size_t g = 0; g < grouping.groups.size(); ++g) {
+    for (int id : grouping.groups[g]) {
+      round.assignment[static_cast<size_t>(id)] = static_cast<int>(g);
+    }
+  }
+  round.num_groups = grouping.num_groups();
+  round.gain = round_gain;
+  rounds_.push_back(std::move(round));
+
+  TDG_OBS_COUNTER_ADD("serve/cohort_rounds", 1);
+  TDG_OBS_HISTOGRAM_RECORD("serve/round_gain", round_gain);
+  RecordGroupGainSummary(round_index, group_gains);
+  if (blackbox) {
+    TDG_BLACKBOX(obs::BlackboxEventType::kCohortRound,
+                 static_cast<double>(id_hash_),
+                 static_cast<double>(round_index), static_cast<double>(n),
+                 round_gain);
+  }
+  return round_gain;
+}
+
+}  // namespace tdg::serve

@@ -1,0 +1,109 @@
+#ifndef TDG_SERVE_COHORT_SERVER_H_
+#define TDG_SERVE_COHORT_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/run_manifest.h"
+#include "serve/cohort_manager.h"
+#include "util/net.h"
+#include "util/statusor.h"
+
+namespace tdg::serve {
+
+/// The grouping-as-a-service front end (DESIGN.md §13): an HTTP/1.1 server
+/// over a CohortManager, built on the same util::net machinery as
+/// obs::StatsServer but with a worker pool — cohort operations take locks
+/// and write journals, so one slow request must not head-of-line-block the
+/// monitoring scrapes. One accept-loop thread hands connections to
+/// `num_workers` handler threads; loopback only, `Connection: close`.
+///
+/// Endpoints (JSON in, JSON out):
+///   GET  /healthz                    200 "ok"
+///   GET  /metrics                    Prometheus text (registry + serve
+///                                    gauges: cohorts, resident
+///                                    participants)
+///   GET  /statusz                    manifest + uptime + request counts
+///   GET  /cohorts                    {"cohorts":[summary...]}
+///   POST /cohorts                    {"id","config","participants"} → 201
+///   GET  /cohorts/<id>               one summary
+///   POST /cohorts/<id>/advance       {} → {"gain","round"}
+///   GET  /cohorts/<id>/rounds/<t>    the canonical round JSON
+///                                    (CohortRoundToJson)
+///   POST /cohorts/<id>/join          {"key","skill"}
+///   POST /cohorts/<id>/leave         {"key"}
+///
+/// Error mapping: read/parse failures use util::net's contract (400 / 408 /
+/// 413 / 501); application errors map NotFound → 404, FailedPrecondition
+/// → 409, InvalidArgument → 400, anything else → 500. Every response
+/// carries {"error": message} JSON.
+class CohortServer {
+ public:
+  struct Options {
+    /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+    int port = 0;
+    /// When non-empty, the bound port is written here (atomic replace).
+    std::string port_file;
+    /// Handler threads. Requests queue (unbounded) when all are busy.
+    int num_workers = 4;
+    /// Per-request read bounds (the fuzz/battery knobs).
+    util::net::HttpLimits limits;
+    /// Provenance served on /statusz; captured at Start when left default.
+    obs::RunManifest manifest;
+  };
+
+  /// Binds, writes the port file, and launches the accept loop + workers.
+  /// `manager` is borrowed and must outlive the server.
+  static util::StatusOr<std::unique_ptr<CohortServer>> Start(
+      CohortManager* manager, Options options);
+
+  ~CohortServer() { Stop(); }
+
+  CohortServer(const CohortServer&) = delete;
+  CohortServer& operator=(const CohortServer&) = delete;
+
+  /// The actually bound port (resolves port 0 requests).
+  int port() const { return listener_.port(); }
+
+  int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting, drains queued connections, joins all threads.
+  /// Idempotent.
+  void Stop();
+
+ private:
+  CohortServer(CohortManager* manager, Options options)
+      : manager_(manager), options_(std::move(options)) {}
+
+  void AcceptLoop();
+  void WorkerLoop();
+  void HandleConnection(util::net::Socket connection);
+  std::string Route(const util::net::HttpRequest& request,
+                    std::string* endpoint_label);
+
+  CohortManager* manager_;  // not owned
+  Options options_;
+  util::net::ServerSocket listener_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> stop_{false};
+  std::atomic<int64_t> requests_served_{0};
+  int64_t start_micros_ = 0;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<util::net::Socket> queue_;
+};
+
+}  // namespace tdg::serve
+
+#endif  // TDG_SERVE_COHORT_SERVER_H_

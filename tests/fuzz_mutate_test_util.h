@@ -1,0 +1,67 @@
+// The deterministic mutation harness shared by the fuzz suites
+// (parser_fuzz_test, serve_http_fuzz_test). Header-only; included from the
+// *_test.cc files that tests/CMakeLists.txt globs into tdg_tests.
+#ifndef TDG_TESTS_FUZZ_MUTATE_TEST_UTIL_H_
+#define TDG_TESTS_FUZZ_MUTATE_TEST_UTIL_H_
+
+#include <cstddef>
+#include <string>
+
+#include "random/rng.h"
+
+namespace tdg::test {
+
+/// Applies 1..8 random mutations: byte flip, insert, erase, truncate,
+/// splice a fragment of a donor document, or duplicate a span of itself.
+/// Mutated bytes cover the full 0..255 range (NUL, high bit set, ...).
+/// Deterministic for a given RNG state — the corpus is identical on every
+/// run and platform (the point of xoshiro over std::random_device).
+inline std::string Mutate(random::Rng& rng, std::string text,
+                          const std::string& donor) {
+  uint64_t mutations = 1 + rng.NextBounded(8);
+  for (uint64_t m = 0; m < mutations; ++m) {
+    if (text.empty()) {
+      text.push_back(static_cast<char>(rng.NextBounded(256)));
+      continue;
+    }
+    auto offset = [&rng](size_t bound) {
+      return static_cast<std::ptrdiff_t>(rng.NextBounded(bound));
+    };
+    switch (rng.NextBounded(6)) {
+      case 0:
+        text[rng.NextBounded(text.size())] =
+            static_cast<char>(rng.NextBounded(256));
+        break;
+      case 1:
+        text.insert(text.begin() + offset(text.size() + 1),
+                    static_cast<char>(rng.NextBounded(256)));
+        break;
+      case 2:
+        text.erase(text.begin() + offset(text.size()));
+        break;
+      case 3:
+        text.resize(rng.NextBounded(text.size() + 1));
+        break;
+      case 4: {
+        if (donor.empty()) break;
+        size_t start = rng.NextBounded(donor.size());
+        size_t len = rng.NextBounded(donor.size() - start + 1);
+        text.insert(rng.NextBounded(text.size() + 1),
+                    donor.substr(start, len));
+        break;
+      }
+      default: {
+        size_t start = rng.NextBounded(text.size());
+        size_t len = rng.NextBounded(text.size() - start + 1);
+        text.insert(rng.NextBounded(text.size() + 1),
+                    text.substr(start, len));
+        break;
+      }
+    }
+  }
+  return text;
+}
+
+}  // namespace tdg::test
+
+#endif  // TDG_TESTS_FUZZ_MUTATE_TEST_UTIL_H_

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 #include <thread>
 
@@ -85,6 +86,42 @@ TEST(NetTest, ConnectToUnboundPortFails) {
   }
   auto client = ConnectLoopback(dead_port, /*timeout_ms=*/500);
   EXPECT_FALSE(client.ok());
+}
+
+TEST(NetTest, ReadUntilTimeoutIsATotalDeadlineNotAProgressWindow) {
+  auto server = ServerSocket::Listen(0);
+  ASSERT_TRUE(server.ok()) << server.status();
+
+  // A dribbling client: one byte at a time, each within the old per-chunk
+  // window, never sending the delimiter. Under progress-window semantics
+  // this held the socket open forever (each byte reset the clock); under
+  // total-deadline semantics the read fails once ~250 ms have elapsed,
+  // regardless of how often bytes keep arriving.
+  std::thread peer([port = server->port()] {
+    auto client = ConnectLoopback(port);
+    ASSERT_TRUE(client.ok()) << client.status();
+    for (int i = 0; i < 20; ++i) {
+      if (!client->WriteAll("x").ok()) break;  // reader gave up — done
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+
+  auto connection = server->AcceptWithTimeout(/*timeout_ms=*/5000);
+  ASSERT_TRUE(connection.ok()) << connection.status();
+  ASSERT_TRUE(connection->is_open());
+  const auto begin = std::chrono::steady_clock::now();
+  auto request =
+      connection->ReadUntil("\r\n\r\n", 1 << 20, /*timeout_ms=*/250);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - begin);
+  EXPECT_FALSE(request.ok());
+  EXPECT_EQ(request.status().code(), StatusCode::kFailedPrecondition)
+      << request.status();
+  // Well under the 1000 ms the dribbler would sustain with per-chunk
+  // resets; generous upper bound for loaded CI machines.
+  EXPECT_LT(elapsed.count(), 900);
+  connection->Close();  // unblock the dribbler's next write
+  peer.join();
 }
 
 TEST(NetTest, HttpBodySplitsHeadersFromPayload) {

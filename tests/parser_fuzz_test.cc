@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "fuzz_mutate_test_util.h"
 #include "random/rng.h"
 #include "util/csv.h"
 #include "util/json.h"
@@ -101,54 +102,9 @@ std::string RandomCsv(random::Rng& rng) {
   return doc.ToString();
 }
 
-// Applies 1..8 random mutations: byte flip, insert, erase, truncate,
-// splice a fragment of a donor document, or duplicate a span of itself.
-// Mutated bytes cover the full 0..255 range (NUL, high bit set, ...).
-std::string Mutate(random::Rng& rng, std::string text,
-                   const std::string& donor) {
-  uint64_t mutations = 1 + rng.NextBounded(8);
-  for (uint64_t m = 0; m < mutations; ++m) {
-    if (text.empty()) {
-      text.push_back(static_cast<char>(rng.NextBounded(256)));
-      continue;
-    }
-    auto offset = [&rng](size_t bound) {
-      return static_cast<std::ptrdiff_t>(rng.NextBounded(bound));
-    };
-    switch (rng.NextBounded(6)) {
-      case 0:
-        text[rng.NextBounded(text.size())] =
-            static_cast<char>(rng.NextBounded(256));
-        break;
-      case 1:
-        text.insert(text.begin() + offset(text.size() + 1),
-                    static_cast<char>(rng.NextBounded(256)));
-        break;
-      case 2:
-        text.erase(text.begin() + offset(text.size()));
-        break;
-      case 3:
-        text.resize(rng.NextBounded(text.size() + 1));
-        break;
-      case 4: {
-        if (donor.empty()) break;
-        size_t start = rng.NextBounded(donor.size());
-        size_t len = rng.NextBounded(donor.size() - start + 1);
-        text.insert(rng.NextBounded(text.size() + 1),
-                    donor.substr(start, len));
-        break;
-      }
-      default: {
-        size_t start = rng.NextBounded(text.size());
-        size_t len = rng.NextBounded(text.size() - start + 1);
-        text.insert(rng.NextBounded(text.size() + 1),
-                    text.substr(start, len));
-        break;
-      }
-    }
-  }
-  return text;
-}
+// The mutation harness lives in fuzz_mutate_test_util.h (shared with the
+// HTTP request fuzz suite); alias it into this file's historical name.
+using test::Mutate;
 
 // --- JSON -----------------------------------------------------------------
 
