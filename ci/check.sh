@@ -3,7 +3,7 @@
 #
 #   ci/check.sh            run the full matrix (asan, ubsan, tsan, obs-off,
 #                          bench-smoke, crash-resume, monitor, profile, soa,
-#                          blackbox, serve)
+#                          blackbox, serve, tracing)
 #   ci/check.sh asan       run one configuration
 #
 # Configurations:
@@ -64,6 +64,18 @@
 #            require every served round to be byte-identical to an offline
 #            replay — the batch RunProcess driver for the churn-free
 #            schedule, a local serve::Cohort for the churny one
+#   tracing  request-tracing e2e (DESIGN.md §14): run the windowed-
+#            histogram / request-context / tail-sampler / serve-telemetry
+#            suites under asan (with the latency-injection hook compiled
+#            in) and tsan, then a CLI e2e: start tdg_serve with a low
+#            /slowz threshold, an injected slow advance
+#            (TDG_TEST_SLOW_ADVANCE_MICROS), and --blackbox; drive
+#            traffic; curl /tracez and /slowz mid-traffic and require the
+#            slowed advance's per-phase breakdown (lock wait, journal
+#            fsync, compute); check `tdg_servectl stats` renders the
+#            rolling windows and /metrics exports the windowed p99; then
+#            shut down and resolve a /tracez id to the same request's
+#            records in the black-box dump via `tdg_blackbox --trace_id`
 #
 # Build trees live under build-ci/<config> so they never disturb ./build.
 
@@ -101,7 +113,7 @@ ctest_args() {
     # multi-worker HTTP server, per-cohort locks, and journal appends under
     # concurrent clients — the serving plane's whole thread-safety story.
     tsan)
-      echo "-R ThreadPool|ParallelFor|Obs|Trace|Sweep|Logging|ParallelSolver|ParserFuzz|BranchBound|BruteForce|SimulatedAnnealing|EventLog|WorkStealQueue|FileUtil|Net|StatsServer|Prometheus|Progress|Heartbeat|Soa|Arena|SummationOrder|FlightRecorder|Blackbox|RecordRing|MmapFile|Serve|HttpRequest"
+      echo "-R ThreadPool|ParallelFor|Obs|Trace|Sweep|Logging|ParallelSolver|ParserFuzz|BranchBound|BruteForce|SimulatedAnnealing|EventLog|WorkStealQueue|FileUtil|Net|StatsServer|Prometheus|Progress|Heartbeat|Soa|Arena|SummationOrder|FlightRecorder|Blackbox|RecordRing|MmapFile|Serve|HttpRequest|RequestContext|Windowed|TailSampler"
       ;;
     crash-resume)
       echo "-R SweepShard|SweepCrash|SweepTornWrite|FileUtil|CheckDeathTest|LoggingDeathTest"
@@ -718,6 +730,130 @@ EOF
   echo "==> [serve] OK"
 }
 
+run_tracing() {
+  command -v curl >/dev/null || { echo "curl not found" >&2; exit 1; }
+  # The tracing plane's suites under both sanitizers: asan (with the
+  # latency-injection hook, which the e2e below needs anyway) for the
+  # sampler/window memory story, tsan for contexts hopping worker threads
+  # and concurrent Offer/Snapshot against live traffic.
+  local filter='RequestContext|TailSampler|Windowed|ServeTelemetry|ServeSoak'
+  local asan_dir="build-ci/tracing"
+  echo "==> [tracing] configure (asan + test hooks)"
+  cmake -B "${asan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTDG_SANITIZE=address -DTDG_TEST_HOOKS=ON >/dev/null
+  echo "==> [tracing] build (asan)"
+  cmake --build "${asan_dir}" -j "${JOBS}" \
+    --target tdg_tests tdg_serve tdg_servectl tdg_blackbox >/dev/null
+  echo "==> [tracing] tracing suites (asan)"
+  (cd "${asan_dir}" && ctest --output-on-failure -j "${JOBS}" -R "${filter}")
+  echo "==> [tracing] tracing suites (tsan)"
+  local tsan_dir="build-ci/tracing-tsan"
+  cmake -B "${tsan_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTDG_SANITIZE=thread -DTDG_TEST_HOOKS=ON >/dev/null
+  cmake --build "${tsan_dir}" -j "${JOBS}" --target tdg_tests >/dev/null
+  (cd "${tsan_dir}" && ctest --output-on-failure -j "${JOBS}" -R "${filter}")
+
+  echo "==> [tracing] e2e: slow request through /slowz, /tracez, blackbox"
+  local work="${asan_dir}/e2e"
+  rm -rf "${work}"
+  mkdir -p "${work}"
+  local serve="${asan_dir}/examples/tdg_serve"
+  local ctl="${asan_dir}/examples/tdg_servectl"
+  local decode="${asan_dir}/examples/tdg_blackbox"
+
+  cat > "${work}/traffic.json" <<'EOF'
+{
+  "id": "traced",
+  "config": {"group_size": 3, "policy": "star", "mode": "star",
+             "learning_rate": 0.25, "seed": 7},
+  "participants": [
+    {"key": "t0", "skill": 1.0}, {"key": "t1", "skill": 1.5},
+    {"key": "t2", "skill": 2.0}, {"key": "t3", "skill": 2.5},
+    {"key": "t4", "skill": 3.0}, {"key": "t5", "skill": 3.5},
+    {"key": "t6", "skill": 4.0}, {"key": "t7", "skill": 4.5},
+    {"key": "t8", "skill": 5.0}
+  ],
+  "ops": [
+    {"op": "advance"}, {"op": "advance"}, {"op": "advance"},
+    {"op": "advance"}, {"op": "advance"}
+  ]
+}
+EOF
+
+  # Every advance stalls 30 ms in the compute phase (the injected slow
+  # request), far over the 5 ms /slowz threshold.
+  TDG_TEST_SLOW_ADVANCE_MICROS=30000 \
+    "${serve}" --state_dir="${work}/state" --port_file="${work}/port" \
+    --slow_micros=5000 --blackbox="${work}/serve.blackbox" \
+    > "${work}/serve.log" 2>&1 &
+  local serve_pid=$!
+  local port=""
+  for _ in $(seq 1 100); do
+    [[ -s "${work}/port" ]] && { port="$(cat "${work}/port")"; break; }
+    sleep 0.1
+  done
+  if [[ -z "${port}" ]]; then
+    echo "tdg_serve never wrote its port file" >&2
+    kill "${serve_pid}" 2>/dev/null || true
+    exit 1
+  fi
+  local base="http://127.0.0.1:${port}"
+
+  "${ctl}" run --port="${port}" --schedule="${work}/traffic.json"
+
+  echo "==> [tracing] /slowz carries the per-phase breakdown"
+  curl -sf "${base}/slowz" > "${work}/slowz.jsonl"
+  grep -q '"endpoint":"advance"' "${work}/slowz.jsonl"
+  grep -q '"slow":true' "${work}/slowz.jsonl"
+  grep -q '"lock_wait_micros":' "${work}/slowz.jsonl"
+  grep -q '"journal_fsync_micros":' "${work}/slowz.jsonl"
+  grep -q '"serialize_micros":' "${work}/slowz.jsonl"
+  # The injected 30 ms stall lands in the compute phase: at least one slow
+  # advance charged >= 30000 us to compute.
+  grep '"endpoint":"advance"' "${work}/slowz.jsonl" \
+    | grep -Eq '"compute_micros":([3-9][0-9]{4}|[0-9]{6,})' || {
+    echo "/slowz shows no advance with the injected compute stall" >&2
+    exit 1
+  }
+
+  echo "==> [tracing] /metrics exports the rolling windowed p99"
+  curl -sf "${base}/metrics" > "${work}/metrics.prom"
+  grep -q 'tdg_serve_latency_seconds{' "${work}/metrics.prom"
+  grep 'tdg_serve_latency_seconds{' "${work}/metrics.prom" \
+    | grep 'endpoint="advance"' | grep 'window="1m"' \
+    | grep -q 'quantile="p99"'
+  grep -q 'tdg_serve_latency_seconds_qps{' "${work}/metrics.prom"
+
+  echo "==> [tracing] tdg_servectl stats renders the windows"
+  "${ctl}" stats --port="${port}" > "${work}/stats.txt"
+  grep -q 'p99_ms' "${work}/stats.txt"
+  grep 'advance' "${work}/stats.txt" | grep -q '1m'
+
+  echo "==> [tracing] /tracez id resolves in the black-box dump"
+  curl -sf "${base}/tracez" > "${work}/tracez.json"
+  local trace_id
+  trace_id="$(sed -E \
+    's/.*"endpoint":"advance"[^}]*"trace_id":([0-9]+).*/\1/' \
+    "${work}/tracez.json")"
+  if ! [[ "${trace_id}" =~ ^[0-9]+$ ]]; then
+    echo "could not extract an advance trace id from /tracez" >&2
+    exit 1
+  fi
+  kill "${serve_pid}"
+  wait "${serve_pid}" || {
+    echo "tdg_serve did not shut down cleanly" >&2; exit 1; }
+  "${decode}" --trace_id="${trace_id}" --jsonl "${work}/serve.blackbox" \
+    > "${work}/trace.jsonl"
+  grep -q '"event":"request_start"' "${work}/trace.jsonl"
+  grep -q '"event":"request_end"' "${work}/trace.jsonl"
+  grep -q "\"trace_id\":${trace_id}" "${work}/trace.jsonl"
+  # The same id narrows the Chrome trace to one request's B/E slice.
+  "${decode}" --trace_id="${trace_id}" --trace="${work}/trace.chrome.json" \
+    "${work}/serve.blackbox"
+  grep -q "req ${trace_id}" "${work}/trace.chrome.json"
+  echo "==> [tracing] OK"
+}
+
 run_config() {
   local config="$1"
   if [[ "${config}" == "bench-smoke" ]]; then
@@ -748,6 +884,10 @@ run_config() {
     run_serve
     return
   fi
+  if [[ "${config}" == "tracing" ]]; then
+    run_tracing
+    return
+  fi
   local build_dir="build-ci/${config}"
   echo "==> [${config}] configure"
   cmake -B "${build_dir}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -765,7 +905,7 @@ if [[ $# -gt 0 ]]; then
   for config in "$@"; do run_config "${config}"; done
 else
   for config in asan ubsan tsan obs-off bench-smoke crash-resume monitor \
-      profile soa blackbox serve; do
+      profile soa blackbox serve tracing; do
     run_config "${config}"
   done
 fi

@@ -7,6 +7,12 @@
 //   tdg_blackbox --trace=OUT DUMP.bin     Chrome trace_event JSON (load in
 //                                         chrome://tracing / Perfetto)
 //   tdg_blackbox --tail=N DUMP.bin        rows in the summary tail
+//   tdg_blackbox --trace_id=ID DUMP.bin   narrow any mode above to one
+//                                         served request: its request_
+//                                         start/phase/end records plus
+//                                         everything its thread recorded
+//                                         while the request ran (e.g. the
+//                                         cohort_round the core emitted)
 //
 // The dump is written through a shared file mapping, so it is current even
 // when the recording process died by kill -9 — a dump without the
@@ -18,6 +24,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/flight_recorder.h"
@@ -37,8 +44,50 @@ int Usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  tdg_blackbox [--jsonl[=OUT]] [--trace=OUT] [--tail=N] "
-               "DUMP.bin\n");
+               "[--trace_id=ID] DUMP.bin\n");
   return 2;
+}
+
+bool IsRequestEvent(const BlackboxEvent& event) {
+  return event.type == BlackboxEventType::kRequestStart ||
+         event.type == BlackboxEventType::kRequestPhase ||
+         event.type == BlackboxEventType::kRequestEnd;
+}
+
+// Narrows the dump to one request's causal path: the request_start/phase/
+// end records carrying `trace_id` plus every event the same thread
+// recorded inside the request's [start, end] window — which is where the
+// core's cohort_round / cohort_churn records land, since the serving plane
+// runs a request start-to-finish on one worker thread.
+void FilterTraceId(BlackboxDump* dump, unsigned long long trace_id) {
+  bool have_window = false;
+  std::int64_t window_begin = 0;
+  std::int64_t window_end = 0;
+  std::uint32_t request_tid = 0;
+  for (const BlackboxEvent& event : dump->events) {
+    if (!IsRequestEvent(event) ||
+        static_cast<unsigned long long>(event.values[0]) != trace_id) {
+      continue;
+    }
+    if (!have_window) {
+      have_window = true;
+      window_begin = event.ts_micros;
+      request_tid = event.tid;
+    }
+    if (event.ts_micros < window_begin) window_begin = event.ts_micros;
+    if (event.ts_micros > window_end) window_end = event.ts_micros;
+  }
+  std::vector<BlackboxEvent> kept;
+  for (const BlackboxEvent& event : dump->events) {
+    const bool owns_id =
+        IsRequestEvent(event) &&
+        static_cast<unsigned long long>(event.values[0]) == trace_id;
+    const bool in_thread_window =
+        have_window && !IsRequestEvent(event) && event.tid == request_tid &&
+        event.ts_micros >= window_begin && event.ts_micros <= window_end;
+    if (owns_id || in_thread_window) kept.push_back(event);
+  }
+  dump->events = std::move(kept);
 }
 
 std::string EventsJsonl(const BlackboxDump& dump) {
@@ -60,10 +109,19 @@ std::string EventsChromeTrace(const BlackboxDump& dump) {
     const char* phase = "i";
     if (event.type == BlackboxEventType::kSweepCellStart) phase = "B";
     if (event.type == BlackboxEventType::kSweepCellEnd) phase = "E";
+    // Served requests render as duration slices too, named by trace id so
+    // one request's span lines up with the instants it encloses.
+    if (event.type == BlackboxEventType::kRequestStart) phase = "B";
+    if (event.type == BlackboxEventType::kRequestEnd) phase = "E";
     std::string label(name.empty() ? "unknown" : name);
     if (event.type == BlackboxEventType::kSweepCellStart ||
         event.type == BlackboxEventType::kSweepCellEnd) {
       label = tdg::util::StrFormat("cell %lld",
+                                   static_cast<long long>(event.values[0]));
+    }
+    if (event.type == BlackboxEventType::kRequestStart ||
+        event.type == BlackboxEventType::kRequestEnd) {
+      label = tdg::util::StrFormat("req %lld",
                                    static_cast<long long>(event.values[0]));
     }
     if (!first) out += ",";
@@ -136,6 +194,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "tdg_blackbox: %s\n",
                  dump.status().ToString().c_str());
     return 2;
+  }
+  const long long trace_id = flags.GetInt("trace_id", 0);
+  if (trace_id != 0) {
+    FilterTraceId(&dump.value(),
+                  static_cast<unsigned long long>(trace_id));
   }
 
   bool emitted = false;

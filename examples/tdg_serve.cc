@@ -3,6 +3,11 @@
 //
 //   tdg_serve --state_dir=DIR [--port=P] [--port_file=F] [--workers=N]
 //             [--blackbox=DUMP.bin] [--no_metrics]
+//             [--slow_micros=T] [--slow_sample_n=N]
+//
+// --slow_micros sets the /slowz tail-sampling threshold (default 100000 =
+// 100 ms; 0 keeps every request); --slow_sample_n keeps every Nth request
+// regardless of latency (default 64, 0 disables the sample leg).
 //
 // Binds 127.0.0.1 only. --port=0 (the default) picks an ephemeral port;
 // scripts discover it through --port_file. --state_dir enables the
@@ -38,7 +43,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: tdg_serve --state_dir=DIR [--port=P] "
                  "[--port_file=F] [--workers=N] [--blackbox=DUMP.bin] "
-                 "[--no_metrics]\n");
+                 "[--no_metrics] [--slow_micros=T] [--slow_sample_n=N]\n");
     return 2;
   }
   if (flags.GetBool("no_metrics", false)) {
@@ -70,6 +75,10 @@ int main(int argc, char** argv) {
   server_options.port = static_cast<int>(flags.GetInt("port", 0));
   server_options.port_file = flags.GetString("port_file", "");
   server_options.num_workers = static_cast<int>(flags.GetInt("workers", 4));
+  server_options.tail.slow_threshold_micros =
+      flags.GetInt("slow_micros", server_options.tail.slow_threshold_micros);
+  server_options.tail.sample_every = static_cast<int>(
+      flags.GetInt("slow_sample_n", server_options.tail.sample_every));
   auto server =
       tdg::serve::CohortServer::Start(manager->get(), server_options);
   if (!server.ok()) {

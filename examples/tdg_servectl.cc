@@ -9,6 +9,11 @@
 //       Fetches every advanced round of a cohort and prints each as one
 //       compact JSON line — the canonical CohortRoundToJson form.
 //
+//   tdg_servectl stats --port=P
+//       Fetches /statusz from a running server and prints the rolling
+//       windowed latency/QPS table (10s/1m/5m per endpoint, latencies in
+//       milliseconds) plus the headline serving counters.
+//
 //   tdg_servectl offline --schedule=S.json --via=cohort|process [--to=J]
 //       Replays the same schedule without a server and prints the same
 //       JSON lines. --via=cohort drives a local serve::Cohort (any
@@ -40,6 +45,7 @@
 #include "util/json.h"
 #include "util/net.h"
 #include "util/string_util.h"
+#include "util/table_printer.h"
 
 namespace {
 
@@ -57,6 +63,7 @@ int Usage() {
       "usage:\n"
       "  tdg_servectl run --port=P --schedule=S.json [--from=I] [--to=J]\n"
       "  tdg_servectl dump --port=P --id=ID\n"
+      "  tdg_servectl stats --port=P\n"
       "  tdg_servectl offline --schedule=S.json --via=cohort|process "
       "[--to=J]\n");
   return 2;
@@ -239,6 +246,56 @@ int Dump(const tdg::util::FlagParser& flags) {
   return 0;
 }
 
+int Stats(const tdg::util::FlagParser& flags) {
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  if (port <= 0) return Usage();
+  auto statusz = GetJson(port, "/statusz");
+  if (!statusz.ok()) return Fail(statusz.status());
+
+  auto headline = [&](const char* field) -> std::string {
+    auto value = statusz->GetField(field);
+    if (!value.ok()) return "?";
+    return value->is_number()
+               ? tdg::util::FormatDouble(value->AsNumber(), 2)
+               : value->Serialize();
+  };
+  std::printf("cohorts=%s participants=%s requests_served=%s "
+              "uptime_seconds=%s\n",
+              headline("cohorts").c_str(),
+              headline("resident_participants").c_str(),
+              headline("requests_served").c_str(),
+              headline("uptime_seconds").c_str());
+
+  auto windows = statusz->GetField("windows");
+  if (!windows.ok() || !windows->is_object()) {
+    return Fail(Status::Internal(
+        "/statusz has no 'windows' (server predates windowed telemetry?)"));
+  }
+  tdg::util::TablePrinter table({"endpoint", "window", "qps", "count",
+                                 "error_rate", "p50_ms", "p95_ms",
+                                 "p99_ms"});
+  auto number = [](const JsonValue& entry, const char* field) {
+    auto value = entry.GetField(field);
+    return value.ok() && value->is_number() ? value->AsNumber() : 0.0;
+  };
+  for (const auto& [endpoint, per_window] : windows->AsObject()) {
+    if (!per_window.is_object()) continue;
+    for (const auto& [label, entry] : per_window.AsObject()) {
+      if (!entry.is_object()) continue;
+      // /statusz latencies are seconds; print milliseconds.
+      table.AddRow(
+          {endpoint, label, tdg::util::FormatDouble(number(entry, "qps"), 2),
+           tdg::util::FormatDouble(number(entry, "count"), 0),
+           tdg::util::FormatDouble(number(entry, "error_rate"), 3),
+           tdg::util::FormatDouble(number(entry, "p50") * 1e3, 3),
+           tdg::util::FormatDouble(number(entry, "p95") * 1e3, 3),
+           tdg::util::FormatDouble(number(entry, "p99") * 1e3, 3)});
+    }
+  }
+  std::printf("%s", table.ToString().c_str());
+  return 0;
+}
+
 int OfflineViaCohort(const Schedule& schedule, long long to) {
   auto cohort =
       Cohort::Create(schedule.id, schedule.config, schedule.participants);
@@ -354,6 +411,7 @@ int main(int argc, char** argv) {
   const std::string& command = flags.positional()[0];
   if (command == "run") return Run(flags);
   if (command == "dump") return Dump(flags);
+  if (command == "stats") return Stats(flags);
   if (command == "offline") return Offline(flags);
   return Usage();
 }

@@ -321,6 +321,12 @@ std::string_view BlackboxEventName(BlackboxEventType type) {
       return "cohort_churn";
     case BlackboxEventType::kCohortRestore:
       return "cohort_restore";
+    case BlackboxEventType::kRequestStart:
+      return "request_start";
+    case BlackboxEventType::kRequestPhase:
+      return "request_phase";
+    case BlackboxEventType::kRequestEnd:
+      return "request_end";
   }
   return {};
 }
@@ -358,6 +364,12 @@ std::vector<std::string_view> BlackboxEventFieldNames(
       return {"cohort", "round", "joined", "left", "n"};
     case BlackboxEventType::kCohortRestore:
       return {"cohort", "rounds", "n"};
+    case BlackboxEventType::kRequestStart:
+      return {"trace_id", "endpoint"};
+    case BlackboxEventType::kRequestPhase:
+      return {"trace_id", "phase", "micros"};
+    case BlackboxEventType::kRequestEnd:
+      return {"trace_id", "status", "micros", "endpoint"};
   }
   return {};
 }

@@ -61,6 +61,9 @@ enum class BlackboxEventType : std::uint8_t {
   kCohortRound = 13,     // cohort, round, n, round_gain
   kCohortChurn = 14,     // cohort, round, joined, left, n
   kCohortRestore = 15,   // cohort, rounds, n (journal replay on restart)
+  kRequestStart = 16,    // trace_id, endpoint (request_context.h)
+  kRequestPhase = 17,    // trace_id, phase, micros (one per timed phase)
+  kRequestEnd = 18,      // trace_id, status, micros, endpoint
 };
 
 /// Decoder-facing name ("round_end") and named payload slots for a type;

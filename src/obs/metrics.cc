@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/windowed_histogram.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -163,6 +164,8 @@ MetricsRegistry& MetricsRegistry::Global() {
   return *kRegistry;
 }
 
+MetricsRegistry::~MetricsRegistry() = default;
+
 Counter& MetricsRegistry::GetCounter(std::string_view name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
@@ -187,6 +190,21 @@ Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+WindowedHistogram& MetricsRegistry::GetWindowed(std::string_view name,
+                                                double output_scale) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = windowed_.find(name);
+  if (it == windowed_.end()) {
+    WindowedHistogram::Options options;
+    options.output_scale = output_scale;
+    it = windowed_
+             .emplace(std::string(name),
+                      std::make_unique<WindowedHistogram>(options))
              .first;
   }
   return *it->second;
@@ -236,6 +254,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     }
     snapshot.histograms[name] = stats;
   }
+  for (const auto& [name, windowed] : windowed_) {
+    snapshot.windowed[name] = windowed->Snapshot();
+  }
   return snapshot;
 }
 
@@ -253,6 +274,7 @@ void MetricsRegistry::Reset() {
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();
+  for (auto& [name, windowed] : windowed_) windowed->Reset();
 }
 
 util::JsonValue MetricsSnapshot::ToJson() const {
@@ -289,6 +311,25 @@ util::JsonValue MetricsSnapshot::ToJson() const {
     entry.Set("buckets", std::move(buckets));
     histograms_json.Set(name, std::move(entry));
   }
+  util::JsonValue windowed_json = util::JsonValue::MakeObject();
+  for (const auto& [name, stats] : windowed) {
+    util::JsonValue windows = util::JsonValue::MakeObject();
+    for (const WindowStats& w : stats.windows) {
+      util::JsonValue entry = util::JsonValue::MakeObject();
+      entry.Set("count", static_cast<long long>(w.count));
+      entry.Set("errors", static_cast<long long>(w.errors));
+      entry.Set("qps", w.qps);
+      entry.Set("error_rate", w.error_rate);
+      entry.Set("min", w.min);
+      entry.Set("max", w.max);
+      entry.Set("mean", w.mean);
+      entry.Set("p50", w.p50);
+      entry.Set("p95", w.p95);
+      entry.Set("p99", w.p99);
+      windows.Set(w.label, std::move(entry));
+    }
+    windowed_json.Set(name, std::move(windows));
+  }
   util::JsonValue root = util::JsonValue::MakeObject();
   if (!build_info.empty()) {
     util::JsonValue build_json = util::JsonValue::MakeObject();
@@ -298,6 +339,7 @@ util::JsonValue MetricsSnapshot::ToJson() const {
   root.Set("counters", std::move(counters_json));
   root.Set("gauges", std::move(gauges_json));
   root.Set("histograms", std::move(histograms_json));
+  if (!windowed.empty()) root.Set("windowed", std::move(windowed_json));
   return root;
 }
 
@@ -337,6 +379,17 @@ util::CsvDocument MetricsSnapshot::ToCsv() const {
          fmt(stats.p95), fmt(stats.p99), buckets});
     TDG_CHECK(status.ok()) << status;
   }
+  for (const auto& [name, stats] : windowed) {
+    // One row per window, the label folded into the name; `value` carries
+    // the window's QPS (its headline rate).
+    for (const WindowStats& w : stats.windows) {
+      util::Status status = doc.AddRow(
+          {"windowed", name + "[" + w.label + "]", fmt(w.qps),
+           std::to_string(w.count), fmt(w.sum), fmt(w.mean), fmt(w.min),
+           fmt(w.max), fmt(w.p50), fmt(w.p95), fmt(w.p99), ""});
+      TDG_CHECK(status.ok()) << status;
+    }
+  }
   return doc;
 }
 
@@ -356,6 +409,13 @@ std::string MetricsSnapshot::ToTable(int digits) const {
     printer.AddRow({name, "histogram", "", std::to_string(stats.count),
                     fmt(stats.mean), fmt(stats.min), fmt(stats.max),
                     fmt(stats.p50), fmt(stats.p95), fmt(stats.p99)});
+  }
+  for (const auto& [name, stats] : windowed) {
+    for (const WindowStats& w : stats.windows) {
+      printer.AddRow({name + "[" + w.label + "]", "windowed", fmt(w.qps),
+                      std::to_string(w.count), fmt(w.mean), fmt(w.min),
+                      fmt(w.max), fmt(w.p50), fmt(w.p95), fmt(w.p99)});
+    }
   }
   return printer.ToString();
 }

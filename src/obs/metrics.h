@@ -17,6 +17,8 @@
 
 namespace tdg::obs {
 
+class WindowedHistogram;  // windowed_histogram.h
+
 /// Runtime kill switch for every metric mutation (Add/Set/Record). Reads and
 /// snapshots always work. Defaults to enabled. Cheap to query (one relaxed
 /// atomic load), so hot paths may call it freely.
@@ -130,6 +132,31 @@ struct GaugeStats {
   double max = 0;
 };
 
+/// One rolling window of a WindowedHistogram snapshot. Value-domain fields
+/// (min/max/mean/sum/quantiles) are already multiplied by the histogram's
+/// output_scale; qps is events per second over the full window span (not
+/// just the populated seconds).
+struct WindowStats {
+  int window_seconds = 0;
+  std::string label;  // "10s", "1m", "5m"
+  int64_t count = 0;
+  int64_t errors = 0;
+  double qps = 0;
+  double error_rate = 0;  // errors / count, 0 when empty
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+
+struct WindowedHistogramStats {
+  /// One entry per composed window, ascending by span.
+  std::vector<WindowStats> windows;
+};
+
 /// One cumulative histogram bucket in a snapshot: `count` samples at or
 /// below `upper_bound` (Prometheus `le` semantics). The final implicit
 /// "+Inf" bucket equals HistogramStats::count.
@@ -159,6 +186,8 @@ struct MetricsSnapshot {
   std::map<std::string, int64_t> counters;
   std::map<std::string, GaugeStats> gauges;
   std::map<std::string, HistogramStats> histograms;
+  /// Rolling-window views (WindowedHistogram), keyed by registry name.
+  std::map<std::string, WindowedHistogramStats> windowed;
   /// Static build provenance labels (git sha, compiler, build type — see
   /// MetricsRegistry::SetBuildInfo). Rendered as the `tdg_build_info` gauge
   /// on /metrics and a "build_info" object in the JSON export.
@@ -169,7 +198,8 @@ struct MetricsSnapshot {
   std::map<std::string, std::string> common_labels;
 
   bool empty() const {
-    return counters.empty() && gauges.empty() && histograms.empty();
+    return counters.empty() && gauges.empty() && histograms.empty() &&
+           windowed.empty();
   }
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
@@ -188,10 +218,16 @@ struct MetricsSnapshot {
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
+  ~MetricsRegistry();  // out-of-line: WindowedHistogram is incomplete here
 
   Counter& GetCounter(std::string_view name);
   Gauge& GetGauge(std::string_view name);
   Histogram& GetHistogram(std::string_view name);
+  /// Rolling-window histogram (windowed_histogram.h). `output_scale` is
+  /// applied only on first registration — later lookups of the same name
+  /// return the existing instance regardless of the argument.
+  WindowedHistogram& GetWindowed(std::string_view name,
+                                 double output_scale = 1.0);
 
   /// Attaches static key/value provenance labels to every later Snapshot()
   /// (the `build_info` convention: git sha, compiler, build type).
@@ -221,6 +257,8 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, std::unique_ptr<WindowedHistogram>, std::less<>>
+      windowed_;
   std::map<std::string, std::string> build_info_;
   std::map<std::string, std::string> common_labels_;
 };

@@ -40,7 +40,14 @@
 /// always-on black box: per-thread mmap-backed ring buffers of compact
 /// semantic events (round objectives, group churn, sweep cell boundaries)
 /// whose dump file survives kill -9, decoded by `tdg_blackbox` and tailed
-/// live on /blackboxz. See the which-tool-when table in README
+/// live on /blackboxz.
+///
+/// A sixth pillar — request-scoped serving telemetry (request_context.h,
+/// windowed_histogram.h, tail_sampler.h) — gives the cohort serving plane
+/// per-request trace ids threaded into the flight recorder, rolling
+/// 10s/1m/5m latency windows (p50/p95/p99, QPS, error rate) on /metrics
+/// and /statusz, and a bounded ring of slow-request phase breakdowns on
+/// /slowz with a /tracez index. See the which-tool-when table in README
 /// "Observability".
 
 #include "obs/bench_report.h"
@@ -53,9 +60,12 @@
 #include "obs/perf_profile.h"
 #include "obs/progress.h"
 #include "obs/prometheus.h"
+#include "obs/request_context.h"
 #include "obs/run_manifest.h"
 #include "obs/stats_server.h"
+#include "obs/tail_sampler.h"
 #include "obs/trace.h"
+#include "obs/windowed_histogram.h"
 #include "util/status.h"
 
 namespace tdg::obs {

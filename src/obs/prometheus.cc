@@ -1,5 +1,6 @@
 #include "obs/prometheus.h"
 
+#include <initializer_list>
 #include <map>
 #include <utility>
 #include <vector>
@@ -61,6 +62,16 @@ LabelSet MergeLabels(const LabelSet& common, const std::string& key,
                      const std::string& value) {
   std::map<std::string, std::string> merged(common.begin(), common.end());
   merged[key] = value;
+  return LabelSet(merged.begin(), merged.end());
+}
+
+LabelSet MergeLabels(const LabelSet& common,
+                     std::initializer_list<std::pair<const char*, std::string>>
+                         extra) {
+  std::map<std::string, std::string> merged(common.begin(), common.end());
+  for (const auto& [key, value] : extra) {
+    if (!value.empty()) merged[key] = value;
+  }
   return LabelSet(merged.begin(), merged.end());
 }
 
@@ -181,6 +192,63 @@ std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
     AppendSample(out, family + "_sum", common, FormatValue(stats.sum));
     AppendSample(out, family + "_count", common,
                  std::to_string(stats.count));
+  }
+  // Windowed histograms follow the "<family>/<endpoint>" registry naming
+  // convention (serve/latency_seconds/advance): entries sharing a family
+  // render as ONE labeled gauge family — quantiles as
+  // tdg_<family>{endpoint=...,quantile="p99",window="1m"} plus _qps and
+  // _error_rate companions — so a dashboard selects across endpoints and
+  // windows by label, never by metric name. A name without '/' renders
+  // without the endpoint label.
+  std::map<std::string,
+           std::vector<std::pair<std::string, const WindowedHistogramStats*>>>
+      windowed_families;
+  for (const auto& [name, stats] : snapshot.windowed) {
+    const size_t last_slash = name.rfind('/');
+    std::string base = name;
+    std::string endpoint;
+    if (last_slash != std::string::npos && last_slash + 1 < name.size()) {
+      base = name.substr(0, last_slash);
+      endpoint = name.substr(last_slash + 1);
+    }
+    windowed_families[base].emplace_back(endpoint, &stats);
+  }
+  for (const auto& [base, endpoints] : windowed_families) {
+    const std::string family = PrometheusMetricName(base);
+    AppendFamilyHeader(out, family, "gauge");
+    for (const auto& [endpoint, stats] : endpoints) {
+      for (const WindowStats& w : stats->windows) {
+        const std::pair<const char*, double> quantiles[] = {
+            {"p50", w.p50}, {"p95", w.p95}, {"p99", w.p99}};
+        for (const auto& [quantile, value] : quantiles) {
+          AppendSample(out, family,
+                       MergeLabels(common, {{"endpoint", endpoint},
+                                            {"quantile", quantile},
+                                            {"window", w.label}}),
+                       FormatValue(value));
+        }
+      }
+    }
+    AppendFamilyHeader(out, family + "_qps", "gauge");
+    for (const auto& [endpoint, stats] : endpoints) {
+      for (const WindowStats& w : stats->windows) {
+        AppendSample(
+            out, family + "_qps",
+            MergeLabels(common,
+                        {{"endpoint", endpoint}, {"window", w.label}}),
+            FormatValue(w.qps));
+      }
+    }
+    AppendFamilyHeader(out, family + "_error_rate", "gauge");
+    for (const auto& [endpoint, stats] : endpoints) {
+      for (const WindowStats& w : stats->windows) {
+        AppendSample(
+            out, family + "_error_rate",
+            MergeLabels(common,
+                        {{"endpoint", endpoint}, {"window", w.label}}),
+            FormatValue(w.error_rate));
+      }
+    }
   }
   return out;
 }

@@ -19,6 +19,11 @@ namespace tdg::obs {
 ///             lines over the populated buckets, closed by le="+Inf", plus
 ///             ..._sum and ..._count
 ///   build_info labels                  → tdg_build_info{key="value",…} 1
+///   windowed  "serve/latency_seconds/advance" → one labeled gauge family
+///             per "<family>/<endpoint>" base: tdg_serve_latency_seconds
+///             {endpoint="advance",quantile="p99",window="1m"} plus
+///             companion ..._qps and ..._error_rate gauges keyed by
+///             {endpoint,window}
 ///
 /// Characters outside [a-zA-Z0-9_:] are folded to '_' (two raw names that
 /// collide after folding share one metric family; registry names only use

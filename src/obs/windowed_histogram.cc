@@ -1,0 +1,164 @@
+#include "obs/windowed_histogram.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/stopwatch.h"
+
+namespace tdg::obs {
+namespace {
+
+// Epoch counts merged over one window span; the quantile walk below runs on
+// this instead of live atomics, but is otherwise Histogram::Quantile.
+struct MergedWindow {
+  int64_t count = 0;
+  int64_t errors = 0;
+  double sum = 0;
+  double min = 0;  // valid iff count > 0
+  double max = 0;
+  std::array<int64_t, WindowedHistogram::kNumBuckets> buckets{};
+};
+
+double MergedQuantile(const MergedWindow& merged, double q) {
+  q = std::clamp(q, 0.0, 1.0);
+  if (merged.count == 0) return 0.0;
+  // A single sample has no within-bucket spread: every quantile is the
+  // sample itself.
+  if (merged.count == 1) return merged.min;
+
+  int first_nonempty = -1;
+  int last_nonempty = -1;
+  for (int i = 0; i < WindowedHistogram::kNumBuckets; ++i) {
+    if (merged.buckets[i] > 0) {
+      if (first_nonempty < 0) first_nonempty = i;
+      last_nonempty = i;
+    }
+  }
+  double target = q * static_cast<double>(merged.count);
+  if (target < 1.0) target = 1.0;
+  int64_t cumulative = 0;
+  for (int i = 0; i < WindowedHistogram::kNumBuckets; ++i) {
+    if (merged.buckets[i] == 0) continue;
+    if (static_cast<double>(cumulative + merged.buckets[i]) >= target) {
+      double lo = Histogram::BucketLowerBound(i);
+      double hi = Histogram::BucketLowerBound(i + 1);
+      // Exact window extrema tighten the edge buckets, same as the
+      // cumulative histogram: no mass below min in the first populated
+      // bucket, none above max in the last.
+      if (i == first_nonempty) lo = std::max(lo, merged.min);
+      if (i == last_nonempty) hi = std::min(hi, merged.max);
+      double fraction = (target - static_cast<double>(cumulative)) /
+                        static_cast<double>(merged.buckets[i]);
+      double estimate = lo + fraction * (hi - lo);
+      return std::clamp(estimate, merged.min, merged.max);
+    }
+    cumulative += merged.buckets[i];
+  }
+  return merged.max;
+}
+
+}  // namespace
+
+std::string WindowLabel(int window_seconds) {
+  if (window_seconds >= 60 && window_seconds % 60 == 0) {
+    return std::to_string(window_seconds / 60) + "m";
+  }
+  return std::to_string(window_seconds) + "s";
+}
+
+WindowedHistogram::WindowedHistogram() : WindowedHistogram(Options{}) {}
+
+WindowedHistogram::WindowedHistogram(Options options)
+    : options_(options), ring_(kRingSeconds) {}
+
+void WindowedHistogram::Record(double value, bool error) {
+  RecordAt(util::MonotonicMicros(), value, error);
+}
+
+void WindowedHistogram::RecordAt(int64_t now_micros, double value,
+                                 bool error) {
+  if (!MetricsEnabled()) return;
+  const int64_t second = now_micros / 1000000;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Epoch& epoch = ring_[static_cast<size_t>(second % kRingSeconds)];
+  if (epoch.second != second) {
+    // Lazy rotation: the slot last belonged to `second - kRingSeconds` (or
+    // was never used) — reclaim it for the current second.
+    epoch = Epoch{};
+    epoch.second = second;
+  }
+  if (epoch.count == 0) {
+    epoch.min = value;
+    epoch.max = value;
+  } else {
+    epoch.min = std::min(epoch.min, value);
+    epoch.max = std::max(epoch.max, value);
+  }
+  ++epoch.count;
+  if (error) ++epoch.errors;
+  epoch.sum += value;
+  ++epoch.buckets[static_cast<size_t>(Histogram::BucketIndex(value))];
+}
+
+WindowedHistogramStats WindowedHistogram::Snapshot() const {
+  return SnapshotAt(util::MonotonicMicros());
+}
+
+WindowedHistogramStats WindowedHistogram::SnapshotAt(
+    int64_t now_micros) const {
+  const int64_t now_second = now_micros / 1000000;
+  const double scale = options_.output_scale;
+  std::lock_guard<std::mutex> lock(mutex_);
+  WindowedHistogramStats stats;
+  for (int window : kWindowSeconds) {
+    MergedWindow merged;
+    for (const Epoch& epoch : ring_) {
+      // Fold epochs in (now_second - window, now_second]: the current
+      // (partial) second plus the window - 1 before it. Stale stamps from
+      // a previous ring lap fall outside the range and are skipped.
+      if (epoch.second <= now_second - window || epoch.second > now_second) {
+        continue;
+      }
+      if (epoch.count == 0) continue;
+      if (merged.count == 0) {
+        merged.min = epoch.min;
+        merged.max = epoch.max;
+      } else {
+        merged.min = std::min(merged.min, epoch.min);
+        merged.max = std::max(merged.max, epoch.max);
+      }
+      merged.count += epoch.count;
+      merged.errors += epoch.errors;
+      merged.sum += epoch.sum;
+      for (int i = 0; i < kNumBuckets; ++i) {
+        merged.buckets[i] += epoch.buckets[i];
+      }
+    }
+    WindowStats w;
+    w.window_seconds = window;
+    w.label = WindowLabel(window);
+    w.count = merged.count;
+    w.errors = merged.errors;
+    w.qps = static_cast<double>(merged.count) / static_cast<double>(window);
+    if (merged.count > 0) {
+      const double count = static_cast<double>(merged.count);
+      w.error_rate = static_cast<double>(merged.errors) / count;
+      w.sum = merged.sum * scale;
+      w.min = merged.min * scale;
+      w.max = merged.max * scale;
+      w.mean = merged.sum / count * scale;
+      w.p50 = MergedQuantile(merged, 0.50) * scale;
+      w.p95 = MergedQuantile(merged, 0.95) * scale;
+      w.p99 = MergedQuantile(merged, 0.99) * scale;
+    }
+    stats.windows.push_back(std::move(w));
+  }
+  return stats;
+}
+
+void WindowedHistogram::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Epoch& epoch : ring_) epoch = Epoch{};
+}
+
+}  // namespace tdg::obs

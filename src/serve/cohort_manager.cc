@@ -10,8 +10,15 @@
 #include <cstring>
 #include <utility>
 
+#if defined(TDG_TEST_HOOKS)
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#endif
+
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/request_context.h"
 #include "obs/run_manifest.h"
 #include "util/string_util.h"
 
@@ -94,6 +101,22 @@ std::string AdvanceOpLine() {
   op.Set("op", "advance");
   return op.Serialize();
 }
+
+#if defined(TDG_TEST_HOOKS)
+/// Test-only latency injection (sweep_shard's TDG_TEST_CRASH_AFTER_CELLS
+/// idiom): TDG_TEST_SLOW_ADVANCE_MICROS=<n> stalls the compute phase of
+/// every Advance by n microseconds, giving the tracing CI e2e a
+/// deterministic slow request for /slowz to catch.
+void MaybeInjectSlowAdvance() {
+  static const long delay_micros = [] {
+    const char* value = std::getenv("TDG_TEST_SLOW_ADVANCE_MICROS");
+    return value != nullptr ? std::atol(value) : 0L;
+  }();
+  if (delay_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
+  }
+}
+#endif
 
 void RecordChurn(const Cohort& cohort, int joined, int left) {
   TDG_BLACKBOX(obs::BlackboxEventType::kCohortChurn,
@@ -353,9 +376,16 @@ util::StatusOr<CohortManager::Entry*> CohortManager::Find(
 util::Status CohortManager::Join(const std::string& id,
                                  const std::string& key, double skill) {
   TDG_ASSIGN_OR_RETURN(Entry * entry, Find(id));
-  std::lock_guard<std::mutex> lock(entry->mutex);
+  // Per-entry lock acquisition is a traced phase: under contention this is
+  // where a request's tail latency hides (DESIGN.md §14).
+  std::unique_lock<std::mutex> lock(entry->mutex, std::defer_lock);
+  {
+    obs::ScopedRequestPhase lock_phase(obs::RequestPhase::kLockWait);
+    lock.lock();
+  }
   TDG_RETURN_IF_ERROR(entry->cohort.CanJoin(key, skill));
   if (entry->journal.is_open()) {
+    obs::ScopedRequestPhase journal_phase(obs::RequestPhase::kJournal);
     TDG_RETURN_IF_ERROR(entry->journal.AppendLine(JoinOpLine(key, skill)));
   }
   TDG_RETURN_IF_ERROR(entry->cohort.Join(key, skill));
@@ -367,9 +397,14 @@ util::Status CohortManager::Join(const std::string& id,
 util::Status CohortManager::Leave(const std::string& id,
                                   const std::string& key) {
   TDG_ASSIGN_OR_RETURN(Entry * entry, Find(id));
-  std::lock_guard<std::mutex> lock(entry->mutex);
+  std::unique_lock<std::mutex> lock(entry->mutex, std::defer_lock);
+  {
+    obs::ScopedRequestPhase lock_phase(obs::RequestPhase::kLockWait);
+    lock.lock();
+  }
   TDG_RETURN_IF_ERROR(entry->cohort.CanLeave(key));
   if (entry->journal.is_open()) {
+    obs::ScopedRequestPhase journal_phase(obs::RequestPhase::kJournal);
     TDG_RETURN_IF_ERROR(entry->journal.AppendLine(LeaveOpLine(key)));
   }
   TDG_RETURN_IF_ERROR(entry->cohort.Leave(key));
@@ -380,11 +415,20 @@ util::Status CohortManager::Leave(const std::string& id,
 
 util::StatusOr<double> CohortManager::Advance(const std::string& id) {
   TDG_ASSIGN_OR_RETURN(Entry * entry, Find(id));
-  std::lock_guard<std::mutex> lock(entry->mutex);
+  std::unique_lock<std::mutex> lock(entry->mutex, std::defer_lock);
+  {
+    obs::ScopedRequestPhase lock_phase(obs::RequestPhase::kLockWait);
+    lock.lock();
+  }
   TDG_RETURN_IF_ERROR(entry->cohort.CanAdvance());
   if (entry->journal.is_open()) {
+    obs::ScopedRequestPhase journal_phase(obs::RequestPhase::kJournal);
     TDG_RETURN_IF_ERROR(entry->journal.AppendLine(AdvanceOpLine()));
   }
+  obs::ScopedRequestPhase compute_phase(obs::RequestPhase::kCompute);
+#if defined(TDG_TEST_HOOKS)
+  MaybeInjectSlowAdvance();
+#endif
   return entry->cohort.Advance();
 }
 
@@ -399,7 +443,11 @@ std::vector<std::string> CohortManager::CohortIds() const {
 util::StatusOr<CohortManager::Summary> CohortManager::GetSummary(
     const std::string& id) const {
   TDG_ASSIGN_OR_RETURN(Entry * entry, Find(id));
-  std::lock_guard<std::mutex> lock(entry->mutex);
+  std::unique_lock<std::mutex> lock(entry->mutex, std::defer_lock);
+  {
+    obs::ScopedRequestPhase lock_phase(obs::RequestPhase::kLockWait);
+    lock.lock();
+  }
   Summary summary;
   summary.id = entry->cohort.id();
   summary.rounds = entry->cohort.rounds_advanced();
@@ -411,7 +459,11 @@ util::StatusOr<CohortManager::Summary> CohortManager::GetSummary(
 util::StatusOr<CohortRound> CohortManager::GetRound(const std::string& id,
                                                     int round) const {
   TDG_ASSIGN_OR_RETURN(Entry * entry, Find(id));
-  std::lock_guard<std::mutex> lock(entry->mutex);
+  std::unique_lock<std::mutex> lock(entry->mutex, std::defer_lock);
+  {
+    obs::ScopedRequestPhase lock_phase(obs::RequestPhase::kLockWait);
+    lock.lock();
+  }
   if (round < 0 || round >= entry->cohort.rounds_advanced()) {
     return util::Status::NotFound(util::StrFormat(
         "cohort '%s' has %d rounds; round %d does not exist yet",

@@ -192,30 +192,58 @@ void CohortServer::WorkerLoop() {
 }
 
 void CohortServer::HandleConnection(util::net::Socket connection) {
-  const int64_t begin_micros = util::MonotonicMicros();
-  auto request = util::net::ReadHttpRequest(connection, options_.limits);
+  // One trace per accepted connection: the context rides a thread-local
+  // down through CohortManager/Cohort (phase spans) and its id is stamped
+  // into every flight-recorder record the request emits, so a /tracez id
+  // resolves to the request's causal path in a tdg_blackbox dump.
+  obs::RequestContext context;
+  context.trace_id = obs::MintTraceId();
+  obs::ScopedRequestContext bind_context(context);
+
+  util::StatusOr<util::net::HttpRequest> request = [&] {
+    obs::ScopedRequestPhase parse_phase(obs::RequestPhase::kParse);
+    return util::net::ReadHttpRequest(connection, options_.limits);
+  }();
   std::string endpoint_label = "other";
   std::string response;
   if (!request.ok()) {
+    // Transport/limit rejections (408/413/400/...) are requests too: they
+    // get the "unreadable" endpoint label and flow through the same
+    // latency histograms and response-class counters as routed traffic.
     response = util::net::BuildHttpErrorResponse(request.status());
     endpoint_label = "unreadable";
   } else {
     response = Route(*request, &endpoint_label);
   }
-  (void)connection.WriteAll(response);
-  connection.Close();
+  {
+    obs::ScopedRequestPhase serialize_phase(obs::RequestPhase::kSerialize);
+    (void)connection.WriteAll(response);
+    connection.Close();
+  }
 
   requests_served_.fetch_add(1, std::memory_order_relaxed);
+  auto code = util::net::HttpStatusCode(response);
+  const int status = code.ok() ? *code : 500;
+  context.endpoint = endpoint_label;
+  obs::FinishRequest(context, status);
+  tail_sampler_.Offer(context);
+  // Rolling windows are product surface (/statusz, servectl stats), like
+  // the tail sampler: explicit registry API, alive even under
+  // TDG_OBS_DISABLED. Label sets are bounded by the router, so dynamic
+  // names cannot grow the registry without bound.
+  obs::MetricsRegistry::Global()
+      .GetWindowed("serve/latency_seconds/" + endpoint_label,
+                   /*output_scale=*/1e-6)
+      .Record(static_cast<double>(context.total_micros),
+              /*error=*/status >= 400);
   TDG_OBS_COUNTER_ADD("serve/requests", 1);
 #if !defined(TDG_OBS_DISABLED)
   // Dynamic metric names need the registry API (the macros cache one
-  // handle per site). The label set is bounded by the router, so this
-  // cannot grow the registry without bound.
+  // handle per site).
   obs::MetricsRegistry::Global()
       .GetHistogram("serve/latency/" + endpoint_label)
-      .Record(static_cast<double>(util::MonotonicMicros() - begin_micros));
-  auto code = util::net::HttpStatusCode(response);
-  const int klass = code.ok() ? *code / 100 : 5;
+      .Record(static_cast<double>(context.total_micros));
+  const int klass = status / 100;
   if (klass == 2) {
     TDG_OBS_COUNTER_ADD("serve/responses/2xx", 1);
   } else if (klass == 4) {
@@ -225,8 +253,6 @@ void CohortServer::HandleConnection(util::net::Socket connection) {
   } else {
     TDG_OBS_COUNTER_ADD("serve/responses/other", 1);
   }
-#else
-  (void)begin_micros;
 #endif
 }
 
@@ -276,7 +302,45 @@ std::string CohortServer::Route(const util::net::HttpRequest& request,
     json.Set("uptime_seconds",
              static_cast<double>(util::MonotonicMicros() - start_micros_) /
                  1e6);
+    // Rolling latency windows per endpoint: {"advance": {"1m": {qps, p50,
+    // p95, p99, error_rate, count}, ...}, ...}. Latencies in seconds.
+    util::JsonValue windows_json = util::JsonValue::MakeObject();
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Global().Snapshot();
+    constexpr std::string_view kWindowedPrefix = "serve/latency_seconds/";
+    for (const auto& [name, stats] : snapshot.windowed) {
+      if (name.substr(0, kWindowedPrefix.size()) != kWindowedPrefix) {
+        continue;
+      }
+      util::JsonValue per_endpoint = util::JsonValue::MakeObject();
+      for (const obs::WindowStats& w : stats.windows) {
+        util::JsonValue entry = util::JsonValue::MakeObject();
+        entry.Set("count", static_cast<long long>(w.count));
+        entry.Set("qps", w.qps);
+        entry.Set("error_rate", w.error_rate);
+        entry.Set("p50", w.p50);
+        entry.Set("p95", w.p95);
+        entry.Set("p99", w.p99);
+        per_endpoint.Set(w.label, std::move(entry));
+      }
+      windows_json.Set(std::string(name.substr(kWindowedPrefix.size())),
+                       std::move(per_endpoint));
+    }
+    json.Set("windows", std::move(windows_json));
     return OkJson(json);
+  }
+
+  if (path == "/tracez") {
+    *endpoint_label = "tracez";
+    if (!get) return MethodNotAllowed();
+    return OkJson(tail_sampler_.RecentTracesJson());
+  }
+
+  if (path == "/slowz") {
+    *endpoint_label = "slowz";
+    if (!get) return MethodNotAllowed();
+    return util::net::BuildHttpResponse(200, "OK", "application/x-ndjson",
+                                        tail_sampler_.SlowTracesJsonl());
   }
 
   if (path == "/cohorts") {

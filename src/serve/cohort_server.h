@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/run_manifest.h"
+#include "obs/tail_sampler.h"
 #include "serve/cohort_manager.h"
 #include "util/net.h"
 #include "util/statusor.h"
@@ -39,6 +40,10 @@ namespace tdg::serve {
 ///                                    (CohortRoundToJson)
 ///   POST /cohorts/<id>/join          {"key","skill"}
 ///   POST /cohorts/<id>/leave         {"key"}
+///   GET  /tracez                     {"traces":[...]} — recently completed
+///                                    requests with their trace ids
+///   GET  /slowz                      JSONL, one slow/sampled request per
+///                                    line with the per-phase breakdown
 ///
 /// Error mapping: read/parse failures use util::net's contract (400 / 408 /
 /// 413 / 501); application errors map NotFound → 404, FailedPrecondition
@@ -57,6 +62,9 @@ class CohortServer {
     util::net::HttpLimits limits;
     /// Provenance served on /statusz; captured at Start when left default.
     obs::RunManifest manifest;
+    /// Tail-sampling knobs for /slowz and /tracez (threshold, 1-in-N
+    /// sample, ring capacities).
+    obs::TailSampler::Options tail;
   };
 
   /// Binds, writes the port file, and launches the accept loop + workers.
@@ -76,13 +84,18 @@ class CohortServer {
     return requests_served_.load(std::memory_order_relaxed);
   }
 
+  /// The /slowz + /tracez sampler (exposed for tests).
+  const obs::TailSampler& tail_sampler() const { return tail_sampler_; }
+
   /// Stops accepting, drains queued connections, joins all threads.
   /// Idempotent.
   void Stop();
 
  private:
   CohortServer(CohortManager* manager, Options options)
-      : manager_(manager), options_(std::move(options)) {}
+      : manager_(manager),
+        options_(std::move(options)),
+        tail_sampler_(options_.tail) {}
 
   void AcceptLoop();
   void WorkerLoop();
@@ -92,6 +105,7 @@ class CohortServer {
 
   CohortManager* manager_;  // not owned
   Options options_;
+  obs::TailSampler tail_sampler_;  // after options_: initialized from tail
   util::net::ServerSocket listener_;
   std::thread accept_thread_;
   std::vector<std::thread> workers_;

@@ -4,7 +4,10 @@
 // leg points multiple threads at the SAME cohort. At quiesce the round
 // counters must be exactly consistent — every acknowledged advance is one
 // recorded round, no lost or duplicated updates — and every served round
-// must be retrievable.
+// must be retrievable. A tracing leg runs the contended load with the tail
+// sampler wide open and the flight recorder on, then checks /slowz saw the
+// contended advances (lock-wait span and all) and that a /tracez id
+// resolves to the same request's records in the black-box dump.
 
 #include <gtest/gtest.h>
 
@@ -13,9 +16,11 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.h"
 #include "serve/cohort.h"
 #include "serve/cohort_manager.h"
 #include "serve/cohort_server.h"
+#include "util/json.h"
 #include "util/net.h"
 
 namespace tdg::serve {
@@ -151,6 +156,81 @@ TEST(ServeSoakTest, ContendedAdvancesOnOneCohortNeverLoseARound) {
                           std::to_string(summary->rounds)),
             404);
   (*server)->Stop();
+}
+
+TEST(ServeSoakTest, ContendedAdvancesAreTracedEndToEnd) {
+  const std::string dump_path = testing::TempDir() + "/serve_soak_trace.bin";
+  obs::FlightRecorder::Options recorder_options;
+  recorder_options.path = dump_path;
+  ASSERT_TRUE(obs::FlightRecorder::Global().Start(recorder_options).ok());
+
+  auto manager = CohortManager::Open({});
+  ASSERT_TRUE(manager.ok()) << manager.status();
+  CohortServer::Options options;
+  options.num_workers = 4;
+  options.tail.slow_threshold_micros = 0;  // keep every trace
+  auto server = CohortServer::Start(manager->get(), std::move(options));
+  ASSERT_TRUE(server.ok()) << server.status();
+  const int port = (*server)->port();
+
+  ASSERT_EQ(Post(port, "/cohorts", EnrollBody("traced", 9)), 201);
+  constexpr int kThreads = 3;
+  constexpr int kAdvancesPerThread = 8;
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < kThreads; ++t) {
+    drivers.emplace_back([port] {
+      for (int i = 0; i < kAdvancesPerThread; ++i) {
+        EXPECT_EQ(Post(port, "/cohorts/traced/advance", "{}"), 200);
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+
+  // /slowz (threshold 0 keeps everything) must show the contended
+  // advances with the per-phase breakdown, lock-wait included.
+  auto slowz = util::net::HttpGet(port, "/slowz");
+  ASSERT_TRUE(slowz.ok()) << slowz.status();
+  auto slowz_body = util::net::HttpBody(*slowz);
+  ASSERT_TRUE(slowz_body.ok());
+  EXPECT_NE(slowz_body->find("\"endpoint\":\"advance\""), std::string::npos);
+  EXPECT_NE(slowz_body->find("lock_wait_micros"), std::string::npos);
+  EXPECT_NE(slowz_body->find("journal_fsync_micros"), std::string::npos);
+  EXPECT_NE(slowz_body->find("compute_micros"), std::string::npos);
+
+  // Pick an advance's trace id off /tracez ...
+  auto tracez = util::net::HttpGet(port, "/tracez");
+  ASSERT_TRUE(tracez.ok()) << tracez.status();
+  auto tracez_json = util::JsonValue::Parse(*util::net::HttpBody(*tracez));
+  ASSERT_TRUE(tracez_json.ok()) << tracez_json.status();
+  auto traces = tracez_json->GetField("traces");
+  ASSERT_TRUE(traces.ok());
+  double advance_trace_id = 0;
+  for (const util::JsonValue& trace : traces->AsArray()) {
+    if (trace.GetField("endpoint")->AsString() == "advance") {
+      advance_trace_id = trace.GetField("trace_id")->AsNumber();
+      break;
+    }
+  }
+  ASSERT_NE(advance_trace_id, 0.0);
+
+  (*server)->Stop();
+  obs::FlightRecorder::Global().Stop();
+
+  // ... and resolve it in the black-box dump: the same request's
+  // start/end records are there under the same id.
+  auto dump = obs::ReadBlackbox(dump_path);
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  bool saw_start = false, saw_end = false;
+  for (const obs::BlackboxEvent& event : dump->events) {
+    if (event.values[0] != advance_trace_id) continue;
+    if (event.type == obs::BlackboxEventType::kRequestStart) saw_start = true;
+    if (event.type == obs::BlackboxEventType::kRequestEnd) {
+      saw_end = true;
+      EXPECT_EQ(static_cast<int>(event.values[1]), 200);
+    }
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(saw_end);
 }
 
 }  // namespace

@@ -1,0 +1,280 @@
+// Property suite for obs::WindowedHistogram: randomized event streams on a
+// simulated clock, with every rolling window cross-checked against a
+// brute-force recompute (an obs::Histogram rebuilt from exactly the events
+// the window should cover — the two share bucket geometry and quantile
+// interpolation, so agreement must be exact). Plus the epoch-rotation edge
+// cases: empty windows, idle gaps longer than the ring, bursts at the
+// rotation boundary.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/windowed_histogram.h"
+#include "random/rng.h"
+
+namespace tdg::obs {
+namespace {
+
+constexpr int64_t kMicros = 1000000;
+
+struct Event {
+  int64_t at_micros = 0;
+  double value = 0;
+  bool error = false;
+};
+
+/// Brute-force reference: rebuild each window from the raw event list.
+struct Reference {
+  int64_t count = 0;
+  int64_t errors = 0;
+  Histogram histogram;  // same geometry + quantile math as the window
+};
+
+// Histogram holds atomics (non-movable), so the reference is filled in
+// place rather than returned.
+void Recompute(const std::vector<Event>& events, int64_t now_micros,
+               int window_seconds, Reference* ref) {
+  const int64_t now_second = now_micros / kMicros;
+  for (const Event& event : events) {
+    const int64_t second = event.at_micros / kMicros;
+    if (second <= now_second - window_seconds || second > now_second) {
+      continue;
+    }
+    ++ref->count;
+    if (event.error) ++ref->errors;
+    ref->histogram.Record(event.value);
+  }
+}
+
+void ExpectMatchesReference(const WindowedHistogram& windowed,
+                            const std::vector<Event>& events,
+                            int64_t now_micros) {
+  const WindowedHistogramStats stats = windowed.SnapshotAt(now_micros);
+  ASSERT_EQ(stats.windows.size(), WindowedHistogram::kWindowSeconds.size());
+  for (const WindowStats& w : stats.windows) {
+    SCOPED_TRACE("window " + w.label);
+    Reference ref;
+    Recompute(events, now_micros, w.window_seconds, &ref);
+    EXPECT_EQ(w.count, ref.count);
+    EXPECT_EQ(w.errors, ref.errors);
+    EXPECT_DOUBLE_EQ(
+        w.qps, static_cast<double>(ref.count) / w.window_seconds);
+    if (ref.count == 0) {
+      EXPECT_EQ(w.p99, 0.0);
+      EXPECT_EQ(w.error_rate, 0.0);
+      continue;
+    }
+    EXPECT_DOUBLE_EQ(w.error_rate, static_cast<double>(ref.errors) /
+                                       static_cast<double>(ref.count));
+    EXPECT_DOUBLE_EQ(w.min, ref.histogram.Min());
+    EXPECT_DOUBLE_EQ(w.max, ref.histogram.Max());
+    // Sums fold per-epoch before dividing, so the mean can differ from the
+    // sequential reference by a few ULPs; everything else is exact.
+    EXPECT_NEAR(w.mean, ref.histogram.Mean(),
+                1e-9 * std::abs(ref.histogram.Mean()) + 1e-12);
+    EXPECT_DOUBLE_EQ(w.p50, ref.histogram.Quantile(0.50));
+    EXPECT_DOUBLE_EQ(w.p95, ref.histogram.Quantile(0.95));
+    EXPECT_DOUBLE_EQ(w.p99, ref.histogram.Quantile(0.99));
+  }
+}
+
+TEST(WindowedHistogramTest, EmptyHistogramReportsZeroEverything) {
+  WindowedHistogram windowed;
+  const WindowedHistogramStats stats = windowed.SnapshotAt(1000 * kMicros);
+  ASSERT_EQ(stats.windows.size(), 3u);
+  EXPECT_EQ(stats.windows[0].label, "10s");
+  EXPECT_EQ(stats.windows[1].label, "1m");
+  EXPECT_EQ(stats.windows[2].label, "5m");
+  for (const WindowStats& w : stats.windows) {
+    EXPECT_EQ(w.count, 0);
+    EXPECT_EQ(w.qps, 0.0);
+    EXPECT_EQ(w.p99, 0.0);
+    EXPECT_EQ(w.error_rate, 0.0);
+  }
+}
+
+TEST(WindowedHistogramTest, WindowLabels) {
+  EXPECT_EQ(WindowLabel(10), "10s");
+  EXPECT_EQ(WindowLabel(60), "1m");
+  EXPECT_EQ(WindowLabel(300), "5m");
+  EXPECT_EQ(WindowLabel(45), "45s");
+  EXPECT_EQ(WindowLabel(120), "2m");
+}
+
+TEST(WindowedHistogramTest, RandomizedStreamMatchesBruteForceRecompute) {
+  random::Rng rng(20260808);
+  for (int trial = 0; trial < 20; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    WindowedHistogram windowed;
+    std::vector<Event> events;
+    // A stream with irregular arrival: the clock advances 0–3 s between
+    // events, so seconds are skipped and multi-event seconds both occur.
+    int64_t now =
+        5000 * kMicros + static_cast<int64_t>(rng.NextBounded(kMicros));
+    const int num_events = 50 + static_cast<int>(rng.NextBounded(300));
+    for (int i = 0; i < num_events; ++i) {
+      now += static_cast<int64_t>(rng.NextBounded(3 * kMicros));
+      Event event;
+      event.at_micros = now;
+      event.value = rng.NextDouble() * 1e6;
+      event.error = rng.NextBounded(10) == 0;
+      events.push_back(event);
+      windowed.RecordAt(event.at_micros, event.value, event.error);
+    }
+    // Check at the last event time and a little after it.
+    ExpectMatchesReference(windowed, events, now);
+    ExpectMatchesReference(windowed, events, now + 7 * kMicros);
+    ExpectMatchesReference(windowed, events, now + 45 * kMicros);
+  }
+}
+
+TEST(WindowedHistogramTest, EventsExpireAsTheClockAdvances) {
+  WindowedHistogram windowed;
+  const int64_t base = 10000 * kMicros;
+  windowed.RecordAt(base, 42.0);
+  // Visible in all three windows at t=base.
+  for (const WindowStats& w : windowed.SnapshotAt(base).windows) {
+    EXPECT_EQ(w.count, 1) << w.label;
+  }
+  // 30 s later: out of the 10 s window, still in 1m and 5m.
+  {
+    const auto stats = windowed.SnapshotAt(base + 30 * kMicros);
+    EXPECT_EQ(stats.windows[0].count, 0);
+    EXPECT_EQ(stats.windows[1].count, 1);
+    EXPECT_EQ(stats.windows[2].count, 1);
+  }
+  // 4 minutes later: only the 5m window still sees it.
+  {
+    const auto stats = windowed.SnapshotAt(base + 240 * kMicros);
+    EXPECT_EQ(stats.windows[0].count, 0);
+    EXPECT_EQ(stats.windows[1].count, 0);
+    EXPECT_EQ(stats.windows[2].count, 1);
+  }
+  // 6 minutes later: gone everywhere.
+  for (const WindowStats& w :
+       windowed.SnapshotAt(base + 360 * kMicros).windows) {
+    EXPECT_EQ(w.count, 0) << w.label;
+  }
+}
+
+TEST(WindowedHistogramTest, IdleGapLongerThanTheRingReadsEmpty) {
+  WindowedHistogram windowed;
+  std::vector<Event> events;
+  const int64_t base = 777 * kMicros;
+  for (int i = 0; i < 100; ++i) {
+    Event event{base + i * kMicros / 10, static_cast<double>(i), false};
+    events.push_back(event);
+    windowed.RecordAt(event.at_micros, event.value);
+  }
+  // Sleep past the whole ring (360 s) without recording: every stamped
+  // epoch is stale, every window must read empty — and the brute-force
+  // reference agrees because no event second is in range.
+  const int64_t later = base + 2 * WindowedHistogram::kRingSeconds * kMicros;
+  ExpectMatchesReference(windowed, events, later);
+  for (const WindowStats& w : windowed.SnapshotAt(later).windows) {
+    EXPECT_EQ(w.count, 0) << w.label;
+  }
+  // And the ring is immediately reusable after the gap.
+  windowed.RecordAt(later, 5.0);
+  EXPECT_EQ(windowed.SnapshotAt(later).windows[0].count, 1);
+}
+
+TEST(WindowedHistogramTest, BurstAtRotationBoundary) {
+  WindowedHistogram windowed;
+  std::vector<Event> events;
+  // Straddle the ring's wrap second (kRingSeconds) with a dense burst:
+  // half the events land in the slot about to be reclaimed, half in the
+  // slot reclaiming it one lap later would alias to.
+  const int64_t boundary = WindowedHistogram::kRingSeconds * kMicros;
+  for (int i = -5; i < 5; ++i) {
+    for (int j = 0; j < 7; ++j) {
+      Event event{boundary + i * kMicros + j * 1000,
+                  static_cast<double>(100 + i * 7 + j), false};
+      events.push_back(event);
+      windowed.RecordAt(event.at_micros, event.value);
+    }
+  }
+  ExpectMatchesReference(windowed, events, boundary + 4 * kMicros);
+  // One full lap later, record into the same slots the burst used; the
+  // stale epochs must not leak into the fresh windows.
+  const int64_t lap = boundary + WindowedHistogram::kRingSeconds * kMicros;
+  events.push_back({lap, 9.0, false});
+  windowed.RecordAt(lap, 9.0);
+  ExpectMatchesReference(windowed, events, lap);
+  const auto stats = windowed.SnapshotAt(lap);
+  EXPECT_EQ(stats.windows[2].count, 1);  // only the fresh event
+}
+
+TEST(WindowedHistogramTest, OutputScaleAppliesToValueDomainOnly) {
+  WindowedHistogram::Options options;
+  options.output_scale = 1e-6;  // micros recorded, seconds reported
+  WindowedHistogram windowed(options);
+  const int64_t base = 50 * kMicros;
+  windowed.RecordAt(base, 250000.0);         // 250 ms
+  windowed.RecordAt(base + 1000, 750000.0);  // 750 ms
+  const auto stats = windowed.SnapshotAt(base);
+  const WindowStats& w = stats.windows[0];
+  EXPECT_EQ(w.count, 2);                       // counts unscaled
+  EXPECT_DOUBLE_EQ(w.qps, 0.2);                // rates unscaled
+  EXPECT_DOUBLE_EQ(w.min, 0.25);               // seconds
+  EXPECT_DOUBLE_EQ(w.max, 0.75);
+  EXPECT_DOUBLE_EQ(w.mean, 0.5);
+  EXPECT_GE(w.p99, 0.25);
+  EXPECT_LE(w.p99, 0.75);
+}
+
+TEST(WindowedHistogramTest, ErrorRateCountsOnlyFlaggedEvents) {
+  WindowedHistogram windowed;
+  const int64_t base = 99 * kMicros;
+  for (int i = 0; i < 8; ++i) {
+    windowed.RecordAt(base + i * 1000, 10.0, /*error=*/i < 2);
+  }
+  const auto stats = windowed.SnapshotAt(base);
+  const WindowStats& w = stats.windows[0];
+  EXPECT_EQ(w.count, 8);
+  EXPECT_EQ(w.errors, 2);
+  EXPECT_DOUBLE_EQ(w.error_rate, 0.25);
+}
+
+TEST(WindowedHistogramTest, HonorsMetricsKillSwitch) {
+  WindowedHistogram windowed;
+  SetMetricsEnabled(false);
+  windowed.RecordAt(5 * kMicros, 1.0);
+  SetMetricsEnabled(true);
+  windowed.RecordAt(5 * kMicros, 2.0);
+  const auto stats = windowed.SnapshotAt(5 * kMicros);
+  const WindowStats& w = stats.windows[0];
+  EXPECT_EQ(w.count, 1);
+  EXPECT_DOUBLE_EQ(w.max, 2.0);
+}
+
+TEST(WindowedHistogramTest, ResetClearsEveryWindow) {
+  WindowedHistogram windowed;
+  windowed.RecordAt(12 * kMicros, 3.0);
+  windowed.Reset();
+  for (const WindowStats& w : windowed.SnapshotAt(12 * kMicros).windows) {
+    EXPECT_EQ(w.count, 0) << w.label;
+  }
+}
+
+TEST(WindowedHistogramTest, RegistryRegistrationAndSnapshot) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const std::string name = "windowed_test/latency_seconds/probe";
+  WindowedHistogram& windowed = registry.GetWindowed(name, 1e-6);
+  EXPECT_EQ(&windowed, &registry.GetWindowed(name));  // same instance
+  windowed.Record(1000.0);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.windowed.count(name), 1u);
+  const auto& windows = snapshot.windowed.at(name).windows;
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].count, 1);
+  EXPECT_DOUBLE_EQ(windows[0].max, 1e-3);  // scaled to seconds
+}
+
+}  // namespace
+}  // namespace tdg::obs
